@@ -1,0 +1,119 @@
+// Micro-benchmarks of the messaging substrate (§3.2/§3.3): context
+// serialization, inbox priority-queue operations, and flow-control
+// credit acquire/release — the per-hop overheads of remote edges.
+#include <benchmark/benchmark.h>
+
+#include "common/config.h"
+#include "net/network.h"
+#include "runtime/context.h"
+
+namespace {
+
+using namespace rpqd;
+
+void BM_EncodeContext(benchmark::State& state) {
+  const auto num_slots = static_cast<std::size_t>(state.range(0));
+  std::vector<Value> slots(num_slots, int_value(42));
+  std::vector<std::byte> payload;
+  payload.reserve(1 << 16);
+  for (auto _ : state) {
+    payload.clear();
+    BinaryWriter writer(payload);
+    encode_context(writer, 123456, 0xabcdef, slots);
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(9 * num_slots + 11));
+}
+BENCHMARK(BM_EncodeContext)->Arg(0)->Arg(4)->Arg(16);
+
+void BM_DecodeContext(benchmark::State& state) {
+  const auto num_slots = static_cast<std::size_t>(state.range(0));
+  std::vector<Value> slots(num_slots, int_value(42));
+  std::vector<std::byte> payload;
+  BinaryWriter writer(payload);
+  encode_context(writer, 123456, 0xabcdef, slots);
+  for (auto _ : state) {
+    BinaryReader reader(payload);
+    VertexId v;
+    std::uint64_t rpid;
+    std::vector<Value> out;
+    decode_context(reader, static_cast<unsigned>(num_slots), v, rpid, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DecodeContext)->Arg(0)->Arg(4)->Arg(16);
+
+void BM_InboxPushPop(benchmark::State& state) {
+  Network net(1);
+  std::uint32_t depth = 0;
+  for (auto _ : state) {
+    Message m;
+    m.header.type = MessageType::kData;
+    m.header.stage = 3;
+    m.header.depth = (depth++) % 12;
+    m.header.count = 1;
+    m.payload.resize(64);
+    net.send(0, std::move(m));
+    benchmark::DoNotOptimize(net.inbox(0).try_pop_data(net.stats()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InboxPushPop);
+
+void BM_InboxPriorityBurst(benchmark::State& state) {
+  // Push a burst of mixed depths, then drain in priority order.
+  Network net(1);
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      Message m;
+      m.header.type = MessageType::kData;
+      m.header.stage = static_cast<StageId>(i % 7);
+      m.header.depth = (i * 13) % 17;
+      m.header.count = 1;
+      net.send(0, std::move(m));
+    }
+    while (auto msg = net.inbox(0).try_pop_data(net.stats())) {
+      benchmark::DoNotOptimize(msg->header.depth);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_InboxPriorityBurst);
+
+void BM_FlowControlAcquireRelease(benchmark::State& state) {
+  EngineConfig cfg;
+  cfg.buffers_per_machine = 1024;
+  FlowControl fc(cfg, 4, {false, true, true, false});
+  for (auto _ : state) {
+    const auto credit = fc.try_acquire(2, 1, 3);
+    benchmark::DoNotOptimize(credit);
+    if (credit) fc.release(2, 1, 3, *credit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowControlAcquireRelease);
+
+void BM_DoneDelivery(benchmark::State& state) {
+  EngineConfig cfg;
+  FlowControl fc(cfg, 2, {false});
+  Network net(2);
+  net.inbox(0).attach_flow_control(&fc);
+  const auto credit = fc.try_acquire(1, 0, 0);
+  for (auto _ : state) {
+    Message done;
+    done.header.type = MessageType::kDone;
+    done.header.src = 1;
+    done.header.stage = 0;
+    done.header.credit = *credit;
+    done.header.credit_depth = 0;
+    net.send(0, std::move(done));       // releases the credit
+    benchmark::DoNotOptimize(fc.try_acquire(1, 0, 0));  // re-take it
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DoneDelivery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Micro-benchmarks of the query compiler: lexing, parsing, and cost-based
+// planning for the nine workload queries — the overhead that prepared
+// queries (Database::prepare) amortize away.
+#include <benchmark/benchmark.h>
+
+#include "ldbc/generator.h"
+#include "pgql/parser.h"
+#include "plan/planner.h"
+#include "workloads/queries.h"
+
+namespace {
+
+using namespace rpqd;
+
+const Graph& workload_graph() {
+  static const Graph graph = [] {
+    ldbc::LdbcConfig cfg;
+    cfg.scale_factor = 0.05;
+    return ldbc::generate_ldbc(cfg);
+  }();
+  return graph;
+}
+
+void BM_Parse(benchmark::State& state) {
+  const auto queries = workloads::benchmark_queries();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pgql::parse(queries[i % queries.size()].pgql));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Parse);
+
+void BM_Plan(benchmark::State& state) {
+  const auto queries = workloads::benchmark_queries();
+  std::vector<pgql::Query> parsed;
+  for (const auto& wq : queries) parsed.push_back(pgql::parse(wq.pgql));
+  const Catalog& catalog = workload_graph().catalog();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan_query(parsed[i % parsed.size()], catalog));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Plan);
+
+void BM_ParseAndPlan(benchmark::State& state) {
+  const auto queries = workloads::benchmark_queries();
+  const Catalog& catalog = workload_graph().catalog();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto q = pgql::parse(queries[i % queries.size()].pgql);
+    benchmark::DoNotOptimize(plan_query(q, catalog));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseAndPlan);
+
+void BM_Explain(benchmark::State& state) {
+  const Catalog& catalog = workload_graph().catalog();
+  const auto plan = plan_query(
+      pgql::parse(workloads::benchmark_queries()[0].pgql), catalog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explain_plan(plan));
+  }
+}
+BENCHMARK(BM_Explain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Micro-benchmarks of the reachability index (§3.5): insert, eliminate,
+// duplicate-update, lookup, and multi-threaded check-and-update — the
+// per-operation costs behind Figure 3's index overhead.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "rpq/reach_index.h"
+#include "rpq/rpid.h"
+
+namespace {
+
+using rpqd::ReachabilityIndex;
+
+constexpr std::size_t kVertices = 1 << 16;
+
+void BM_InsertNew(benchmark::State& state) {
+  ReachabilityIndex index(kVertices);
+  std::uint64_t seq = 0;
+  rpqd::Rng rng(1);
+  for (auto _ : state) {
+    const auto v =
+        static_cast<rpqd::LocalVertexId>(rng.next_below(kVertices));
+    benchmark::DoNotOptimize(
+        index.check_and_update(v, rpqd::make_rpid_source(0, 0, ++seq), 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertNew);
+
+void BM_EliminateExisting(benchmark::State& state) {
+  ReachabilityIndex index(kVertices);
+  const auto rpid = rpqd::make_rpid_source(0, 0, 1);
+  for (rpqd::LocalVertexId v = 0; v < 1024; ++v) {
+    index.check_and_update(v, rpid, 1);
+  }
+  rpqd::Rng rng(2);
+  for (auto _ : state) {
+    const auto v = static_cast<rpqd::LocalVertexId>(rng.next_below(1024));
+    benchmark::DoNotOptimize(index.check_and_update(v, rpid, 3));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EliminateExisting);
+
+void BM_DuplicateUpdate(benchmark::State& state) {
+  ReachabilityIndex index(kVertices);
+  const auto rpid = rpqd::make_rpid_source(0, 0, 1);
+  rpqd::Rng rng(3);
+  rpqd::Depth depth = 1u << 30;
+  for (auto _ : state) {
+    // Strictly decreasing depth: every touch is a duplicate-update.
+    benchmark::DoNotOptimize(index.check_and_update(7, rpid, --depth));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DuplicateUpdate);
+
+void BM_Lookup(benchmark::State& state) {
+  ReachabilityIndex index(kVertices);
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    index.check_and_update(static_cast<rpqd::LocalVertexId>(i % kVertices),
+                           rpqd::make_rpid_source(0, 0, i), 1);
+  }
+  rpqd::Rng rng(4);
+  for (auto _ : state) {
+    const auto i = rng.next_below(4096);
+    benchmark::DoNotOptimize(index.lookup(
+        static_cast<rpqd::LocalVertexId>(i % kVertices),
+        rpqd::make_rpid_source(0, 0, i)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Lookup);
+
+void BM_ConcurrentCheckAndUpdate(benchmark::State& state) {
+  static ReachabilityIndex* index = nullptr;
+  if (state.thread_index() == 0) {
+    delete index;
+    index = new ReachabilityIndex(kVertices);
+  }
+  rpqd::Rng rng(100 + static_cast<std::uint64_t>(state.thread_index()));
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    const auto v =
+        static_cast<rpqd::LocalVertexId>(rng.next_below(kVertices));
+    benchmark::DoNotOptimize(index->check_and_update(
+        v,
+        rpqd::make_rpid_source(0, static_cast<rpqd::WorkerId>(
+                                      state.thread_index()),
+                               ++seq),
+        1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentCheckAndUpdate)->Threads(1)->Threads(2)->Threads(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

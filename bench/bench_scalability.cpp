@@ -1,0 +1,54 @@
+// §4.3 reproduction: RPQd scalability over the machine count, per query.
+//
+// The paper: 8 and 16 machines are 2.3x / 4.4x faster than 4 in total,
+// nearly linear (super-linear cases come from the larger aggregate
+// flow-control memory); Q03* and Q10* scale worst because of narrow
+// starting filters and partitioning.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/queries.h"
+
+int main() {
+  using namespace rpqd;
+  using namespace rpqd::bench;
+
+  const auto cfg = bench_ldbc_config();
+  const int repeats = bench_repeats();
+  ldbc::LdbcStats stats;
+  ldbc::generate_ldbc(cfg, &stats);
+  print_header("Scalability (4.3): RPQd latency vs machine count");
+  std::printf("LDBC-like sf=%.2f (%zu vertices, %zu edges), median of %d\n\n",
+              cfg.scale_factor, stats.total_vertices, stats.total_edges,
+              repeats);
+
+  const auto workload = workloads::benchmark_queries();
+  std::vector<std::string> texts;
+  for (const auto& wq : workload) texts.push_back(wq.pgql);
+
+  const unsigned machine_counts[] = {1, 2, 4, 8, 16};
+  std::vector<std::vector<double>> latency(std::size(machine_counts));
+  for (std::size_t m = 0; m < std::size(machine_counts); ++m) {
+    Database db(ldbc::generate_ldbc(cfg), machine_counts[m]);
+    latency[m] = round_robin(db, texts, repeats).median_latency_ms;
+  }
+
+  std::printf("%-6s", "query");
+  for (const unsigned m : machine_counts) std::printf("   %5um", m);
+  std::printf("   speedup 4->16\n");
+  std::vector<double> totals(std::size(machine_counts), 0.0);
+  for (std::size_t q = 0; q < workload.size(); ++q) {
+    std::printf("%-6s", workload[q].id.c_str());
+    for (std::size_t m = 0; m < std::size(machine_counts); ++m) {
+      totals[m] += latency[m][q];
+      std::printf(" %7.2f", latency[m][q]);
+    }
+    std::printf("   %10.2fx\n", latency[2][q] / latency[4][q]);
+  }
+  std::printf("%-6s", "total");
+  for (const double t : totals) std::printf(" %7.2f", t);
+  std::printf("   %10.2fx\n", totals[2] / totals[4]);
+  std::printf("\n(latencies in ms; speedup = 4-machine total / 16-machine "
+              "total; paper reports 4.4x on real hardware)\n");
+  return 0;
+}

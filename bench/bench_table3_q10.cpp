@@ -1,0 +1,72 @@
+// Table 3 reproduction: per-depth matches / eliminated / duplicated in
+// the RPQ control stage of Q10 (persons within 2–3 Knows hops of one
+// person), plus the index-size accounting of §4.4.
+//
+// Paper values on LDBC SF100 for orientation:
+//   depth  matches   eliminated  duplicated
+//     0          1           0           0
+//     1         35           0           0
+//     2      19978        4036       12969
+//     3    2700017     2334441           0
+//   index: 4.4MB dynamic size. Duplications appear at depth 2 because
+//   deeper work is prioritized; eliminations dominate depth 3.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/queries.h"
+
+int main() {
+  using namespace rpqd;
+  using namespace rpqd::bench;
+
+  const auto cfg = bench_ldbc_config();
+  const int repeats = bench_repeats();
+  ldbc::LdbcStats gstats;
+  print_header("Table 3: RPQ control-stage statistics of Q10");
+  Graph graph = ldbc::generate_ldbc(cfg, &gstats);
+  std::printf("LDBC-like sf=%.2f: %zu persons, %zu knows edges\n\n",
+              cfg.scale_factor, gstats.persons, gstats.knows_edges);
+
+  const std::string q10 =
+      "SELECT COUNT(*) FROM MATCH (p1:Person) -/:knows{2,3}/- (p2:Person) "
+      "WHERE p1.id = 7";
+  Database db(std::move(graph), 8);
+  QueryResult result;
+  const double ms = median_ms([&] { result = db.query(q10); }, repeats);
+  const auto& rpq = result.stats.rpq[0];
+
+  std::printf("%6s %12s %12s %12s\n", "depth", "num.matches", "eliminated",
+              "duplicated");
+  for (std::size_t d = 0; d < rpq.matches_per_depth.size(); ++d) {
+    const auto at = [&](const std::vector<std::uint64_t>& v) {
+      return d < v.size() ? v[d] : 0;
+    };
+    std::printf("%6zu %12llu %12llu %12llu\n", d,
+                static_cast<unsigned long long>(at(rpq.matches_per_depth)),
+                static_cast<unsigned long long>(at(rpq.eliminated_per_depth)),
+                static_cast<unsigned long long>(at(rpq.duplicated_per_depth)));
+  }
+  std::printf("\nmatched persons:     %llu (latency %.2f ms)\n",
+              static_cast<unsigned long long>(result.count), ms);
+  std::printf("index entries/bytes: %llu / %llu "
+              "(= matches - eliminated - duplicated, 12 B each)\n",
+              static_cast<unsigned long long>(rpq.index_entries),
+              static_cast<unsigned long long>(rpq.index_bytes));
+  // §4.4 identity, restricted to the quantifier window: traversals below
+  // min_hop create no entries (§4.5), so depths 0..1 are excluded.
+  std::uint64_t in_window = 0;
+  for (std::size_t d = 2; d < rpq.matches_per_depth.size(); ++d) {
+    in_window += rpq.matches_per_depth[d];
+  }
+  const auto expected =
+      in_window - rpq.total_eliminated() - rpq.total_duplicated();
+  std::printf("identity check:      in-window matches - elim - dup = %llu "
+              "(%s)\n",
+              static_cast<unsigned long long>(expected),
+              expected == rpq.index_entries ? "holds, as in §4.4"
+                                            : "MISMATCH");
+  std::printf("flow control:        blocked %llu times (paper: Q10 never "
+              "triggers flow control)\n",
+              static_cast<unsigned long long>(result.stats.flow_blocked));
+  return 0;
+}

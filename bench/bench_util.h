@@ -1,0 +1,93 @@
+// Shared helpers for the benchmark harnesses: the paper's methodology
+// (§4.1 — repeated runs, median latency, round-robin execution to
+// eliminate caching effects), environment-variable sizing, and table
+// printing.
+//
+// Environment knobs (all optional):
+//   RPQD_BENCH_SF       LDBC-like scale factor        (default 0.5)
+//   RPQD_BENCH_REPEATS  runs per query, median taken  (default 3; paper 10)
+//   RPQD_BENCH_SEED     generator seed                (default 7)
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/rpqd.h"
+#include "common/stopwatch.h"
+#include "ldbc/generator.h"
+
+namespace rpqd::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+inline double bench_scale_factor() { return env_double("RPQD_BENCH_SF", 1.0); }
+inline int bench_repeats() { return env_int("RPQD_BENCH_REPEATS", 3); }
+inline std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(env_int("RPQD_BENCH_SEED", 7));
+}
+
+inline ldbc::LdbcConfig bench_ldbc_config() {
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = bench_scale_factor();
+  cfg.seed = bench_seed();
+  return cfg;
+}
+
+inline double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values.empty() ? 0.0 : values[values.size() / 2];
+}
+
+/// Latency measurement of one already-built callable, median of N runs.
+template <typename Fn>
+double median_ms(Fn&& fn, int repeats) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch timer;
+    fn();
+    samples.push_back(timer.elapsed_ms());
+  }
+  return median(samples);
+}
+
+/// Round-robin run of a query list (the paper's methodology): every query
+/// executes once per round; per-query medians over rounds.
+struct RoundRobinResult {
+  std::vector<double> median_latency_ms;  // per query
+  std::vector<QueryResult> last_result;   // per query
+};
+
+inline RoundRobinResult round_robin(Database& db,
+                                    const std::vector<std::string>& queries,
+                                    int rounds) {
+  std::vector<std::vector<double>> samples(queries.size());
+  RoundRobinResult out;
+  out.last_result.resize(queries.size());
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      Stopwatch timer;
+      out.last_result[q] = db.query(queries[q]);
+      samples[q].push_back(timer.elapsed_ms());
+    }
+  }
+  for (auto& s : samples) out.median_latency_ms.push_back(median(s));
+  return out;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace rpqd::bench

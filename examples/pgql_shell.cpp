@@ -1,0 +1,95 @@
+// Interactive PGQL shell over a synthetic LDBC-like graph: type queries,
+// get rows/counts, plans (EXPLAIN <query>), and runtime statistics
+// (STATS <query>). Useful for exploring the engine's behaviour by hand.
+//
+//   ./build/examples/pgql_shell [scale_factor] [machines]
+//   rpqd> SELECT COUNT(*) FROM MATCH (a:Person) -/:knows{1,2}/- (b)
+//   rpqd> EXPLAIN SELECT COUNT(*) FROM MATCH (p:Post) <-/:replyOf+/- (c)
+//   rpqd> \q
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "api/rpqd.h"
+#include "ldbc/generator.h"
+
+namespace {
+
+bool starts_with_keyword(const std::string& line, const char* kw,
+                         std::string* rest) {
+  std::size_t i = 0;
+  while (kw[i] != '\0') {
+    if (i >= line.size() ||
+        std::toupper(static_cast<unsigned char>(line[i])) != kw[i]) {
+      return false;
+    }
+    ++i;
+  }
+  *rest = line.substr(i);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rpqd;
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = argc > 1 ? std::atof(argv[1]) : 0.2;
+  const unsigned machines = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  ldbc::LdbcStats stats;
+  Database db(ldbc::generate_ldbc(cfg, &stats), machines);
+  std::printf(
+      "rpqd shell — LDBC-like graph sf=%.2f (%zu vertices, %zu edges), "
+      "%u machines\n"
+      "labels: Person Forum Post Comment Tag City Country; edges: knows "
+      "replyOf hasModerator containerOf hasCreator isLocatedIn isPartOf "
+      "hasTag\n"
+      "commands: EXPLAIN <q> | STATS <q> (incl. per-stage table) | \\q\n",
+      cfg.scale_factor, stats.total_vertices, stats.total_edges, machines);
+
+  std::string line;
+  while (true) {
+    std::printf("rpqd> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\q" || line == "quit" || line == "exit") break;
+    try {
+      std::string rest;
+      if (starts_with_keyword(line, "EXPLAIN ", &rest)) {
+        std::printf("%s", db.explain(rest).c_str());
+        continue;
+      }
+      const bool want_stats = starts_with_keyword(line, "STATS ", &rest);
+      const auto result = db.query(want_stats ? rest : line);
+      if (result.columns.empty()) {
+        std::printf("count: %llu\n",
+                    static_cast<unsigned long long>(result.count));
+      } else {
+        for (const auto& name : result.columns) {
+          std::printf("%s\t", name.c_str());
+        }
+        std::printf("\n");
+        const std::size_t shown = std::min<std::size_t>(result.rows.size(), 25);
+        for (std::size_t i = 0; i < shown; ++i) {
+          for (const auto& cell : result.rows[i]) {
+            std::printf("%s\t", cell.c_str());
+          }
+          std::printf("\n");
+        }
+        if (shown < result.rows.size()) {
+          std::printf("... (%zu rows total)\n", result.rows.size());
+        }
+      }
+      if (want_stats) {
+        std::printf("%s\n%s", result.stats.summary().c_str(),
+                    result.stats.stage_table().c_str());
+      }
+    } catch (const Error& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "api/reach_graph.h"
+
+#include <charconv>
+
+#include "common/error.h"
+
+namespace rpqd {
+
+GraphBuilder rebuild_graph(const Graph& graph) {
+  GraphBuilder b;
+  const Catalog& cat = graph.catalog();
+  // Vertices, labels, vertex properties.
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const VertexId copy = b.add_vertex(cat.vertex_label_name(graph.label(v)));
+    engine_check(copy == v, "rebuild_graph: vertex ids must be dense");
+    for (PropId p = 0; p < cat.num_properties(); ++p) {
+      const Value value = graph.property(v, p);
+      if (is_null(value)) continue;
+      const PropId np =
+          b.catalog().property(cat.property_name(p), cat.property_type(p));
+      if (value.type == ValueType::kString) {
+        b.set_string_property(v, cat.property_name(p),
+                              cat.string_name(as_string_id(value)));
+      } else {
+        b.set_property(v, np, value);
+      }
+    }
+  }
+  // Edges + edge properties (the out-CSR covers each edge exactly once).
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto [begin, end] = graph.out().range(v);
+    for (std::size_t i = begin; i < end; ++i) {
+      const AdjEntry& entry = graph.out().entry(i);
+      const EdgeId e =
+          b.add_edge(v, entry.other, cat.edge_label_name(entry.elabel));
+      for (PropId p = 0; p < cat.num_properties(); ++p) {
+        const Value value = graph.out().edge_property(i, p);
+        if (is_null(value)) continue;
+        const PropId np =
+            b.catalog().property(cat.property_name(p), cat.property_type(p));
+        b.set_edge_property(e, np, value);
+      }
+    }
+  }
+  return b;
+}
+
+namespace {
+
+VertexId parse_vertex_id(const std::string& cell) {
+  VertexId value = 0;
+  const auto result =
+      std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (result.ec != std::errc{} || result.ptr != cell.data() + cell.size()) {
+    throw QueryError(
+        "materialize_reachability: projection cell '" + cell +
+        "' is not a vertex id — project id(a), id(b)");
+  }
+  return value;
+}
+
+}  // namespace
+
+Graph materialize_reachability(Database& db, std::string_view pairs_query,
+                               std::string_view new_edge_label) {
+  const QueryResult result = db.query(pairs_query);
+  if (result.columns.size() != 2) {
+    throw QueryError(
+        "materialize_reachability: the query must project exactly two "
+        "vertex ids (got " +
+        std::to_string(result.columns.size()) + " columns)");
+  }
+  GraphBuilder b = rebuild_graph(db.graph());
+  const std::size_t n = db.graph().num_vertices();
+  for (const auto& row : result.rows) {
+    const VertexId src = parse_vertex_id(row[0]);
+    const VertexId dst = parse_vertex_id(row[1]);
+    engine_check(src < n && dst < n,
+                 "materialize_reachability: id out of range");
+    b.add_edge(src, dst, new_edge_label);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace rpqd

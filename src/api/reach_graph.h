@@ -1,0 +1,37 @@
+// Reachability-graph materialization — the §5 extension: "when provided
+// with a generated reachability graph, RPQd can run a fast RPQ pattern
+// matching without compromising performance and memory consumption".
+//
+// materialize_reachability() evaluates a pair-producing query (typically
+// the RPQ whose repeated evaluation you want to amortize) and returns a
+// copy of the database's graph extended with one new edge per result
+// pair. Subsequent queries replace the expensive variable-length segment
+// with a cheap fixed edge over the new label:
+//
+//   Graph g2 = materialize_reachability(
+//       db, "SELECT id(a), id(b) FROM MATCH (a:Person) -/:knows{2,3}/- "
+//           "(b:Person)", "knows2to3");
+//   rpqd::Database db2(std::move(g2), 4);
+//   db2.query("SELECT COUNT(*) FROM MATCH (a) -[:knows2to3]-> (b) "
+//             "WHERE a.id = 7");
+#pragma once
+
+#include <string_view>
+
+#include "api/rpqd.h"
+
+namespace rpqd {
+
+/// Deep-copies a graph through the public interface (vertices, labels,
+/// vertex/edge properties, edges). Useful for augmenting an immutable
+/// graph.
+GraphBuilder rebuild_graph(const Graph& graph);
+
+/// Runs `pairs_query`, which must project exactly two vertex ids
+/// (`SELECT id(a), id(b) FROM MATCH ...`), and returns the database's
+/// graph extended with one `new_edge_label` edge per result pair.
+/// Throws QueryError if the projection does not produce vertex pairs.
+Graph materialize_reachability(Database& db, std::string_view pairs_query,
+                               std::string_view new_edge_label);
+
+}  // namespace rpqd

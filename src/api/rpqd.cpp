@@ -1,0 +1,20 @@
+#include "api/rpqd.h"
+
+namespace rpqd {
+
+Database::Database(Graph graph, unsigned num_machines, EngineConfig config) {
+  auto shared = std::make_shared<const Graph>(std::move(graph));
+  partitioned_ = std::make_shared<const PartitionedGraph>(std::move(shared),
+                                                          num_machines);
+  engine_ = std::make_unique<DistributedEngine>(partitioned_, config);
+}
+
+QueryResult Database::query(std::string_view pgql) {
+  return engine_->execute(pgql);
+}
+
+std::string Database::explain(std::string_view pgql) const {
+  return engine_->explain(pgql);
+}
+
+}  // namespace rpqd

@@ -1,0 +1,59 @@
+// Public entry point of the RPQd library.
+//
+//   #include "api/rpqd.h"
+//
+//   rpqd::GraphBuilder builder;
+//   ... add vertices/edges ...
+//   rpqd::Database db(std::move(builder).build(), /*num_machines=*/4);
+//   auto result = db.query(
+//       "SELECT COUNT(*) FROM MATCH (a:Person) -/:knows{1,3}/- (b:Person)");
+//
+// A Database owns an immutable property graph, hash-partitioned across a
+// simulated cluster of `num_machines` machines, and executes PGQL-subset
+// queries with the distributed asynchronous RPQ runtime described in the
+// paper (see README.md for the supported grammar).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/config.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "runtime/engine.h"
+
+namespace rpqd {
+
+class Database {
+ public:
+  /// Partitions `graph` across `num_machines` simulated machines.
+  explicit Database(Graph graph, unsigned num_machines = 4,
+                    EngineConfig config = {});
+
+  /// Parses, plans, and executes a PGQL query.
+  QueryResult query(std::string_view pgql);
+
+  /// Parses and plans once; the returned PreparedQuery executes
+  /// repeatedly without recompilation (valid while this Database lives).
+  PreparedQuery prepare(std::string_view pgql) {
+    return engine_->prepare(pgql);
+  }
+
+  /// Returns the EXPLAIN rendering of the plan without executing.
+  std::string explain(std::string_view pgql) const;
+
+  const Graph& graph() const { return partitioned_->global(); }
+  const PartitionedGraph& partitioned() const { return *partitioned_; }
+  unsigned num_machines() const { return partitioned_->num_machines(); }
+
+  /// Engine configuration (mutable: flow-control sizes, index toggle...).
+  EngineConfig& config() { return engine_->mutable_config(); }
+  const EngineConfig& config() const { return engine_->config(); }
+
+ private:
+  std::shared_ptr<const PartitionedGraph> partitioned_;
+  std::unique_ptr<DistributedEngine> engine_;
+};
+
+}  // namespace rpqd

@@ -1,0 +1,202 @@
+#include "baseline/bft.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/stopwatch.h"
+
+namespace rpqd::baseline {
+
+namespace {
+
+// (source, vertex) state; 16 bytes, the unit of frontier/visited memory.
+struct Pair {
+  VertexId src;
+  VertexId v;
+  bool operator==(const Pair&) const = default;
+};
+
+struct PairHash {
+  std::size_t operator()(const Pair& p) const {
+    return mix64(p.src * 0x9e3779b97f4a7c15ULL + p.v);
+  }
+};
+
+// (source, vertex, depth) visited state: BFT must keep per-depth states,
+// otherwise a destination first reached below min_hop would never be
+// counted when a longer in-window walk exists.
+struct Triple {
+  VertexId src;
+  VertexId v;
+  Depth depth;
+  bool operator==(const Triple&) const = default;
+};
+
+struct TripleHash {
+  std::size_t operator()(const Triple& t) const {
+    return mix64(t.src * 0x9e3779b97f4a7c15ULL + t.v * 31 + t.depth);
+  }
+};
+
+std::vector<LabelId> resolve_vlabels(const Catalog& cat,
+                                     const std::vector<std::string>& names) {
+  std::vector<LabelId> out;
+  for (const auto& n : names) {
+    if (const auto id = cat.find_vertex_label(n)) out.push_back(*id);
+  }
+  return out;
+}
+
+std::vector<LabelId> resolve_elabels(const Catalog& cat,
+                                     const std::vector<std::string>& names) {
+  std::vector<LabelId> out;
+  for (const auto& n : names) {
+    if (const auto id = cat.find_edge_label(n)) out.push_back(*id);
+  }
+  return out;
+}
+
+bool label_in(LabelId l, const std::vector<LabelId>& set) {
+  return set.empty() || std::find(set.begin(), set.end(), l) != set.end();
+}
+
+}  // namespace
+
+BftResult BftEngine::run(const BftTask& task) const {
+  Stopwatch timer;
+  BftResult result;
+  const unsigned machines = graph_.num_machines();
+  const Catalog& cat = graph_.catalog();
+  const auto src_labels = resolve_vlabels(cat, task.source_labels);
+  const auto dst_labels = resolve_vlabels(cat, task.dest_labels);
+  const auto elabels = resolve_elabels(cat, task.edge_labels);
+  const bool want_src_missing =
+      !task.source_labels.empty() && src_labels.empty();
+  const bool want_dst_missing = !task.dest_labels.empty() && dst_labels.empty();
+
+  // Per-machine visited state sets (the memory hog), counted-destination
+  // sets, and frontiers.
+  std::vector<std::unordered_set<Triple, TripleHash>> visited(machines);
+  std::vector<std::unordered_set<Pair, PairHash>> counted(machines);
+  std::vector<std::vector<Pair>> frontier(machines);
+  std::uint64_t matched = 0;
+
+  const auto count_dest = [&](MachineId m, const Pair& p) {
+    if (want_dst_missing) return;
+    const Partition& part = graph_.partition(m);
+    const LocalVertexId lv = *part.to_local(p.v);
+    if (!label_in(part.label(lv), dst_labels)) return;
+    if (counted[m].insert(p).second) ++matched;
+  };
+
+  // Seed the frontier.
+  const auto id_prop = cat.find_property("id");
+  if (!want_src_missing) {
+    for (unsigned m = 0; m < machines; ++m) {
+      const Partition& part = graph_.partition(m);
+      for (LocalVertexId lv = 0; lv < part.num_local(); ++lv) {
+        const VertexId v = part.to_global(lv);
+        if (task.single_source != kInvalidVertex && v != task.single_source) {
+          continue;
+        }
+        if (!label_in(part.label(lv), src_labels)) continue;
+        if (task.source_id_max >= 0) {
+          if (!id_prop) continue;
+          const Value id = part.property(lv, *id_prop);
+          if (id.type != ValueType::kInt || as_int(id) > task.source_id_max) {
+            continue;
+          }
+        }
+        const Pair p{v, v};
+        visited[m].insert({v, v, 0});
+        frontier[m].push_back(p);
+        if (task.min_hop == 0) count_dest(static_cast<MachineId>(m), p);
+      }
+    }
+  }
+
+  // Unbounded windows clamp the visited-state depth at min_hop: beyond
+  // min, longer walks add no new destinations (see reference.cpp). The
+  // level loop still advances by real depth, but states saturate.
+  const bool unbounded = task.max_hop == kUnboundedDepth;
+  const Depth cap = unbounded
+                        ? static_cast<Depth>(graph_.global().num_vertices()) +
+                              task.min_hop
+                        : task.max_hop;
+  const Depth state_cap = unbounded ? task.min_hop : task.max_hop;
+
+  std::uint64_t state_bytes = 0;
+  const auto track_peak = [&] {
+    std::uint64_t bytes = 0;
+    for (unsigned m = 0; m < machines; ++m) {
+      bytes += visited[m].size() * sizeof(Triple) +
+               counted[m].size() * sizeof(Pair) +
+               frontier[m].size() * sizeof(Pair);
+    }
+    state_bytes = std::max(state_bytes, bytes);
+  };
+  track_peak();
+
+  for (Depth depth = 1; depth <= cap; ++depth) {
+    std::vector<std::vector<Pair>> outgoing(machines);
+    bool any = false;
+    for (unsigned m = 0; m < machines; ++m) {
+      const Partition& part = graph_.partition(m);
+      for (const Pair& p : frontier[m]) {
+        const LocalVertexId lv = *part.to_local(p.v);
+        const auto expand = [&](Direction d, bool skip_self) {
+          const Adjacency& adj = part.adjacency(d);
+          const auto scan = [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              const AdjEntry& e = adj.entry(i);
+              if (skip_self && e.other == p.v) continue;
+              outgoing[graph_.owner(e.other)].push_back({p.src, e.other});
+            }
+          };
+          if (elabels.empty()) {
+            const auto [begin, end] = adj.range(lv);
+            scan(begin, end);
+          } else {
+            for (const LabelId l : elabels) {
+              const auto [begin, end] = adj.label_range(lv, l);
+              scan(begin, end);
+            }
+          }
+        };
+        if (task.dir == Direction::kOut || task.dir == Direction::kBoth) {
+          expand(Direction::kOut, false);
+        }
+        if (task.dir == Direction::kIn) {
+          expand(Direction::kIn, false);
+        } else if (task.dir == Direction::kBoth) {
+          expand(Direction::kIn, true);
+        }
+      }
+      frontier[m].clear();
+    }
+    // Exchange + receiver-side dedup (level-synchronous superstep).
+    const Depth state_depth = std::min(depth, state_cap);
+    for (unsigned m = 0; m < machines; ++m) {
+      result.messages += outgoing[m].empty() ? 0 : 1;
+      for (const Pair& p : outgoing[m]) {
+        if (!visited[m].insert({p.src, p.v, state_depth}).second) continue;
+        any = true;
+        frontier[m].push_back(p);
+        if (depth >= task.min_hop) count_dest(static_cast<MachineId>(m), p);
+      }
+    }
+    track_peak();
+    if (!any) break;
+    result.max_depth = depth;
+  }
+
+  result.count = matched;
+  result.peak_state_bytes = state_bytes;
+  result.elapsed_ms = timer.elapsed_ms();
+  return result;
+}
+
+}  // namespace rpqd::baseline

@@ -1,0 +1,55 @@
+// Distributed breadth-first-traversal RPQ engine — the alternative the
+// paper positions RPQd against (§2, §5 "more specialized algorithms like
+// BFT might be a better fit if sacrificing low memory consumption ... is
+// acceptable").
+//
+// Level-synchronous supersteps over the same PartitionedGraph: every
+// machine expands its slice of the (source, vertex) frontier one depth at
+// a time and exchanges the remote successors. Per-source deduplication
+// needs a materialized visited set of (source, vertex, depth) states —
+// the memory cost RPQd's DFT + flow control avoids. The engine reports
+// peak frontier/visited bytes so the ablation bench can plot latency
+// against memory for both designs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/partition.h"
+
+namespace rpqd::baseline {
+
+/// A single-RPQ reachability task: (src with labels) -/:labels{min,max}/-
+/// (dst with labels). This covers every RPQ the evaluation section runs.
+struct BftTask {
+  std::vector<std::string> source_labels;  // empty = all vertices
+  VertexId single_source = kInvalidVertex;  // set: start from one vertex
+  /// >= 0: restrict sources to vertices whose "id" property is <= this.
+  std::int64_t source_id_max = -1;
+  Direction dir = Direction::kOut;
+  std::vector<std::string> edge_labels;
+  Depth min_hop = 1;
+  Depth max_hop = 1;  // kUnboundedDepth = unbounded
+  std::vector<std::string> dest_labels;  // empty = all
+};
+
+struct BftResult {
+  std::uint64_t count = 0;  // (source, destination) pairs, deduplicated
+  double elapsed_ms = 0.0;
+  std::uint64_t peak_state_bytes = 0;  // frontier + visited high-water mark
+  std::uint64_t messages = 0;          // cross-machine frontier transfers
+  Depth max_depth = 0;
+};
+
+class BftEngine {
+ public:
+  explicit BftEngine(const PartitionedGraph& graph) : graph_(graph) {}
+
+  BftResult run(const BftTask& task) const;
+
+ private:
+  const PartitionedGraph& graph_;
+};
+
+}  // namespace rpqd::baseline

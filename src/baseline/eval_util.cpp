@@ -1,0 +1,252 @@
+#include "baseline/eval_util.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace rpqd::baseline {
+
+using pgql::BinOp;
+using pgql::Expr;
+using pgql::ExprKind;
+using pgql::UnOp;
+
+RVal RVal::of_int(std::int64_t x) {
+  RVal r;
+  r.kind = Kind::kInt;
+  r.i = x;
+  return r;
+}
+RVal RVal::of_double(double x) {
+  RVal r;
+  r.kind = Kind::kDouble;
+  r.d = x;
+  return r;
+}
+RVal RVal::of_bool(bool x) {
+  RVal r;
+  r.kind = Kind::kBool;
+  r.b = x;
+  return r;
+}
+RVal RVal::of_str(std::string x) {
+  RVal r;
+  r.kind = Kind::kStr;
+  r.s = std::move(x);
+  return r;
+}
+RVal RVal::of_vertex(VertexId x) {
+  RVal r;
+  r.kind = Kind::kVertex;
+  r.v = x;
+  return r;
+}
+
+RVal from_value(const Value& v, const Catalog& cat) {
+  switch (v.type) {
+    case ValueType::kNull: return RVal::null();
+    case ValueType::kBool: return RVal::of_bool(as_bool(v));
+    case ValueType::kInt: return RVal::of_int(as_int(v));
+    case ValueType::kDouble: return RVal::of_double(as_double(v));
+    case ValueType::kString:
+      return RVal::of_str(cat.string_name(as_string_id(v)));
+    case ValueType::kVertex: return RVal::of_vertex(as_vertex(v));
+  }
+  return RVal::null();
+}
+
+std::optional<int> compare(const RVal& a, const RVal& b) {
+  using K = RVal::Kind;
+  if (a.is_null() || b.is_null()) return std::nullopt;
+  const auto num = [](const RVal& x) -> std::optional<double> {
+    if (x.kind == K::kInt) return static_cast<double>(x.i);
+    if (x.kind == K::kDouble) return x.d;
+    if (x.kind == K::kVertex) return static_cast<double>(x.v);
+    return std::nullopt;
+  };
+  if (const auto na = num(a)) {
+    if (const auto nb = num(b)) {
+      return *na < *nb ? -1 : (*na > *nb ? 1 : 0);
+    }
+  }
+  if (a.kind == K::kStr && b.kind == K::kStr) {
+    return a.s < b.s ? -1 : (a.s > b.s ? 1 : 0);
+  }
+  if (a.kind == K::kBool && b.kind == K::kBool) {
+    return static_cast<int>(a.b) - static_cast<int>(b.b);
+  }
+  return std::nullopt;
+}
+
+RVal eval(const Expr& e, const Graph& g, const Binding& bind) {
+  switch (e.kind) {
+    case ExprKind::kIntLit: return RVal::of_int(e.int_value);
+    case ExprKind::kDoubleLit: return RVal::of_double(e.double_value);
+    case ExprKind::kStringLit: return RVal::of_str(e.text);
+    case ExprKind::kBoolLit: return RVal::of_bool(e.bool_value);
+    case ExprKind::kPropRef: {
+      const auto it = bind.find(e.text);
+      if (it == bind.end()) {
+        throw QueryError("baseline: unknown variable '" + e.text + "'");
+      }
+      const auto prop = g.catalog().find_property(e.prop);
+      if (!prop) return RVal::null();
+      return from_value(g.property(it->second, *prop), g.catalog());
+    }
+    case ExprKind::kIdFunc: {
+      const auto it = bind.find(e.text);
+      if (it == bind.end()) {
+        throw QueryError("baseline: unknown variable '" + e.text + "'");
+      }
+      return RVal::of_vertex(it->second);
+    }
+    case ExprKind::kLabelFunc: {
+      const auto it = bind.find(e.text);
+      if (it == bind.end()) {
+        throw QueryError("baseline: unknown variable '" + e.text + "'");
+      }
+      return RVal::of_str(g.catalog().vertex_label_name(g.label(it->second)));
+    }
+    case ExprKind::kUnary: {
+      const RVal x = eval(*e.lhs, g, bind);
+      if (e.un_op == UnOp::kNot) {
+        if (x.kind != RVal::Kind::kBool) return RVal::null();
+        return RVal::of_bool(!x.b);
+      }
+      if (x.kind == RVal::Kind::kInt) return RVal::of_int(-x.i);
+      if (x.kind == RVal::Kind::kDouble) return RVal::of_double(-x.d);
+      return RVal::null();
+    }
+    case ExprKind::kBinary: {
+      const RVal a = eval(*e.lhs, g, bind);
+      if (e.bin_op == BinOp::kAnd) {
+        if (a.kind == RVal::Kind::kBool && !a.b) return RVal::of_bool(false);
+        const RVal b = eval(*e.rhs, g, bind);
+        if (a.is_null() || b.is_null()) return RVal::null();
+        return RVal::of_bool(a.b && b.b);
+      }
+      if (e.bin_op == BinOp::kOr) {
+        if (a.kind == RVal::Kind::kBool && a.b) return RVal::of_bool(true);
+        const RVal b = eval(*e.rhs, g, bind);
+        if (a.is_null() || b.is_null()) return RVal::null();
+        return RVal::of_bool(a.b || b.b);
+      }
+      const RVal b = eval(*e.rhs, g, bind);
+      switch (e.bin_op) {
+        case BinOp::kAdd:
+        case BinOp::kSub:
+        case BinOp::kMul:
+        case BinOp::kDiv:
+        case BinOp::kMod: {
+          if (a.kind == RVal::Kind::kInt && b.kind == RVal::Kind::kInt) {
+            switch (e.bin_op) {
+              case BinOp::kAdd: return RVal::of_int(a.i + b.i);
+              case BinOp::kSub: return RVal::of_int(a.i - b.i);
+              case BinOp::kMul: return RVal::of_int(a.i * b.i);
+              case BinOp::kDiv:
+                return b.i == 0 ? RVal::null() : RVal::of_int(a.i / b.i);
+              case BinOp::kMod:
+                return b.i == 0 ? RVal::null() : RVal::of_int(a.i % b.i);
+              default: break;
+            }
+          }
+          const auto num = [](const RVal& x) -> std::optional<double> {
+            if (x.kind == RVal::Kind::kInt) return static_cast<double>(x.i);
+            if (x.kind == RVal::Kind::kDouble) return x.d;
+            return std::nullopt;
+          };
+          const auto na = num(a);
+          const auto nb = num(b);
+          if (!na || !nb) return RVal::null();
+          switch (e.bin_op) {
+            case BinOp::kAdd: return RVal::of_double(*na + *nb);
+            case BinOp::kSub: return RVal::of_double(*na - *nb);
+            case BinOp::kMul: return RVal::of_double(*na * *nb);
+            case BinOp::kDiv: return RVal::of_double(*na / *nb);
+            default: return RVal::null();
+          }
+        }
+        default: {
+          const auto cmp = compare(a, b);
+          if (!cmp) return RVal::null();
+          switch (e.bin_op) {
+            case BinOp::kEq: return RVal::of_bool(*cmp == 0);
+            case BinOp::kNe: return RVal::of_bool(*cmp != 0);
+            case BinOp::kLt: return RVal::of_bool(*cmp < 0);
+            case BinOp::kLe: return RVal::of_bool(*cmp <= 0);
+            case BinOp::kGt: return RVal::of_bool(*cmp > 0);
+            case BinOp::kGe: return RVal::of_bool(*cmp >= 0);
+            default: return RVal::null();
+          }
+        }
+      }
+    }
+  }
+  return RVal::null();
+}
+
+bool eval_bool(const Expr& e, const Graph& g, const Binding& bind) {
+  const RVal r = eval(e, g, bind);
+  return r.kind == RVal::Kind::kBool && r.b;
+}
+
+bool label_ok(const Graph& g, VertexId v,
+              const std::vector<std::string>& labels) {
+  if (labels.empty()) return true;
+  const std::string& name = g.catalog().vertex_label_name(g.label(v));
+  return std::find(labels.begin(), labels.end(), name) != labels.end();
+}
+
+void for_each_neighbor(const Graph& g, VertexId v, Direction dir,
+                       const std::vector<std::string>& labels,
+                       const std::function<void(VertexId)>& fn) {
+  const auto scan = [&](const Adjacency& adj, bool skip_self) {
+    const auto [begin, end] = adj.range(v);
+    for (std::size_t i = begin; i < end; ++i) {
+      const AdjEntry& e = adj.entry(i);
+      if (skip_self && e.other == v) continue;
+      if (!labels.empty()) {
+        const std::string& name = g.catalog().edge_label_name(e.elabel);
+        if (std::find(labels.begin(), labels.end(), name) == labels.end()) {
+          continue;
+        }
+      }
+      fn(e.other);
+    }
+  };
+  if (dir == Direction::kOut || dir == Direction::kBoth) scan(g.out(), false);
+  if (dir == Direction::kIn) {
+    scan(g.in(), false);
+  } else if (dir == Direction::kBoth) {
+    scan(g.in(), true);  // self-loops already covered by the out leg
+  }
+}
+
+std::size_t count_edges(const Graph& g, VertexId a, VertexId b, Direction dir,
+                        const std::vector<std::string>& labels) {
+  std::size_t count = 0;
+  const auto count_leg = [&](Direction d, bool skip_self) {
+    for_each_neighbor(g, a, d, labels, [&](VertexId other) {
+      if (other == b && !(skip_self && b == a)) ++count;
+    });
+  };
+  if (dir == Direction::kBoth) {
+    count_leg(Direction::kOut, false);
+    if (b != a) count_leg(Direction::kIn, false);
+    return count;
+  }
+  count_leg(dir, false);
+  return count;
+}
+
+void flatten_and(const Expr* e, std::vector<const Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->bin_op == BinOp::kAnd) {
+    flatten_and(e->lhs.get(), out);
+    flatten_and(e->rhs.get(), out);
+    return;
+  }
+  out.push_back(e);
+}
+
+}  // namespace rpqd::baseline

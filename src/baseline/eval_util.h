@@ -1,0 +1,66 @@
+// Shared AST-interpretation utilities for the baseline engines: a small
+// boxed value type, a direct AST expression interpreter over global-graph
+// bindings, and neighbor iteration helpers. Deliberately independent of
+// the distributed engine's compiled expressions — the baselines double as
+// correctness oracles, so they must not share its evaluation code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pgql/ast.h"
+
+namespace rpqd::baseline {
+
+struct RVal {
+  enum class Kind { kNull, kInt, kDouble, kBool, kStr, kVertex } kind =
+      Kind::kNull;
+  std::int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+  std::string s;
+  VertexId v = kInvalidVertex;
+
+  static RVal null() { return {}; }
+  static RVal of_int(std::int64_t x);
+  static RVal of_double(double x);
+  static RVal of_bool(bool x);
+  static RVal of_str(std::string x);
+  static RVal of_vertex(VertexId x);
+  bool is_null() const { return kind == Kind::kNull; }
+};
+
+using Binding = std::unordered_map<std::string, VertexId>;
+
+RVal from_value(const Value& v, const Catalog& cat);
+std::optional<int> compare(const RVal& a, const RVal& b);
+
+/// Interprets an AST expression against vertex bindings on the global
+/// graph. Throws QueryError on unknown variables.
+RVal eval(const pgql::Expr& e, const Graph& g, const Binding& bind);
+bool eval_bool(const pgql::Expr& e, const Graph& g, const Binding& bind);
+
+/// True when v's label name is in `labels` (empty = unconstrained).
+bool label_ok(const Graph& g, VertexId v,
+              const std::vector<std::string>& labels);
+
+/// Calls fn once per incident edge matching dir + edge-label names.
+/// For kBoth, self-loops are visited once (out leg only).
+void for_each_neighbor(const Graph& g, VertexId v, Direction dir,
+                       const std::vector<std::string>& labels,
+                       const std::function<void(VertexId)>& fn);
+
+/// Number of parallel edges a->b matching dir + labels (kBoth counts a
+/// self-loop once).
+std::size_t count_edges(const Graph& g, VertexId a, VertexId b, Direction dir,
+                        const std::vector<std::string>& labels);
+
+/// Flattens a conjunction tree into its top-level conjuncts.
+void flatten_and(const pgql::Expr* e, std::vector<const pgql::Expr*>& out);
+
+}  // namespace rpqd::baseline

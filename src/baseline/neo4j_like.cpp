@@ -1,0 +1,14 @@
+#include "baseline/neo4j_like.h"
+
+#include "baseline/reference.h"
+#include "common/stopwatch.h"
+
+namespace rpqd::baseline {
+
+BaselineResult Neo4jLikeEngine::execute(std::string_view pgql_text) const {
+  Stopwatch timer;
+  const ReferenceResult r = reference_evaluate(pgql_text, graph_);
+  return {r.count, timer.elapsed_ms()};
+}
+
+}  // namespace rpqd::baseline

@@ -1,0 +1,35 @@
+// Neo4j-like comparator: a single-machine, single-threaded graph engine
+// that evaluates patterns in textual order with per-source BFS expansion
+// for variable-length segments — the algorithmic shape of Cypher's
+// var-length expand on one box (§4.1 "Neo4j" configuration).
+//
+// This comparator exists to reproduce the *shape* of Figure 2 (who wins,
+// by roughly what factor); it shares the reference evaluator's matching
+// core (naive order, BFS, no cost-based planning, no distribution), which
+// is precisely what makes it a fair stand-in for a disk-cached
+// single-machine engine rather than a straw man.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "graph/graph.h"
+
+namespace rpqd::baseline {
+
+struct BaselineResult {
+  std::uint64_t count = 0;
+  double elapsed_ms = 0.0;
+};
+
+class Neo4jLikeEngine {
+ public:
+  explicit Neo4jLikeEngine(const Graph& graph) : graph_(graph) {}
+
+  BaselineResult execute(std::string_view pgql_text) const;
+
+ private:
+  const Graph& graph_;
+};
+
+}  // namespace rpqd::baseline

@@ -1,0 +1,42 @@
+// Brute-force reference evaluator — the correctness oracle.
+//
+// Evaluates the same PGQL subset as RPQd on the *global* (unpartitioned)
+// graph with a deliberately different algorithm: naive backtracking over
+// the pattern variables in textual order, and per-source layered BFS over
+// (vertex, depth) states for RPQ segments. No planner heuristics, no
+// distribution, no DFT — so agreement between RPQd and this evaluator is
+// meaningful evidence of correctness (used by the property-based tests).
+//
+// RPQ semantics match §3.5: per source binding, each destination is
+// counted once if ANY walk with length in [min, max] matches the path
+// pattern. Unbounded quantifiers are evaluated with the walk-pumping
+// bound min + |V| (a minimal-length witness walk of length >= min never
+// needs more than min + |V| steps).
+//
+// Supported WHERE scoping mirrors the planner: conjuncts touching PATH
+// macro variables are applied per iteration (macro WHERE clauses always
+// are); cross-filters referencing outer variables are applied per
+// iteration using the outer binding.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "pgql/ast.h"
+
+namespace rpqd::baseline {
+
+struct ReferenceResult {
+  std::uint64_t count = 0;
+};
+
+/// Evaluates `query` on `graph`; throws QueryError/UnsupportedError like
+/// the planner for out-of-subset constructs.
+ReferenceResult reference_evaluate(const pgql::Query& query,
+                                   const Graph& graph);
+
+/// Convenience: parse + evaluate.
+ReferenceResult reference_evaluate(std::string_view pgql_text,
+                                   const Graph& graph);
+
+}  // namespace rpqd::baseline

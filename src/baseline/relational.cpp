@@ -1,0 +1,397 @@
+#include "baseline/relational.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "baseline/eval_util.h"
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/stopwatch.h"
+#include "pgql/parser.h"
+
+namespace rpqd::baseline {
+
+namespace {
+
+using pgql::Expr;
+using pgql::PathMacro;
+using pgql::Query;
+
+struct TEdge {
+  std::string src, dst;
+  Direction dir = Direction::kOut;
+  std::vector<std::string> labels;
+  bool is_rpq = false;
+  Depth min = 1, max = 1;
+  const PathMacro* macro = nullptr;
+  std::vector<std::string> rpq_labels;
+};
+
+// A materialized relation: one column per bound variable plus a
+// multiplicity weight (relational joins materialize duplicates; we fold
+// exact duplicates into a weight to keep the comparator runnable).
+struct Relation {
+  std::vector<std::string> columns;
+  std::vector<std::vector<VertexId>> rows;
+  std::vector<std::uint64_t> weights;
+};
+
+class RelEvaluator {
+ public:
+  RelEvaluator(const Query& q, const Graph& g) : q_(q), g_(g) {
+    for (const auto& m : q.path_macros) macros_.emplace(m.name, &m);
+    collect();
+  }
+
+  std::uint64_t run(std::uint64_t* peak_rows) {
+    Relation rel = scan_first();
+    note_peak(rel);
+    std::vector<bool> used(edges_.size(), false);
+    std::size_t remaining = edges_.size();
+    while (remaining > 0) {
+      // Pick the first unused edge with at least one bound endpoint.
+      std::size_t pick = edges_.size();
+      for (std::size_t i = 0; i < edges_.size(); ++i) {
+        if (used[i]) continue;
+        if (column_of(rel, edges_[i].src) || column_of(rel, edges_[i].dst)) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick == edges_.size()) {
+        throw UnsupportedError("relational: disconnected pattern");
+      }
+      used[pick] = true;
+      --remaining;
+      rel = join_edge(std::move(rel), edges_[pick]);
+      note_peak(rel);
+      apply_ready_filters(rel);
+    }
+    apply_ready_filters(rel);
+    std::uint64_t total = 0;
+    for (const auto w : rel.weights) total += w;
+    if (peak_rows != nullptr) *peak_rows = peak_;
+    return total;
+  }
+
+ private:
+  void note_peak(const Relation& rel) {
+    peak_ = std::max<std::uint64_t>(peak_, rel.rows.size());
+  }
+
+  void collect() {
+    for (const auto& chain : q_.match) {
+      note_var(chain.src.var, chain.src.labels);
+      std::string prev = chain.src.var;
+      for (const auto& hop : chain.hops) {
+        note_var(hop.dst.var, hop.dst.labels);
+        TEdge e;
+        e.src = prev;
+        e.dst = hop.dst.var;
+        e.dir = hop.edge.dir;
+        e.labels = hop.edge.labels;
+        e.is_rpq = hop.edge.is_rpq;
+        if (e.is_rpq) {
+          e.min = hop.edge.quantifier.min;
+          e.max = hop.edge.quantifier.max;
+          if (!hop.edge.path_name.empty()) {
+            const auto it = macros_.find(hop.edge.path_name);
+            if (it != macros_.end()) {
+              e.macro = it->second;
+            } else {
+              e.rpq_labels = {hop.edge.path_name};
+            }
+          } else {
+            e.rpq_labels = hop.edge.labels;
+            e.labels.clear();
+          }
+          if (e.dir == Direction::kIn) {
+            std::swap(e.src, e.dst);
+            e.dir = Direction::kOut;
+          }
+        }
+        edges_.push_back(std::move(e));
+        prev = hop.dst.var;
+      }
+    }
+    std::vector<const Expr*> flat;
+    flatten_and(q_.where.get(), flat);
+    for (const Expr* f : flat) {
+      std::vector<std::string> vars;
+      pgql::collect_vars(*f, vars);
+      for (const auto& v : vars) {
+        for (const auto& [name, macro] : macros_) {
+          (void)name;
+          if (macro == nullptr) continue;
+          if (macro->pattern.src.var == v) {
+            throw UnsupportedError(
+                "relational: cross-filters into PATH variables are not "
+                "supported by the recursive-CTE rewrite");
+          }
+          for (const auto& hop : macro->pattern.hops) {
+            if (hop.dst.var == v) {
+              throw UnsupportedError(
+                  "relational: cross-filters into PATH variables are not "
+                  "supported by the recursive-CTE rewrite");
+            }
+          }
+        }
+      }
+      filters_.push_back(f);
+    }
+  }
+
+  void note_var(const std::string& name,
+                const std::vector<std::string>& labels) {
+    if (std::find(order_.begin(), order_.end(), name) == order_.end()) {
+      order_.push_back(name);
+    }
+    if (labels.empty()) return;
+    auto& merged = var_labels_[name];
+    if (!constrained_.count(name)) {
+      merged = labels;
+      constrained_.insert(name);
+    } else {
+      std::vector<std::string> kept;
+      for (const auto& l : merged) {
+        if (std::find(labels.begin(), labels.end(), l) != labels.end()) {
+          kept.push_back(l);
+        }
+      }
+      merged = std::move(kept);
+    }
+  }
+
+  std::optional<std::size_t> column_of(const Relation& rel,
+                                       const std::string& var) const {
+    const auto it = std::find(rel.columns.begin(), rel.columns.end(), var);
+    if (it == rel.columns.end()) return std::nullopt;
+    return static_cast<std::size_t>(it - rel.columns.begin());
+  }
+
+  Relation scan_first() {
+    Relation rel;
+    const std::string& var = order_.front();
+    rel.columns.push_back(var);
+    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+      if (!label_ok(g_, v, var_labels_[var])) continue;
+      rel.rows.push_back({v});
+      rel.weights.push_back(1);
+    }
+    return rel;
+  }
+
+  // Joins one pattern edge into the relation.
+  Relation join_edge(Relation rel, const TEdge& e) {
+    const auto src_col = column_of(rel, e.src);
+    const auto dst_col = column_of(rel, e.dst);
+    if (e.is_rpq) {
+      const bool forward = src_col.has_value();
+      const std::string& anchor_var = forward ? e.src : e.dst;
+      const std::string& new_var = forward ? e.dst : e.src;
+      const auto anchor_col = *column_of(rel, anchor_var);
+      // Recursive CTE over the distinct anchors.
+      std::unordered_set<VertexId> anchors;
+      for (const auto& row : rel.rows) anchors.insert(row[anchor_col]);
+      const auto pairs = recursive_cte(e, anchors, forward);
+      const auto new_col = column_of(rel, new_var);
+      Relation out;
+      out.columns = rel.columns;
+      if (!new_col) out.columns.push_back(new_var);
+      for (std::size_t r = 0; r < rel.rows.size(); ++r) {
+        const auto it = pairs.find(rel.rows[r][anchor_col]);
+        if (it == pairs.end()) continue;
+        if (new_col) {
+          // Cycle-closing RPQ: existence check.
+          if (it->second.count(rel.rows[r][*new_col]) != 0) {
+            out.rows.push_back(rel.rows[r]);
+            out.weights.push_back(rel.weights[r]);
+          }
+        } else {
+          for (const VertexId d : it->second) {
+            if (!label_ok(g_, d, var_labels_[new_var])) continue;
+            auto row = rel.rows[r];
+            row.push_back(d);
+            out.rows.push_back(std::move(row));
+            out.weights.push_back(rel.weights[r]);
+          }
+        }
+      }
+      return out;
+    }
+    // Fixed edge join.
+    if (src_col && dst_col) {
+      // Both bound: multiply by the parallel-edge count.
+      Relation out;
+      out.columns = rel.columns;
+      for (std::size_t r = 0; r < rel.rows.size(); ++r) {
+        const std::size_t m = count_edges(g_, rel.rows[r][*src_col],
+                                          rel.rows[r][*dst_col], e.dir,
+                                          e.labels);
+        if (m == 0) continue;
+        out.rows.push_back(rel.rows[r]);
+        out.weights.push_back(rel.weights[r] * m);
+      }
+      return out;
+    }
+    const bool forward = src_col.has_value();
+    const auto anchor_col = forward ? *src_col : *dst_col;
+    const std::string& new_var = forward ? e.dst : e.src;
+    const Direction dir = forward ? e.dir : reverse(e.dir);
+    Relation out;
+    out.columns = rel.columns;
+    out.columns.push_back(new_var);
+    for (std::size_t r = 0; r < rel.rows.size(); ++r) {
+      for_each_neighbor(g_, rel.rows[r][anchor_col], dir, e.labels,
+                        [&](VertexId d) {
+                          if (!label_ok(g_, d, var_labels_[new_var])) return;
+                          auto row = rel.rows[r];
+                          row.push_back(d);
+                          out.rows.push_back(std::move(row));
+                          out.weights.push_back(rel.weights[r]);
+                        });
+    }
+    return out;
+  }
+
+  // Semi-naive recursive CTE: (anchor, vertex, depth) states; collects
+  // destinations whose depth falls inside the quantifier window.
+  std::unordered_map<VertexId, std::unordered_set<VertexId>> recursive_cte(
+      const TEdge& e, const std::unordered_set<VertexId>& anchors,
+      bool forward) {
+    struct State {
+      VertexId anchor, vertex;
+      Depth depth;
+    };
+    // Unbounded quantifiers clamp depth at min: beyond min, all
+    // extensions behave identically (see reference.cpp).
+    const bool unbounded = e.max == kUnboundedDepth;
+    const Depth cap = unbounded ? e.min : e.max;
+    std::unordered_map<VertexId, std::unordered_set<VertexId>> result;
+    std::unordered_set<std::uint64_t> seen;
+    std::deque<State> frontier;
+    const auto state_key = [](VertexId anchor, VertexId v, Depth depth) {
+      return mix64(mix64(mix64(anchor) + v) + depth);
+    };
+    for (const VertexId a : anchors) {
+      frontier.push_back({a, a, 0});
+      seen.insert(state_key(a, a, 0));
+      if (e.min == 0) result[a].insert(a);
+    }
+    std::uint64_t states = anchors.size();
+    while (!frontier.empty()) {
+      const State s = frontier.front();
+      frontier.pop_front();
+      if (!unbounded && s.depth >= cap) continue;
+      expand_once(e, s.vertex, forward, [&](VertexId w) {
+        const Depth next =
+            unbounded ? std::min<Depth>(s.depth + 1, cap) : s.depth + 1;
+        const std::uint64_t key = state_key(s.anchor, w, next);
+        if (!seen.insert(key).second) return;
+        ++states;
+        if (next >= e.min) result[s.anchor].insert(w);
+        frontier.push_back({s.anchor, w, next});
+      });
+      peak_ = std::max(peak_, states);
+    }
+    return result;
+  }
+
+  // One path-pattern iteration (inner chain) from `from`.
+  void expand_once(const TEdge& e, VertexId from, bool forward,
+                   const std::function<void(VertexId)>& fn) {
+    if (e.macro == nullptr) {
+      const Direction dir = forward ? e.dir : reverse(e.dir);
+      for_each_neighbor(g_, from, dir, e.rpq_labels, fn);
+      return;
+    }
+    // Oriented macro chain.
+    std::vector<const pgql::VertexPattern*> verts;
+    std::vector<std::pair<const pgql::EdgePattern*, Direction>> hops;
+    verts.push_back(&e.macro->pattern.src);
+    for (const auto& hop : e.macro->pattern.hops) {
+      verts.push_back(&hop.dst);
+      hops.emplace_back(&hop.edge, hop.edge.dir);
+    }
+    if (!forward) {
+      std::reverse(verts.begin(), verts.end());
+      std::reverse(hops.begin(), hops.end());
+      for (auto& h : hops) h.second = reverse(h.second);
+    }
+    Binding bind;
+    std::function<void(std::size_t, VertexId)> walk = [&](std::size_t pos,
+                                                          VertexId at) {
+      if (!label_ok(g_, at, verts[pos]->labels)) return;
+      bind[verts[pos]->var] = at;
+      if (pos + 1 == verts.size()) {
+        if (e.macro->where == nullptr || eval_bool(*e.macro->where, g_, bind)) {
+          fn(at);
+        }
+        return;
+      }
+      for_each_neighbor(g_, at, hops[pos].second, hops[pos].first->labels,
+                        [&](VertexId next) { walk(pos + 1, next); });
+    };
+    walk(0, from);
+  }
+
+  // Applies every WHERE conjunct whose variables are all bound and that
+  // has not been applied yet.
+  void apply_ready_filters(Relation& rel) {
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+      if (applied_.count(i) != 0) continue;
+      std::vector<std::string> vars;
+      pgql::collect_vars(*filters_[i], vars);
+      bool ready = true;
+      for (const auto& v : vars) {
+        if (!column_of(rel, v)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      applied_.insert(i);
+      Relation out;
+      out.columns = rel.columns;
+      for (std::size_t r = 0; r < rel.rows.size(); ++r) {
+        Binding bind;
+        for (std::size_t c = 0; c < rel.columns.size(); ++c) {
+          bind[rel.columns[c]] = rel.rows[r][c];
+        }
+        if (eval_bool(*filters_[i], g_, bind)) {
+          out.rows.push_back(rel.rows[r]);
+          out.weights.push_back(rel.weights[r]);
+        }
+      }
+      rel = std::move(out);
+    }
+  }
+
+  const Query& q_;
+  const Graph& g_;
+  std::unordered_map<std::string, const PathMacro*> macros_;
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, std::vector<std::string>> var_labels_;
+  std::unordered_set<std::string> constrained_;
+  std::vector<TEdge> edges_;
+  std::vector<const Expr*> filters_;
+  std::unordered_set<std::size_t> applied_;
+  std::uint64_t peak_ = 0;
+};
+
+}  // namespace
+
+RelationalResult RelationalEngine::execute(std::string_view pgql_text) const {
+  Stopwatch timer;
+  const Query q = pgql::parse(pgql_text);
+  RelEvaluator eval(q, graph_);
+  RelationalResult result;
+  result.count = eval.run(&result.peak_rows);
+  result.elapsed_ms = timer.elapsed_ms();
+  return result;
+}
+
+}  // namespace rpqd::baseline

@@ -1,0 +1,38 @@
+// PostgreSQL-like comparator: relational evaluation with materialized
+// intermediate row sets and semi-naive recursive CTEs for RPQ segments —
+// the plan PostgreSQL runs for the paper's `WITH RECURSIVE` rewrites
+// (§2, §4.1).
+//
+// Pattern edges become hash joins that materialize the full row set at
+// every step (the row explosion that makes the relational engine slow on
+// RPQs); each RPQ segment is evaluated as a recursive CTE: iterate a
+// frontier of (source, vertex, depth) states, UNION-deduplicate, and
+// collect (source, destination) pairs whose depth lies in the quantifier
+// window. Peak materialized rows are reported so benchmarks can show the
+// memory shape next to RPQd's flow-controlled execution.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "graph/graph.h"
+
+namespace rpqd::baseline {
+
+struct RelationalResult {
+  std::uint64_t count = 0;
+  double elapsed_ms = 0.0;
+  std::uint64_t peak_rows = 0;  // largest materialized row set
+};
+
+class RelationalEngine {
+ public:
+  explicit RelationalEngine(const Graph& graph) : graph_(graph) {}
+
+  RelationalResult execute(std::string_view pgql_text) const;
+
+ private:
+  const Graph& graph_;
+};
+
+}  // namespace rpqd::baseline

@@ -1,0 +1,88 @@
+// Engine configuration.
+//
+// Field defaults mirror the paper's experimental settings (§4.1), scaled
+// down from a 16×36-core InfiniBand cluster to a simulated cluster inside
+// one process: the *ratios* between buffers, stages, and depths are kept,
+// the absolute sizes are smaller.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace rpqd {
+
+struct EngineConfig {
+  /// Number of simulated machines in the cluster. The paper uses 4–16.
+  unsigned num_machines = 4;
+
+  /// Worker threads per machine executing traversals. The paper uses 34
+  /// (36 cores minus two messaging threads); we default to 2 because the
+  /// simulation multiplexes every machine onto one host.
+  unsigned workers_per_machine = 2;
+
+  /// Message buffers per machine available to flow control. The paper
+  /// uses 8192 buffers of 256KB (~2GB of intermediate results / machine).
+  unsigned buffers_per_machine = 1024;
+
+  /// Payload bytes per message buffer. The paper uses 256KB; we default
+  /// to 8KB so that small test graphs still exercise multi-buffer flows.
+  std::size_t buffer_bytes = 8 * 1024;
+
+  /// RPQ flow control: depths [0, rpq_preallocated_depth) get dedicated
+  /// per-(stage,machine,depth) buffer credits (paper: depth four).
+  Depth rpq_preallocated_depth = 4;
+
+  /// Shared message credits per path stage for depths beyond the
+  /// preallocated window (paper: five).
+  unsigned rpq_shared_credits_per_stage = 5;
+
+  /// Extra overflow credits added per observed depth beyond the window,
+  /// preventing the livelock described in §3.3 (paper: one per depth).
+  unsigned rpq_overflow_credits_per_depth = 1;
+
+  /// Execution contexts are preallocated up to this RPQ depth and grown
+  /// dynamically past it (paper: three).
+  Depth context_preallocated_depth = 3;
+
+  /// Toggles the reachability index (§3.5). Disabling it reproduces the
+  /// "without index" series of Figure 3; only safe on acyclic expansions.
+  bool use_reachability_index = true;
+
+  /// Pre/bulk-allocates the index's second-level maps (§4.5 future work:
+  /// trade memory for allocation-free inserts on the hot path).
+  bool reach_index_preallocate = false;
+
+  /// When false, inbound data messages are processed FIFO instead of the
+  /// paper's deepest-depth / latest-stage priority (§3.2) — an ablation
+  /// knob for the messaging design choice.
+  bool deep_message_priority = true;
+
+  /// Safety valve for RPQ exploration when the reachability index is
+  /// disabled on a cyclic graph. kUnboundedDepth means "no cap".
+  Depth max_exploration_depth = kUnboundedDepth;
+
+  /// Maximum nesting of message processing while blocked on flow-control
+  /// credits (pickup rule iii of §3.2). Nested processing is what keeps
+  /// the cluster live when every worker is blocked on credits, so the cap
+  /// is generous; it only bounds C++ stack growth.
+  unsigned max_pickup_nesting = 1024;
+
+  /// Shards of the reachability index's second-level map per machine.
+  unsigned reach_index_shards = 16;
+
+  /// aDFS-style dynamic parallelization (§5 future work, following the
+  /// cited aDFS paper): a worker whose machine has idle peers offloads
+  /// local child traversals into a machine-local task queue instead of
+  /// recursing, so long sequential subtrees spread across workers.
+  bool adfs_work_sharing = false;
+
+  /// Cap on queued shared tasks per machine (bounds their memory).
+  unsigned adfs_queue_limit = 256;
+
+  /// Deterministic seed for any randomized tie-breaking.
+  std::uint64_t seed = 42;
+};
+
+}  // namespace rpqd

@@ -1,0 +1,45 @@
+// Error hierarchy for RPQd.
+//
+// Following the C++ Core Guidelines (E.2), errors that cannot be handled
+// locally are reported with exceptions. Queries that fail to parse or plan
+// throw QueryError; internal invariant violations throw EngineError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rpqd {
+
+/// Base class of all RPQd exceptions.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A user-supplied query is malformed (lexing, parsing, or semantic
+/// analysis failure). The message contains the offending position.
+class QueryError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The query is well-formed but uses a feature outside the supported
+/// PGQL subset (Section 2 of the paper lists similar restrictions).
+class UnsupportedError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violation — indicates a bug in the engine.
+class EngineError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws EngineError when `condition` is false. Used for cheap internal
+/// invariant checks that must also hold in release builds.
+inline void engine_check(bool condition, const char* what) {
+  if (!condition) throw EngineError(std::string("engine invariant: ") + what);
+}
+
+}  // namespace rpqd

@@ -1,0 +1,27 @@
+// Hashing helpers: a strong 64-bit mixer (splitmix64 finalizer) used for
+// partitioning vertices across machines and for the reachability-index
+// shard selection, plus a generic hash_combine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace rpqd {
+
+/// splitmix64 finalizer: fast, well-distributed 64-bit mixing.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a hash value into a seed (boost-style).
+template <typename T>
+void hash_combine(std::size_t& seed, const T& value) {
+  seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+          (seed >> 2);
+}
+
+}  // namespace rpqd

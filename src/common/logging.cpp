@@ -1,0 +1,21 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace rpqd::log_internal {
+
+std::atomic<int>& level_ref() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+
+void emit(LogLevel level, const std::string& message) {
+  static std::mutex mutex;
+  static const char* const names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard lock(mutex);
+  std::fprintf(stderr, "[rpqd %s] %s\n",
+               names[static_cast<int>(level)], message.c_str());
+}
+
+}  // namespace rpqd::log_internal

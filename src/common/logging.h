@@ -1,0 +1,59 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Logging defaults to kWarn so benchmark output stays clean; tests and the
+// examples raise the level when diagnosing behaviour.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace rpqd {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace log_internal {
+std::atomic<int>& level_ref();
+void emit(LogLevel level, const std::string& message);
+}  // namespace log_internal
+
+inline void set_log_level(LogLevel level) {
+  log_internal::level_ref().store(static_cast<int>(level),
+                                  std::memory_order_relaxed);
+}
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         log_internal::level_ref().load(std::memory_order_relaxed);
+}
+
+/// Streams a single log line; the line is emitted atomically on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_internal::emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define RPQD_LOG(level)                     \
+  if (!::rpqd::log_enabled(level)) {        \
+  } else                                    \
+    ::rpqd::LogLine(level)
+
+#define RPQD_DEBUG RPQD_LOG(::rpqd::LogLevel::kDebug)
+#define RPQD_INFO RPQD_LOG(::rpqd::LogLevel::kInfo)
+#define RPQD_WARN RPQD_LOG(::rpqd::LogLevel::kWarn)
+#define RPQD_ERROR RPQD_LOG(::rpqd::LogLevel::kError)
+
+}  // namespace rpqd

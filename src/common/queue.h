@@ -1,0 +1,75 @@
+// Thread-safe queues used by the simulated network layer.
+//
+// The receiver thread of each machine pushes inbound buffers into per-stage
+// queues; workers pop eagerly with the stage/depth priority described in
+// Section 3.2 of the paper. These queues favour simplicity and correctness
+// (mutex + condition variable) over lock-free cleverness — contention is
+// low because messages are batched into large buffers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rpqd {
+
+/// Unbounded multi-producer multi-consumer FIFO.
+template <typename T>
+class MpmcQueue {
+ public:
+  void push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Non-blocking pop; returns nullopt when empty.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Blocking pop with a predicate-based shutdown: returns nullopt once
+  /// `closed` was observed and the queue is drained.
+  std::optional<T> pop_or_wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool empty() const {
+    std::lock_guard lock(mutex_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rpqd

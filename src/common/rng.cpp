@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpqd {
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) {
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace rpqd

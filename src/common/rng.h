@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation for the synthetic graph
+// generators and the property-based tests.
+//
+// We use xoshiro256** — fast, high quality, and trivially seedable so every
+// experiment in EXPERIMENTS.md is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace rpqd {
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  /// Re-initializes the state deterministically from a single 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    // Expand the seed with splitmix64, as recommended by the xoshiro authors.
+    for (auto& word : state_) {
+      seed = mix64(seed);
+      word = seed;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation (biased variant is
+    // fine for workload synthesis; bias is < 2^-64 * bound).
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Samples from a (truncated) zipf-like distribution over [0, n): used to
+/// give the synthetic LDBC graphs their power-law reply trees and degree
+/// skew. `skew` ~1.0 resembles social-network degree distributions.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rpqd

@@ -1,0 +1,111 @@
+// Binary serialization used for cross-machine messages.
+//
+// Everything that crosses a (simulated) machine boundary in RPQd goes
+// through these writers/readers, so the distributed code paths exercise
+// real encode/decode work exactly like the paper's engine does over
+// InfiniBand. Encoding is little-endian, fixed-width for POD scalars plus
+// LEB128 varints for counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rpqd {
+
+/// Appends binary data to a caller-provided byte vector.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto offset = out_.size();
+    out_.resize(offset + sizeof(T));
+    std::memcpy(out_.data() + offset, &value, sizeof(T));
+  }
+
+  /// LEB128 unsigned varint.
+  void write_varint(std::uint64_t value) {
+    while (value >= 0x80) {
+      out_.push_back(static_cast<std::byte>((value & 0x7f) | 0x80));
+      value >>= 7;
+    }
+    out_.push_back(static_cast<std::byte>(value));
+  }
+
+  void write_string(std::string_view s) {
+    write_varint(s.size());
+    const auto offset = out_.size();
+    out_.resize(offset + s.size());
+    std::memcpy(out_.data() + offset, s.data(), s.size());
+  }
+
+  void write_bytes(std::span<const std::byte> bytes) {
+    const auto offset = out_.size();
+    out_.resize(offset + bytes.size());
+    std::memcpy(out_.data() + offset, bytes.data(), bytes.size());
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Reads binary data from a byte span. Throws EngineError on underflow,
+/// so malformed messages cannot silently corrupt execution state.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    engine_check(pos_ + sizeof(T) <= data_.size(), "serialized read overflow");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::uint64_t read_varint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      engine_check(pos_ < data_.size(), "varint read overflow");
+      const auto byte = static_cast<std::uint8_t>(data_[pos_++]);
+      value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      engine_check(shift < 64, "varint too long");
+    }
+    return value;
+  }
+
+  std::string read_string() {
+    const auto n = read_varint();
+    engine_check(pos_ + n <= data_.size(), "string read overflow");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rpqd

@@ -1,0 +1,62 @@
+// Fundamental identifier and scalar types shared across all RPQd modules.
+//
+// The engine follows the paper's conventions: vertices carry 64-bit global
+// ids, machines and workers are small integers that fit the rpid encoding
+// of Section 3.5 (8 bits each), and RPQ depths are bounded 32-bit counters.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rpqd {
+
+/// Global vertex identifier, unique across the whole distributed graph.
+using VertexId = std::uint64_t;
+/// Local vertex index within one machine's partition.
+using LocalVertexId = std::uint32_t;
+/// Global edge identifier.
+using EdgeId = std::uint64_t;
+/// Identifier of a machine in the (simulated) cluster. 8 bits per §3.5.
+using MachineId = std::uint8_t;
+/// Identifier of a worker thread within one machine. 8 bits per §3.5.
+using WorkerId = std::uint8_t;
+/// Dictionary-encoded label identifier (vertex or edge label).
+using LabelId = std::uint16_t;
+/// Dictionary-encoded property key identifier.
+using PropId = std::uint16_t;
+/// RPQ exploration depth (number of completed path-pattern iterations).
+using Depth = std::uint32_t;
+/// Index of a stage in the distributed execution-plan automaton.
+using StageId = std::uint16_t;
+/// Index of a slot in an execution context.
+using SlotId = std::uint16_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr LocalVertexId kInvalidLocalVertex =
+    std::numeric_limits<LocalVertexId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+inline constexpr PropId kInvalidProp = std::numeric_limits<PropId>::max();
+inline constexpr StageId kInvalidStage = std::numeric_limits<StageId>::max();
+inline constexpr SlotId kInvalidSlot = std::numeric_limits<SlotId>::max();
+
+/// Sentinel used for unbounded RPQ quantifiers (`*`, `+`, `{n,}`).
+inline constexpr Depth kUnboundedDepth = std::numeric_limits<Depth>::max();
+
+/// Direction of an edge traversal relative to the current vertex.
+enum class Direction : std::uint8_t {
+  kOut,   ///< follow outgoing edges: (x) -> (y)
+  kIn,    ///< follow incoming edges: (x) <- (y)
+  kBoth,  ///< undirected match: (x) - (y)
+};
+
+/// Returns the opposite traversal direction (kBoth is its own opposite).
+constexpr Direction reverse(Direction d) {
+  switch (d) {
+    case Direction::kOut: return Direction::kIn;
+    case Direction::kIn: return Direction::kOut;
+    case Direction::kBoth: return Direction::kBoth;
+  }
+  return Direction::kBoth;
+}
+
+}  // namespace rpqd

@@ -1,0 +1,69 @@
+#include "graph/catalog.h"
+
+#include <sstream>
+
+namespace rpqd {
+
+const char* to_string(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+    case ValueType::kVertex: return "vertex";
+  }
+  return "?";
+}
+
+std::optional<int> Catalog::compare(const Value& a, const Value& b) const {
+  if (is_null(a) || is_null(b)) return std::nullopt;
+  // Vertex ids compare against integer literals (ID(v) = 123).
+  if ((a.type == ValueType::kVertex && b.type == ValueType::kInt) ||
+      (a.type == ValueType::kInt && b.type == ValueType::kVertex)) {
+    const auto x = static_cast<std::int64_t>(a.bits);
+    const auto y = static_cast<std::int64_t>(b.bits);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (is_numeric(a) && is_numeric(b)) {
+    if (a.type == ValueType::kInt && b.type == ValueType::kInt) {
+      const auto x = as_int(a);
+      const auto y = as_int(b);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = numeric_as_double(a);
+    const double y = numeric_as_double(b);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.type != b.type) return std::nullopt;
+  switch (a.type) {
+    case ValueType::kBool:
+      return static_cast<int>(a.bits) - static_cast<int>(b.bits);
+    case ValueType::kVertex:
+      return a.bits < b.bits ? -1 : (a.bits > b.bits ? 1 : 0);
+    case ValueType::kString: {
+      // Equal dictionary ids short-circuit; otherwise compare the strings.
+      if (a.bits == b.bits) return 0;
+      const auto& x = string_name(as_string_id(a));
+      const auto& y = string_name(as_string_id(b));
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string Catalog::render(const Value& v) const {
+  std::ostringstream out;
+  switch (v.type) {
+    case ValueType::kNull: out << "null"; break;
+    case ValueType::kBool: out << (as_bool(v) ? "true" : "false"); break;
+    case ValueType::kInt: out << as_int(v); break;
+    case ValueType::kDouble: out << as_double(v); break;
+    case ValueType::kString: out << '"' << string_name(as_string_id(v)) << '"'; break;
+    case ValueType::kVertex: out << as_vertex(v); break;
+  }
+  return out.str();
+}
+
+}  // namespace rpqd

@@ -1,0 +1,134 @@
+// Graph catalog: dictionaries for vertex labels, edge labels, property
+// keys, and string property values.
+//
+// The catalog is immutable after graph construction and shared read-only by
+// every simulated machine — modelling the replicated schema metadata a real
+// cluster distributes at load time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "graph/value.h"
+
+namespace rpqd {
+
+/// Insert-or-lookup string dictionary with stable dense ids.
+class Dictionary {
+ public:
+  std::uint32_t id_for(std::string_view name) {
+    if (auto it = index_.find(std::string(name)); it != index_.end()) {
+      return it->second;
+    }
+    const auto id = static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  std::optional<std::uint32_t> find(std::string_view name) const {
+    const auto it = index_.find(std::string(name));
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string& name_of(std::uint32_t id) const {
+    engine_check(id < names_.size(), "dictionary id out of range");
+    return names_[id];
+  }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+/// Schema + string metadata for one graph.
+class Catalog {
+ public:
+  LabelId vertex_label(std::string_view name) {
+    return static_cast<LabelId>(vertex_labels_.id_for(name));
+  }
+  LabelId edge_label(std::string_view name) {
+    return static_cast<LabelId>(edge_labels_.id_for(name));
+  }
+
+  /// Registers (or finds) a property key, checking type consistency.
+  PropId property(std::string_view name, ValueType type) {
+    const auto id = static_cast<PropId>(props_.id_for(name));
+    if (id == prop_types_.size()) {
+      prop_types_.push_back(type);
+    } else {
+      engine_check(prop_types_[id] == type, "property re-registered with a different type");
+    }
+    return id;
+  }
+
+  std::uint32_t string_id(std::string_view s) {
+    return strings_.id_for(s);
+  }
+
+  std::optional<LabelId> find_vertex_label(std::string_view name) const {
+    const auto id = vertex_labels_.find(name);
+    if (!id) return std::nullopt;
+    return static_cast<LabelId>(*id);
+  }
+  std::optional<LabelId> find_edge_label(std::string_view name) const {
+    const auto id = edge_labels_.find(name);
+    if (!id) return std::nullopt;
+    return static_cast<LabelId>(*id);
+  }
+  std::optional<PropId> find_property(std::string_view name) const {
+    const auto id = props_.find(name);
+    if (!id) return std::nullopt;
+    return static_cast<PropId>(*id);
+  }
+  std::optional<std::uint32_t> find_string(std::string_view s) const {
+    return strings_.find(s);
+  }
+
+  const std::string& vertex_label_name(LabelId id) const {
+    return vertex_labels_.name_of(id);
+  }
+  const std::string& edge_label_name(LabelId id) const {
+    return edge_labels_.name_of(id);
+  }
+  const std::string& property_name(PropId id) const {
+    return props_.name_of(id);
+  }
+  const std::string& string_name(std::uint32_t id) const {
+    return strings_.name_of(id);
+  }
+
+  ValueType property_type(PropId id) const {
+    engine_check(id < prop_types_.size(), "property id out of range");
+    return prop_types_[id];
+  }
+
+  std::size_t num_vertex_labels() const { return vertex_labels_.size(); }
+  std::size_t num_edge_labels() const { return edge_labels_.size(); }
+  std::size_t num_properties() const { return props_.size(); }
+
+  /// Three-way comparison usable in filter evaluation. Returns nullopt for
+  /// nulls and type-incompatible operands (SQL-ish semantics: unknown).
+  std::optional<int> compare(const Value& a, const Value& b) const;
+
+  /// Renders a value for result output and debugging.
+  std::string render(const Value& v) const;
+
+ private:
+  Dictionary vertex_labels_;
+  Dictionary edge_labels_;
+  Dictionary props_;
+  Dictionary strings_;
+  std::vector<ValueType> prop_types_;
+};
+
+}  // namespace rpqd

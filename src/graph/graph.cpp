@@ -1,0 +1,174 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rpqd {
+
+std::pair<std::size_t, std::size_t> Adjacency::label_range(
+    std::size_t v, LabelId elabel) const {
+  const auto [begin, end] = range(v);
+  const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(begin);
+  const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(end);
+  const auto lo = std::lower_bound(
+      first, last, elabel,
+      [](const AdjEntry& e, LabelId l) { return e.elabel < l; });
+  const auto hi = std::upper_bound(
+      lo, last, elabel, [](LabelId l, const AdjEntry& e) { return l < e.elabel; });
+  return {static_cast<std::size_t>(lo - entries_.begin()),
+          static_cast<std::size_t>(hi - entries_.begin())};
+}
+
+bool Adjacency::has_edge_to(std::size_t v, VertexId other,
+                            std::optional<LabelId> elabel) const {
+  if (elabel) {
+    const auto [begin, end] = label_range(v, *elabel);
+    const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(begin);
+    const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(end);
+    return std::binary_search(
+        first, last, other,
+        [](const auto& a, const auto& b) {
+          if constexpr (std::is_same_v<std::decay_t<decltype(a)>, AdjEntry>) {
+            return a.other < b;
+          } else {
+            return a < b.other;
+          }
+        });
+  }
+  // No label restriction: entries are sorted by (elabel, other), so scan
+  // each label sub-range with a binary search per label would be ideal; in
+  // practice label counts per vertex are tiny, so a linear scan is fine.
+  const auto [begin, end] = range(v);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (entries_[i].other == other) return true;
+  }
+  return false;
+}
+
+std::size_t Adjacency::count_edges_to(std::size_t v, VertexId other,
+                                      std::optional<LabelId> elabel) const {
+  std::size_t count = 0;
+  if (elabel) {
+    const auto [begin, end] = label_range(v, *elabel);
+    const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(begin);
+    const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(end);
+    auto lo = std::lower_bound(
+        first, last, other,
+        [](const AdjEntry& e, VertexId o) { return e.other < o; });
+    while (lo != last && lo->other == other) {
+      ++count;
+      ++lo;
+    }
+    return count;
+  }
+  const auto [begin, end] = range(v);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (entries_[i].other == other) ++count;
+  }
+  return count;
+}
+
+VertexId GraphBuilder::add_vertex(LabelId label) {
+  labels_.push_back(label);
+  return labels_.size() - 1;
+}
+
+void GraphBuilder::set_property(VertexId v, PropId prop, Value value) {
+  engine_check(v < labels_.size(), "set_property on unknown vertex");
+  if (prop >= columns_.size()) {
+    columns_.reserve(prop + 1);
+    while (columns_.size() <= prop) {
+      columns_.emplace_back(static_cast<PropId>(columns_.size()));
+    }
+  }
+  columns_[prop].set(v, value);
+}
+
+EdgeId GraphBuilder::add_edge(VertexId src, VertexId dst, LabelId elabel) {
+  engine_check(src < labels_.size() && dst < labels_.size(),
+               "add_edge on unknown vertex");
+  edges_.push_back({src, dst, elabel});
+  return edges_.size() - 1;
+}
+
+void GraphBuilder::set_edge_property(EdgeId e, PropId prop, Value value) {
+  engine_check(e < edges_.size(), "set_edge_property on unknown edge");
+  if (prop >= edge_columns_.size()) {
+    while (edge_columns_.size() <= prop) {
+      edge_columns_.emplace_back(static_cast<PropId>(edge_columns_.size()));
+    }
+  }
+  edge_columns_[prop].set(e, value);
+}
+
+namespace {
+
+// Builds one CSR direction. `src_of`/`dst_of` select orientation.
+template <typename SrcFn, typename DstFn>
+Adjacency build_adjacency(std::size_t num_vertices, std::size_t num_edges,
+                          SrcFn src_of, DstFn dst_of,
+                          const std::vector<LabelId>& elabels,
+                          const std::vector<PropertyColumn>& edge_columns) {
+  std::vector<std::uint64_t> offsets(num_vertices + 1, 0);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    ++offsets[src_of(e) + 1];
+  }
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+  std::vector<AdjEntry> entries(num_edges);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    entries[cursor[src_of(e)]++] = {dst_of(e), elabels[e], e};
+  }
+  // Sort each vertex's entries by (elabel, other) for label ranges and
+  // binary-search edge matches.
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    const auto begin = entries.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+    const auto end =
+        entries.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+    std::sort(begin, end, [](const AdjEntry& a, const AdjEntry& b) {
+      return std::tie(a.elabel, a.other, a.eid) <
+             std::tie(b.elabel, b.other, b.eid);
+    });
+  }
+  // Align edge-property columns with the (permuted) entries.
+  std::vector<PropertyColumn> eprops;
+  for (const auto& col : edge_columns) {
+    PropertyColumn aligned(col.prop());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const Value v = col.get(entries[i].eid);
+      if (!is_null(v)) aligned.set(i, v);
+    }
+    eprops.push_back(std::move(aligned));
+  }
+  return Adjacency::make(std::move(offsets), std::move(entries),
+                         std::move(eprops));
+}
+
+}  // namespace
+
+Graph GraphBuilder::build() && {
+  Graph g;
+  g.num_edges_ = edges_.size();
+
+  std::vector<LabelId> elabels(edges_.size());
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    elabels[e] = edges_[e].elabel;
+  }
+
+  const auto src_out = [this](std::size_t e) { return edges_[e].src; };
+  const auto dst_out = [this](std::size_t e) { return edges_[e].dst; };
+  const auto src_in = [this](std::size_t e) { return edges_[e].dst; };
+  const auto dst_in = [this](std::size_t e) { return edges_[e].src; };
+
+  g.out_ = build_adjacency(labels_.size(), edges_.size(), src_out, dst_out,
+                           elabels, edge_columns_);
+  g.in_ = build_adjacency(labels_.size(), edges_.size(), src_in, dst_in,
+                          elabels, edge_columns_);
+
+  g.labels_ = std::move(labels_);
+  g.columns_ = std::move(columns_);
+  g.catalog_ = std::move(catalog_);
+  return g;
+}
+
+}  // namespace rpqd

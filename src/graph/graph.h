@@ -1,0 +1,190 @@
+// In-memory property graph: a global immutable CSR built once by
+// GraphBuilder, then sliced into per-machine partitions (partition.h).
+//
+// The global Graph is used (a) as the loading format, (b) by the
+// single-machine baselines (Neo4j-like, relational) and the brute-force
+// reference oracle. The distributed engine itself only ever touches
+// Partition objects.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "graph/catalog.h"
+#include "graph/value.h"
+
+namespace rpqd {
+
+/// One adjacency entry: destination (or source, for the in-CSR), edge
+/// label, and global edge id. Entries are sorted by (elabel, other) within
+/// each vertex, which gives the O(log degree) edge-match of Table 1.
+struct AdjEntry {
+  VertexId other;
+  LabelId elabel;
+  EdgeId eid;
+};
+
+/// Sparse property column: values indexed by (local or global) vertex id;
+/// missing values are null.
+class PropertyColumn {
+ public:
+  PropertyColumn() = default;
+  explicit PropertyColumn(PropId prop) : prop_(prop) {}
+
+  PropId prop() const { return prop_; }
+
+  void set(std::size_t index, Value v) {
+    if (index >= values_.size()) values_.resize(index + 1);
+    values_[index] = v;
+  }
+
+  Value get(std::size_t index) const {
+    return index < values_.size() ? values_[index] : null_value();
+  }
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  PropId prop_ = kInvalidProp;
+  std::vector<Value> values_;
+};
+
+/// Immutable CSR adjacency with per-entry edge-property columns.
+class Adjacency {
+ public:
+  /// [begin, end) entry-index range of vertex v.
+  std::pair<std::size_t, std::size_t> range(std::size_t v) const {
+    return {offsets_[v], offsets_[v + 1]};
+  }
+
+  /// Sub-range of `range(v)` whose entries carry `elabel`.
+  std::pair<std::size_t, std::size_t> label_range(std::size_t v,
+                                                  LabelId elabel) const;
+
+  /// True iff v has an entry to `other`, optionally restricted to `elabel`.
+  /// Binary search: O(log degree).
+  bool has_edge_to(std::size_t v, VertexId other,
+                   std::optional<LabelId> elabel) const;
+
+  /// Number of parallel edges from v to `other` (homomorphic matching
+  /// counts each parallel edge as a distinct match). O(log degree + k).
+  std::size_t count_edges_to(std::size_t v, VertexId other,
+                             std::optional<LabelId> elabel) const;
+
+  const AdjEntry& entry(std::size_t idx) const { return entries_[idx]; }
+
+  Value edge_property(std::size_t idx, PropId prop) const {
+    for (const auto& col : eprops_) {
+      if (col.prop() == prop) return col.get(idx);
+    }
+    return null_value();
+  }
+
+  std::size_t num_entries() const { return entries_.size(); }
+  std::size_t degree(std::size_t v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Assembles an adjacency from raw parts. Entries must be sorted by
+  /// (elabel, other) within each vertex range; eprops columns must be
+  /// aligned with `entries`.
+  static Adjacency make(std::vector<std::uint64_t> offsets,
+                        std::vector<AdjEntry> entries,
+                        std::vector<PropertyColumn> eprops) {
+    Adjacency adj;
+    adj.offsets_ = std::move(offsets);
+    adj.entries_ = std::move(entries);
+    adj.eprops_ = std::move(eprops);
+    return adj;
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size = #vertices + 1
+  std::vector<AdjEntry> entries_;
+  std::vector<PropertyColumn> eprops_;  // aligned to entries_
+};
+
+/// Immutable global property graph.
+class Graph {
+ public:
+  const Catalog& catalog() const { return catalog_; }
+
+  std::size_t num_vertices() const { return labels_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  LabelId label(VertexId v) const { return labels_[v]; }
+
+  Value property(VertexId v, PropId prop) const {
+    return prop < columns_.size() ? columns_[prop].get(v) : null_value();
+  }
+
+  const Adjacency& out() const { return out_; }
+  const Adjacency& in() const { return in_; }
+
+  const Adjacency& adjacency(Direction d) const {
+    return d == Direction::kIn ? in_ : out_;
+  }
+
+ private:
+  friend class GraphBuilder;
+  Catalog catalog_;
+  std::vector<LabelId> labels_;
+  std::vector<PropertyColumn> columns_;  // indexed by PropId
+  Adjacency out_;
+  Adjacency in_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Mutable construction interface producing an immutable Graph.
+class GraphBuilder {
+ public:
+  Catalog& catalog() { return catalog_; }
+
+  VertexId add_vertex(LabelId label);
+  VertexId add_vertex(std::string_view label_name) {
+    return add_vertex(catalog_.vertex_label(label_name));
+  }
+
+  void set_property(VertexId v, PropId prop, Value value);
+  void set_property(VertexId v, std::string_view prop_name, Value value) {
+    set_property(v, catalog_.property(prop_name, value.type), value);
+  }
+  /// Convenience for string properties: interns the string first.
+  void set_string_property(VertexId v, std::string_view prop_name,
+                           std::string_view value) {
+    set_property(v, catalog_.property(prop_name, ValueType::kString),
+                 string_value(catalog_.string_id(value)));
+  }
+
+  EdgeId add_edge(VertexId src, VertexId dst, LabelId elabel);
+  EdgeId add_edge(VertexId src, VertexId dst, std::string_view elabel_name) {
+    return add_edge(src, dst, catalog_.edge_label(elabel_name));
+  }
+
+  void set_edge_property(EdgeId e, PropId prop, Value value);
+
+  std::size_t num_vertices() const { return labels_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Builds the immutable graph; the builder is consumed.
+  Graph build() &&;
+
+ private:
+  struct EdgeRec {
+    VertexId src, dst;
+    LabelId elabel;
+  };
+
+  Catalog catalog_;
+  std::vector<LabelId> labels_;
+  std::vector<PropertyColumn> columns_;
+  std::vector<EdgeRec> edges_;
+  std::vector<PropertyColumn> edge_columns_;  // indexed by PropId, by EdgeId
+};
+
+}  // namespace rpqd

@@ -1,0 +1,92 @@
+#include "graph/partition.h"
+
+namespace rpqd {
+
+namespace {
+
+// Copies the adjacency slices of `locals` out of the global CSR, together
+// with any edge-property columns. Entries are already sorted by
+// (elabel, other) per vertex, so slices stay sorted.
+Adjacency slice_adjacency(const Adjacency& global,
+                          const std::vector<VertexId>& locals,
+                          std::size_t num_properties) {
+  std::vector<std::uint64_t> offsets(locals.size() + 1, 0);
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    offsets[i + 1] = offsets[i] + global.degree(locals[i]);
+  }
+  std::vector<AdjEntry> entries(offsets.back());
+  std::size_t cursor = 0;
+  for (const VertexId v : locals) {
+    const auto [begin, end] = global.range(v);
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      entries[cursor++] = global.entry(idx);
+    }
+  }
+  std::vector<PropertyColumn> eprops;
+  for (PropId prop = 0; prop < num_properties; ++prop) {
+    PropertyColumn col(prop);
+    bool any = false;
+    cursor = 0;
+    for (const VertexId v : locals) {
+      const auto [begin, end] = global.range(v);
+      for (std::size_t idx = begin; idx < end; ++idx, ++cursor) {
+        const Value val = global.edge_property(idx, prop);
+        if (!is_null(val)) {
+          col.set(cursor, val);
+          any = true;
+        }
+      }
+    }
+    if (any) eprops.push_back(std::move(col));
+  }
+  return Adjacency::make(std::move(offsets), std::move(entries),
+                         std::move(eprops));
+}
+
+}  // namespace
+
+PartitionedGraph::PartitionedGraph(std::shared_ptr<const Graph> graph,
+                                   unsigned num_machines)
+    : graph_(std::move(graph)) {
+  engine_check(num_machines >= 1 && num_machines <= 256,
+               "machine count must be in [1, 256]");
+  partitions_.resize(num_machines);
+  const auto& g = *graph_;
+
+  std::vector<std::vector<VertexId>> locals(num_machines);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    locals[Partition::owner(v, num_machines)].push_back(v);
+  }
+
+  const std::size_t num_props = g.catalog().num_properties();
+  for (unsigned m = 0; m < num_machines; ++m) {
+    Partition& p = partitions_[m];
+    p.machine_ = static_cast<MachineId>(m);
+    p.num_machines_ = num_machines;
+    p.catalog_ = &g.catalog();
+    p.local_to_global_ = std::move(locals[m]);
+    p.global_to_local_.reserve(p.local_to_global_.size());
+    for (std::size_t i = 0; i < p.local_to_global_.size(); ++i) {
+      p.global_to_local_.emplace(p.local_to_global_[i],
+                                 static_cast<LocalVertexId>(i));
+    }
+    p.labels_.resize(p.local_to_global_.size());
+    for (std::size_t i = 0; i < p.local_to_global_.size(); ++i) {
+      p.labels_[i] = g.label(p.local_to_global_[i]);
+    }
+    // Property columns, re-indexed by local id.
+    p.columns_.reserve(num_props);
+    for (PropId prop = 0; prop < num_props; ++prop) {
+      PropertyColumn col(prop);
+      for (std::size_t i = 0; i < p.local_to_global_.size(); ++i) {
+        const Value v = g.property(p.local_to_global_[i], prop);
+        if (!is_null(v)) col.set(i, v);
+      }
+      p.columns_.push_back(std::move(col));
+    }
+    p.out_ = slice_adjacency(g.out(), p.local_to_global_, num_props);
+    p.in_ = slice_adjacency(g.in(), p.local_to_global_, num_props);
+  }
+}
+
+}  // namespace rpqd

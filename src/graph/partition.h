@@ -1,0 +1,101 @@
+// Graph partitioning across the simulated cluster.
+//
+// Vertices are hash-partitioned (splitmix64 of the global id modulo the
+// machine count), exactly the owner function each machine of a real
+// cluster evaluates locally to address messages. A Partition stores the
+// out- and in-CSR of its local vertices (destinations kept as global ids),
+// vertex labels, and property columns — the only graph data a machine may
+// touch during execution. Remote vertices are reachable exclusively by
+// sending a message to their owner.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace rpqd {
+
+class Partition {
+ public:
+  MachineId machine() const { return machine_; }
+  unsigned num_machines() const { return num_machines_; }
+
+  /// Owner function: computable from the vertex id alone on any machine.
+  static MachineId owner(VertexId v, unsigned num_machines) {
+    return static_cast<MachineId>(mix64(v) % num_machines);
+  }
+
+  bool owns(VertexId v) const {
+    return owner(v, num_machines_) == machine_;
+  }
+
+  std::size_t num_local() const { return local_to_global_.size(); }
+
+  VertexId to_global(LocalVertexId lv) const { return local_to_global_[lv]; }
+
+  /// Local index of an owned vertex; nullopt for remote vertices.
+  std::optional<LocalVertexId> to_local(VertexId v) const {
+    const auto it = global_to_local_.find(v);
+    if (it == global_to_local_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  LocalVertexId require_local(VertexId v) const {
+    const auto lv = to_local(v);
+    engine_check(lv.has_value(), "vertex processed on non-owner machine");
+    return *lv;
+  }
+
+  LabelId label(LocalVertexId lv) const { return labels_[lv]; }
+
+  Value property(LocalVertexId lv, PropId prop) const {
+    return prop < columns_.size() ? columns_[prop].get(lv) : null_value();
+  }
+
+  const Adjacency& adjacency(Direction d) const {
+    return d == Direction::kIn ? in_ : out_;
+  }
+
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  friend class PartitionedGraph;
+  MachineId machine_ = 0;
+  unsigned num_machines_ = 1;
+  const Catalog* catalog_ = nullptr;
+  std::vector<VertexId> local_to_global_;
+  std::unordered_map<VertexId, LocalVertexId> global_to_local_;
+  std::vector<LabelId> labels_;
+  std::vector<PropertyColumn> columns_;
+  Adjacency out_;
+  Adjacency in_;
+};
+
+/// The cluster-wide view: one Partition per simulated machine, sharing the
+/// (immutable) source graph for catalog lifetime.
+class PartitionedGraph {
+ public:
+  PartitionedGraph(std::shared_ptr<const Graph> graph, unsigned num_machines);
+
+  unsigned num_machines() const {
+    return static_cast<unsigned>(partitions_.size());
+  }
+  const Partition& partition(MachineId m) const { return partitions_[m]; }
+  const Graph& global() const { return *graph_; }
+  const Catalog& catalog() const { return graph_->catalog(); }
+
+  MachineId owner(VertexId v) const {
+    return Partition::owner(v, num_machines());
+  }
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace rpqd

@@ -1,0 +1,79 @@
+// Tagged 64-bit runtime value.
+//
+// Values flow through three places: property columns in graph partitions,
+// execution-context slots, and serialized cross-machine messages. Keeping
+// them POD (9 bytes: tag + payload) is what lets the engine serialize
+// contexts with a straight memcpy-style path and keep the reachability
+// index arithmetic identical to the paper's.
+//
+// Strings are dictionary-encoded: the payload is an id into the graph
+// catalog's string dictionary, which is replicated read-only metadata on
+// every machine (like the schema itself).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/types.h"
+
+namespace rpqd {
+
+enum class ValueType : std::uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,     ///< 64-bit signed integer
+  kDouble,  ///< IEEE-754 double, bit-cast into the payload
+  kString,  ///< dictionary-encoded string id
+  kVertex,  ///< vertex id (used for context slots holding matched vertices)
+};
+
+struct Value {
+  ValueType type = ValueType::kNull;
+  std::uint64_t bits = 0;
+
+  friend bool operator==(const Value& a, const Value& b) = default;
+};
+
+inline Value null_value() { return {}; }
+inline Value bool_value(bool b) { return {ValueType::kBool, b ? 1u : 0u}; }
+inline Value int_value(std::int64_t v) {
+  return {ValueType::kInt, static_cast<std::uint64_t>(v)};
+}
+inline Value double_value(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return {ValueType::kDouble, bits};
+}
+inline Value string_value(std::uint32_t dict_id) {
+  return {ValueType::kString, dict_id};
+}
+inline Value vertex_value(VertexId v) { return {ValueType::kVertex, v}; }
+
+inline bool is_null(const Value& v) { return v.type == ValueType::kNull; }
+inline bool as_bool(const Value& v) { return v.bits != 0; }
+inline std::int64_t as_int(const Value& v) {
+  return static_cast<std::int64_t>(v.bits);
+}
+inline double as_double(const Value& v) {
+  double d;
+  std::memcpy(&d, &v.bits, sizeof(d));
+  return d;
+}
+inline std::uint32_t as_string_id(const Value& v) {
+  return static_cast<std::uint32_t>(v.bits);
+}
+inline VertexId as_vertex(const Value& v) { return v.bits; }
+
+/// Numeric promotion: ints participate in double comparisons.
+inline bool is_numeric(const Value& v) {
+  return v.type == ValueType::kInt || v.type == ValueType::kDouble;
+}
+inline double numeric_as_double(const Value& v) {
+  return v.type == ValueType::kInt ? static_cast<double>(as_int(v))
+                                   : as_double(v);
+}
+
+const char* to_string(ValueType t);
+
+}  // namespace rpqd

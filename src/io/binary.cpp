@@ -1,0 +1,208 @@
+#include "io/binary.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace rpqd::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'P', 'Q', 'D', 'G', 'R', 'P', 'H'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_string(BinaryWriter& w, const std::string& s) { w.write_string(s); }
+
+// Serializes one sparse property column over `count` items via `get`.
+template <typename GetFn>
+void put_column(BinaryWriter& w, std::uint64_t count, GetFn get) {
+  std::uint64_t present = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!is_null(get(i))) ++present;
+  }
+  w.write_varint(present);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Value v = get(i);
+    if (is_null(v)) continue;
+    w.write_varint(i);
+    w.write<std::uint8_t>(static_cast<std::uint8_t>(v.type));
+    w.write<std::uint64_t>(v.bits);
+  }
+}
+
+}  // namespace
+
+void save_binary(const Graph& graph, std::ostream& out) {
+  std::vector<std::byte> buf;
+  BinaryWriter w(buf);
+  const Catalog& cat = graph.catalog();
+
+  w.write_varint(cat.num_vertex_labels());
+  for (std::size_t i = 0; i < cat.num_vertex_labels(); ++i) {
+    put_string(w, cat.vertex_label_name(static_cast<LabelId>(i)));
+  }
+  w.write_varint(cat.num_edge_labels());
+  for (std::size_t i = 0; i < cat.num_edge_labels(); ++i) {
+    put_string(w, cat.edge_label_name(static_cast<LabelId>(i)));
+  }
+  w.write_varint(cat.num_properties());
+  for (std::size_t i = 0; i < cat.num_properties(); ++i) {
+    put_string(w, cat.property_name(static_cast<PropId>(i)));
+    w.write<std::uint8_t>(
+        static_cast<std::uint8_t>(cat.property_type(static_cast<PropId>(i))));
+  }
+  // Strings referenced by property values.
+  std::uint32_t num_strings = 0;
+  {
+    // The dictionary is append-only; find its size by probing render of
+    // string ids is wasteful — walk values instead.
+    std::uint32_t max_id = 0;
+    bool any = false;
+    const auto note = [&](const Value& v) {
+      if (v.type == ValueType::kString) {
+        any = true;
+        max_id = std::max(max_id, as_string_id(v));
+      }
+    };
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      for (PropId p = 0; p < cat.num_properties(); ++p) {
+        note(graph.property(v, p));
+      }
+    }
+    for (std::size_t i = 0; i < graph.out().num_entries(); ++i) {
+      for (PropId p = 0; p < cat.num_properties(); ++p) {
+        note(graph.out().edge_property(i, p));
+      }
+    }
+    num_strings = any ? max_id + 1 : 0;
+  }
+  w.write_varint(num_strings);
+  for (std::uint32_t i = 0; i < num_strings; ++i) {
+    put_string(w, cat.string_name(i));
+  }
+
+  // Vertices.
+  w.write_varint(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    w.write<std::uint16_t>(graph.label(v));
+  }
+  for (PropId p = 0; p < cat.num_properties(); ++p) {
+    put_column(w, graph.num_vertices(),
+               [&](std::uint64_t v) { return graph.property(v, p); });
+  }
+
+  // Edges, in out-CSR order (each edge exactly once).
+  w.write_varint(graph.num_edges());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto [begin, end] = graph.out().range(v);
+    for (std::size_t i = begin; i < end; ++i) {
+      const AdjEntry& e = graph.out().entry(i);
+      w.write_varint(v);
+      w.write_varint(e.other);
+      w.write<std::uint16_t>(e.elabel);
+    }
+  }
+  for (PropId p = 0; p < cat.num_properties(); ++p) {
+    // Column indexed by position in the out-CSR entry order.
+    put_column(w, graph.out().num_entries(), [&](std::uint64_t i) {
+      return graph.out().edge_property(i, p);
+    });
+  }
+
+  out.write(kMagic, sizeof(kMagic));
+  std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t size = buf.size();
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+}
+
+Graph load_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw QueryError("binary graph: bad magic");
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (version != kVersion) {
+    throw QueryError("binary graph: unsupported version " +
+                     std::to_string(version));
+  }
+  std::uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!in) throw QueryError("binary graph: truncated header");
+  std::vector<std::byte> buf(size);
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw QueryError("binary graph: truncated payload");
+
+  BinaryReader r(buf);
+  GraphBuilder b;
+  Catalog& cat = b.catalog();
+  const auto nvl = r.read_varint();
+  for (std::uint64_t i = 0; i < nvl; ++i) cat.vertex_label(r.read_string());
+  const auto nel = r.read_varint();
+  for (std::uint64_t i = 0; i < nel; ++i) cat.edge_label(r.read_string());
+  const auto nprops = r.read_varint();
+  for (std::uint64_t i = 0; i < nprops; ++i) {
+    const std::string name = r.read_string();
+    const auto type = static_cast<ValueType>(r.read<std::uint8_t>());
+    cat.property(name, type);
+  }
+  const auto nstrings = r.read_varint();
+  for (std::uint64_t i = 0; i < nstrings; ++i) cat.string_id(r.read_string());
+
+  const auto nvertices = r.read_varint();
+  for (std::uint64_t v = 0; v < nvertices; ++v) {
+    b.add_vertex(r.read<std::uint16_t>());
+  }
+  for (PropId p = 0; p < nprops; ++p) {
+    const auto present = r.read_varint();
+    for (std::uint64_t i = 0; i < present; ++i) {
+      const auto v = r.read_varint();
+      Value value;
+      value.type = static_cast<ValueType>(r.read<std::uint8_t>());
+      value.bits = r.read<std::uint64_t>();
+      b.set_property(v, p, value);
+    }
+  }
+
+  const auto nedges = r.read_varint();
+  for (std::uint64_t e = 0; e < nedges; ++e) {
+    const auto src = r.read_varint();
+    const auto dst = r.read_varint();
+    b.add_edge(src, dst, r.read<std::uint16_t>());
+  }
+  for (PropId p = 0; p < nprops; ++p) {
+    const auto present = r.read_varint();
+    for (std::uint64_t i = 0; i < present; ++i) {
+      const auto e = r.read_varint();
+      Value value;
+      value.type = static_cast<ValueType>(r.read<std::uint8_t>());
+      value.bits = r.read<std::uint64_t>();
+      b.set_edge_property(e, p, value);
+    }
+  }
+  engine_check(r.done(), "binary graph: trailing bytes");
+  return std::move(b).build();
+}
+
+void save_binary_file(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw QueryError("cannot open " + path);
+  save_binary(graph, out);
+}
+
+Graph load_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw QueryError("cannot open " + path);
+  return load_binary(in);
+}
+
+}  // namespace rpqd::io

@@ -1,0 +1,201 @@
+#include "io/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rpqd::io {
+
+namespace {
+
+[[noreturn]] void fail(const char* file, std::size_t line,
+                       const std::string& what) {
+  throw QueryError(std::string("csv ") + file + " line " +
+                   std::to_string(line) + ": " + what);
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (const char c : line) {
+    if (c == sep) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::int64_t parse_int(const std::string& s, const char* file,
+                       std::size_t line) {
+  std::int64_t value = 0;
+  const auto r = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (r.ec != std::errc{} || r.ptr != s.data() + s.size()) {
+    fail(file, line, "expected integer, got '" + s + "'");
+  }
+  return value;
+}
+
+// Parses one `key:type=value` cell and applies it via `apply`.
+template <typename ApplyFn>
+void parse_property(const std::string& cell, const char* file,
+                    std::size_t line, Catalog& catalog, ApplyFn apply) {
+  const auto colon = cell.find(':');
+  const auto eq = cell.find('=', colon == std::string::npos ? 0 : colon);
+  if (colon == std::string::npos || eq == std::string::npos || colon > eq) {
+    fail(file, line, "expected key:type=value, got '" + cell + "'");
+  }
+  const std::string key = cell.substr(0, colon);
+  const std::string type = cell.substr(colon + 1, eq - colon - 1);
+  const std::string text = cell.substr(eq + 1);
+  if (type == "int") {
+    apply(catalog.property(key, ValueType::kInt),
+          int_value(parse_int(text, file, line)));
+  } else if (type == "double") {
+    apply(catalog.property(key, ValueType::kDouble),
+          double_value(std::stod(text)));
+  } else if (type == "bool") {
+    if (text != "true" && text != "false") {
+      fail(file, line, "expected true/false, got '" + text + "'");
+    }
+    apply(catalog.property(key, ValueType::kBool), bool_value(text == "true"));
+  } else if (type == "string") {
+    apply(catalog.property(key, ValueType::kString),
+          string_value(catalog.string_id(text)));
+  } else {
+    fail(file, line, "unknown property type '" + type + "'");
+  }
+}
+
+}  // namespace
+
+Graph load_csv(std::istream& vertices, std::istream& edges,
+               const CsvOptions& options) {
+  GraphBuilder b;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(vertices, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split(line, options.separator);
+    if (fields.size() < 2) {
+      fail("vertices", line_no, "expected at least id|label");
+    }
+    const auto id = parse_int(fields[0], "vertices", line_no);
+    if (id < 0 || static_cast<std::uint64_t>(id) != b.num_vertices()) {
+      fail("vertices", line_no,
+           "vertex ids must be dense and ascending from 0 (got " +
+               fields[0] + ", expected " + std::to_string(b.num_vertices()) +
+               ")");
+    }
+    const VertexId v = b.add_vertex(fields[1]);
+    for (std::size_t f = 2; f < fields.size(); ++f) {
+      if (fields[f].empty()) continue;
+      parse_property(fields[f], "vertices", line_no, b.catalog(),
+                     [&](PropId p, Value value) { b.set_property(v, p, value); });
+    }
+  }
+
+  line_no = 0;
+  while (std::getline(edges, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split(line, options.separator);
+    if (fields.size() < 3) {
+      fail("edges", line_no, "expected at least src|dst|label");
+    }
+    const auto src = parse_int(fields[0], "edges", line_no);
+    const auto dst = parse_int(fields[1], "edges", line_no);
+    if (src < 0 || dst < 0 ||
+        static_cast<std::uint64_t>(src) >= b.num_vertices() ||
+        static_cast<std::uint64_t>(dst) >= b.num_vertices()) {
+      fail("edges", line_no, "edge endpoint out of range");
+    }
+    const EdgeId e = b.add_edge(static_cast<VertexId>(src),
+                                static_cast<VertexId>(dst), fields[2]);
+    for (std::size_t f = 3; f < fields.size(); ++f) {
+      if (fields[f].empty()) continue;
+      parse_property(fields[f], "edges", line_no, b.catalog(),
+                     [&](PropId p, Value value) {
+                       b.set_edge_property(e, p, value);
+                     });
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph load_csv_files(const std::string& vertices_path,
+                     const std::string& edges_path,
+                     const CsvOptions& options) {
+  std::ifstream vertices(vertices_path);
+  if (!vertices) throw QueryError("cannot open " + vertices_path);
+  std::ifstream edges(edges_path);
+  if (!edges) throw QueryError("cannot open " + edges_path);
+  return load_csv(vertices, edges, options);
+}
+
+namespace {
+
+void write_value(std::ostream& out, const Catalog& cat, PropId prop,
+                 const Value& v, char sep) {
+  out << sep << cat.property_name(prop) << ':';
+  switch (v.type) {
+    case ValueType::kInt: out << "int=" << as_int(v); break;
+    case ValueType::kDouble: out << "double=" << as_double(v); break;
+    case ValueType::kBool:
+      out << "bool=" << (as_bool(v) ? "true" : "false");
+      break;
+    case ValueType::kString:
+      out << "string=" << cat.string_name(as_string_id(v));
+      break;
+    default:
+      throw EngineError("csv: unsupported property value type");
+  }
+}
+
+}  // namespace
+
+void save_csv(const Graph& graph, std::ostream& vertices, std::ostream& edges,
+              const CsvOptions& options) {
+  const Catalog& cat = graph.catalog();
+  const char sep = options.separator;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    vertices << v << sep << cat.vertex_label_name(graph.label(v));
+    for (PropId p = 0; p < cat.num_properties(); ++p) {
+      const Value value = graph.property(v, p);
+      if (!is_null(value)) write_value(vertices, cat, p, value, sep);
+    }
+    vertices << '\n';
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto [begin, end] = graph.out().range(v);
+    for (std::size_t i = begin; i < end; ++i) {
+      const AdjEntry& e = graph.out().entry(i);
+      edges << v << sep << e.other << sep << cat.edge_label_name(e.elabel);
+      for (PropId p = 0; p < cat.num_properties(); ++p) {
+        const Value value = graph.out().edge_property(i, p);
+        if (!is_null(value)) write_value(edges, cat, p, value, sep);
+      }
+      edges << '\n';
+    }
+  }
+}
+
+void save_csv_files(const Graph& graph, const std::string& vertices_path,
+                    const std::string& edges_path, const CsvOptions& options) {
+  std::ofstream vertices(vertices_path);
+  if (!vertices) throw QueryError("cannot open " + vertices_path);
+  std::ofstream edges(edges_path);
+  if (!edges) throw QueryError("cannot open " + edges_path);
+  save_csv(graph, vertices, edges, options);
+}
+
+}  // namespace rpqd::io

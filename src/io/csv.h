@@ -1,0 +1,47 @@
+// CSV import/export for property graphs.
+//
+// Format (LDBC-style, pipe-separated by default):
+//
+//   vertices file:  id|label|prop:type|prop:type|...
+//                   0|Person|name:string=alice|age:int=34
+//   (header row declares nothing; every row carries `key:type=value`
+//   pairs after the label, so sparse properties need no schema up front)
+//
+//   edges file:     src|dst|label|prop:type=value|...
+//                   0|1|knows|since:int=2012
+//
+// Types: int, double, string, bool. Vertex ids must be dense 0..n-1
+// (the in-memory graph uses dense ids; a loader-level remapping would
+// hide bugs rather than help).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace rpqd::io {
+
+struct CsvOptions {
+  char separator = '|';
+};
+
+/// Parses a vertices stream + an edges stream into a graph.
+/// Throws QueryError with a line number on malformed input.
+Graph load_csv(std::istream& vertices, std::istream& edges,
+               const CsvOptions& options = {});
+
+/// Convenience: load from files.
+Graph load_csv_files(const std::string& vertices_path,
+                     const std::string& edges_path,
+                     const CsvOptions& options = {});
+
+/// Writes a graph back out in the same format (lossless round-trip).
+void save_csv(const Graph& graph, std::ostream& vertices,
+              std::ostream& edges, const CsvOptions& options = {});
+
+void save_csv_files(const Graph& graph, const std::string& vertices_path,
+                    const std::string& edges_path,
+                    const CsvOptions& options = {});
+
+}  // namespace rpqd::io

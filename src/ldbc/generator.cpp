@@ -1,0 +1,208 @@
+#include "ldbc/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ldbc/schema.h"
+
+namespace rpqd::ldbc {
+
+namespace {
+
+constexpr const char* kCountryNames[] = {
+    "Burma",     "India",     "China",      "Germany",   "France",
+    "Italy",     "Spain",     "Brazil",     "Canada",    "Mexico",
+    "Japan",     "Korea",     "Vietnam",    "Thailand",  "Egypt",
+    "Kenya",     "Nigeria",   "Peru",       "Chile",     "Poland",
+    "Sweden",    "Norway",    "Finland",    "Greece",    "Turkey",
+    "Portugal",  "Austria",   "Hungary",    "Romania",   "Morocco",
+};
+
+/// Geometric-ish child count with the given mean: sample a Poisson-like
+/// value via inverse-CDF of a geometric distribution. Deterministic, cheap.
+unsigned sample_children(Rng& rng, double mean, unsigned cap) {
+  if (mean <= 0.0) return 0;
+  // Geometric distribution on {0,1,2,...} with success prob p = 1/(1+mean)
+  // has mean `mean`.
+  const double p = 1.0 / (1.0 + mean);
+  const double u = rng.next_double();
+  const auto k = static_cast<unsigned>(std::log1p(-u) / std::log1p(-p));
+  return std::min(k, cap);
+}
+
+}  // namespace
+
+const char* country_name(unsigned index) {
+  return kCountryNames[index % std::size(kCountryNames)];
+}
+
+Graph generate_ldbc(const LdbcConfig& config, LdbcStats* out_stats) {
+  Rng rng(config.seed);
+  GraphBuilder b;
+  Catalog& cat = b.catalog();
+
+  cat.property(kName, ValueType::kString);
+  cat.property(kTitle, ValueType::kString);
+  const PropId p_id = cat.property(kIdProp, ValueType::kInt);
+  const PropId p_age = cat.property(kAge, ValueType::kInt);
+  const PropId p_date = cat.property(kCreationDate, ValueType::kInt);
+  const PropId p_length = cat.property(kLength, ValueType::kInt);
+
+  const auto num_persons =
+      std::max<std::size_t>(30, static_cast<std::size_t>(
+                                    1000.0 * config.scale_factor));
+
+  // --- Places -----------------------------------------------------------
+  const unsigned num_countries =
+      std::min<unsigned>(config.num_countries,
+                         static_cast<unsigned>(std::size(kCountryNames)));
+  std::vector<VertexId> countries;
+  std::vector<VertexId> cities;
+  std::vector<unsigned> city_country;
+  for (unsigned c = 0; c < num_countries; ++c) {
+    const VertexId country = b.add_vertex(kCountry);
+    b.set_string_property(country, kName, country_name(c));
+    countries.push_back(country);
+    for (unsigned k = 0; k < config.cities_per_country; ++k) {
+      const VertexId city = b.add_vertex(kCity);
+      b.set_string_property(
+          city, kName,
+          std::string(country_name(c)) + "-City-" + std::to_string(k));
+      b.add_edge(city, country, kIsPartOf);
+      cities.push_back(city);
+      city_country.push_back(c);
+    }
+  }
+
+  // --- Persons ----------------------------------------------------------
+  // Persons are skew-assigned to cities (zipf) so some cities are dense
+  // communities — this is what makes Q3's "Burma" filter narrow but the
+  // reachable sub-graph non-trivial.
+  ZipfSampler city_sampler(cities.size(), 0.6);
+  std::vector<VertexId> persons;
+  std::vector<std::size_t> person_city;
+  std::vector<std::vector<std::size_t>> city_members(cities.size());
+  persons.reserve(num_persons);
+  for (std::size_t i = 0; i < num_persons; ++i) {
+    const VertexId person = b.add_vertex(kPerson);
+    b.set_property(person, p_id, int_value(static_cast<std::int64_t>(i)));
+    b.set_property(person, p_age, int_value(rng.next_int(18, 80)));
+    b.set_property(person, p_date, int_value(rng.next_int(0, 3650)));
+    b.set_string_property(person, kName, "Person-" + std::to_string(i));
+    const std::size_t city = city_sampler.sample(rng);
+    person_city.push_back(city);
+    city_members[city].push_back(i);
+    b.add_edge(person, cities[city], kIsLocatedIn);
+    persons.push_back(person);
+  }
+
+  // --- Knows ------------------------------------------------------------
+  // One directed edge per unordered pair; queries use the undirected match
+  // -[:knows]- so both orientations are traversable.
+  std::size_t knows_edges = 0;
+  {
+    std::unordered_set<std::uint64_t> seen;
+    const auto half_degree = config.avg_knows_degree / 2.0;
+    for (std::size_t i = 0; i < num_persons; ++i) {
+      const unsigned edges = sample_children(rng, half_degree, 64);
+      for (unsigned e = 0; e < edges; ++e) {
+        std::size_t j;
+        if (rng.next_bool(config.knows_locality) &&
+            city_members[person_city[i]].size() > 1) {
+          const auto& members = city_members[person_city[i]];
+          j = members[rng.next_below(members.size())];
+        } else {
+          j = rng.next_below(num_persons);
+        }
+        if (j == i) continue;
+        const auto a = std::min(i, j);
+        const auto z = std::max(i, j);
+        const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | z;
+        if (!seen.insert(key).second) continue;
+        b.add_edge(persons[a], persons[z], kKnows);
+        ++knows_edges;
+      }
+    }
+  }
+
+  // --- Tags -------------------------------------------------------------
+  std::vector<VertexId> tags;
+  for (unsigned t = 0; t < config.num_tags; ++t) {
+    const VertexId tag = b.add_vertex(kTag);
+    b.set_string_property(tag, kName, "Tag-" + std::to_string(t));
+    tags.push_back(tag);
+  }
+  ZipfSampler tag_sampler(tags.size(), 1.1);
+
+  // --- Forums, posts, reply trees ---------------------------------------
+  const auto num_forums = std::max<std::size_t>(4, num_persons / 10);
+  ZipfSampler person_sampler(num_persons, 0.8);
+  std::size_t num_posts = 0;
+  std::size_t num_comments = 0;
+  std::vector<VertexId> forums;
+  for (std::size_t f = 0; f < num_forums; ++f) {
+    const VertexId forum = b.add_vertex(kForum);
+    b.set_string_property(forum, kTitle, "Forum-" + std::to_string(f));
+    forums.push_back(forum);
+    // Moderator: skewed so popular persons moderate many forums.
+    const std::size_t moderator = person_sampler.sample(rng);
+    b.add_edge(forum, persons[moderator], kHasModerator);
+    const unsigned members = sample_children(
+        rng, config.members_per_forum, 4 * static_cast<unsigned>(
+                                               config.members_per_forum) + 8);
+    for (unsigned m = 0; m < members; ++m) {
+      b.add_edge(forum, persons[person_sampler.sample(rng)], kHasMember);
+    }
+
+    const unsigned posts = sample_children(
+        rng, config.posts_per_forum,
+        8 * static_cast<unsigned>(config.posts_per_forum) + 8);
+    for (unsigned pi = 0; pi < posts; ++pi) {
+      const VertexId post = b.add_vertex(kPost);
+      ++num_posts;
+      b.set_property(post, p_date, int_value(rng.next_int(0, 3650)));
+      b.set_property(post, p_length, int_value(rng.next_int(5, 500)));
+      b.add_edge(forum, post, kContainerOf);
+      b.add_edge(post, persons[person_sampler.sample(rng)], kHasCreator);
+      b.add_edge(post, tags[tag_sampler.sample(rng)], kHasTag);
+
+      // Reply tree: branching decays geometrically with depth, yielding
+      // the explode-then-decay per-depth profile of Table 2.
+      std::vector<std::pair<VertexId, unsigned>> frontier{{post, 0}};
+      while (!frontier.empty()) {
+        const auto [parent, depth] = frontier.back();
+        frontier.pop_back();
+        if (depth >= config.max_reply_depth) continue;
+        const double mean =
+            config.reply_branching * std::pow(config.reply_decay, depth);
+        const unsigned children = sample_children(rng, mean, 16);
+        for (unsigned c = 0; c < children; ++c) {
+          const VertexId comment = b.add_vertex(kComment);
+          ++num_comments;
+          b.set_property(comment, p_date, int_value(rng.next_int(0, 3650)));
+          b.set_property(comment, p_length, int_value(rng.next_int(1, 200)));
+          b.add_edge(comment, parent, kReplyOf);
+          b.add_edge(comment, persons[person_sampler.sample(rng)],
+                     kHasCreator);
+          frontier.emplace_back(comment, depth + 1);
+        }
+      }
+    }
+  }
+
+  if (out_stats != nullptr) {
+    out_stats->persons = num_persons;
+    out_stats->forums = num_forums;
+    out_stats->posts = num_posts;
+    out_stats->comments = num_comments;
+    out_stats->knows_edges = knows_edges;
+    out_stats->total_vertices = b.num_vertices();
+    out_stats->total_edges = b.num_edges();
+  }
+  return std::move(b).build();
+}
+
+}  // namespace rpqd::ldbc

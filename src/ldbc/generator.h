@@ -1,0 +1,71 @@
+// Deterministic synthetic LDBC-SNB-like graph generator.
+//
+// The paper evaluates on LDBC SF10 (27M vertices / 170M edges) and SF100.
+// Those datasets (and the cluster to hold them) are unavailable here, so
+// this generator synthesizes graphs with the same *topological shapes*
+// that drive the paper's results, at scales that fit the simulated
+// cluster:
+//
+//  * power-law Forum/Post/Comment reply trees whose per-depth match counts
+//    first explode and then decay exponentially (Table 2 / Q9 / Figure 3),
+//  * a community-structured Person/Knows graph with enough density that
+//    2–3-hop neighbourhoods explode and revisit vertices heavily
+//    (Table 3 / Q10),
+//  * a Country ← City ← Person place hierarchy giving the narrow
+//    single-vertex starting points of Q3 ("country.name = 'Burma'").
+//
+// Everything is seeded: the same config always yields the same graph.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace rpqd::ldbc {
+
+struct LdbcConfig {
+  /// Scale knob, loosely "thousandths of persons": persons = 1000 * sf.
+  double scale_factor = 0.1;
+  std::uint64_t seed = 7;
+
+  /// Average number of Knows edges per person (LDBC SF10 averages ~19).
+  double avg_knows_degree = 12.0;
+  /// Fraction of a person's Knows edges kept inside their own city.
+  double knows_locality = 0.7;
+
+  /// Mean direct replies per Post (root of the reply tree).
+  double reply_branching = 1.9;
+  /// Geometric decay of the mean branching factor per reply depth;
+  /// together with reply_branching this shapes the Table-2 curve.
+  double reply_decay = 0.62;
+  /// Hard cap on reply-tree depth.
+  unsigned max_reply_depth = 12;
+
+  /// Posts per forum (mean; zipf-skewed per forum).
+  double posts_per_forum = 8.0;
+  /// Persons per forum membership (mean).
+  double members_per_forum = 6.0;
+
+  unsigned num_countries = 24;
+  unsigned cities_per_country = 4;
+  unsigned num_tags = 64;
+};
+
+struct LdbcStats {
+  std::size_t persons = 0;
+  std::size_t forums = 0;
+  std::size_t posts = 0;
+  std::size_t comments = 0;
+  std::size_t knows_edges = 0;
+  std::size_t total_vertices = 0;
+  std::size_t total_edges = 0;
+};
+
+/// Generates the graph. `out_stats` (optional) receives entity counts.
+Graph generate_ldbc(const LdbcConfig& config, LdbcStats* out_stats = nullptr);
+
+/// The fixed country-name list; index 0 is "Burma" (the Q3 filter).
+const char* country_name(unsigned index);
+
+}  // namespace rpqd::ldbc

@@ -1,0 +1,39 @@
+// Names of the LDBC-SNB-like schema produced by the generator.
+//
+// Only the slice of the LDBC SNB schema that the paper's nine benchmark
+// queries touch is generated: the Person/Knows social graph with the
+// place hierarchy (Q10, Q3 start filters), and the Forum/Post/Comment
+// message trees with replyOf chains (Q3, Q9, Figure 3).
+#pragma once
+
+namespace rpqd::ldbc {
+
+// Vertex labels.
+inline constexpr const char* kCountry = "Country";
+inline constexpr const char* kCity = "City";
+inline constexpr const char* kPerson = "Person";
+inline constexpr const char* kForum = "Forum";
+inline constexpr const char* kPost = "Post";
+inline constexpr const char* kComment = "Comment";
+inline constexpr const char* kTag = "Tag";
+
+// Edge labels.
+inline constexpr const char* kIsPartOf = "isPartOf";        // City -> Country
+inline constexpr const char* kIsLocatedIn = "isLocatedIn";  // Person -> City
+inline constexpr const char* kKnows = "knows";              // Person -> Person
+inline constexpr const char* kHasModerator = "hasModerator";  // Forum -> Person
+inline constexpr const char* kHasMember = "hasMember";        // Forum -> Person
+inline constexpr const char* kContainerOf = "containerOf";    // Forum -> Post
+inline constexpr const char* kHasCreator = "hasCreator";  // Post|Comment -> Person
+inline constexpr const char* kReplyOf = "replyOf";  // Comment -> Post|Comment
+inline constexpr const char* kHasTag = "hasTag";    // Post|Comment -> Tag
+
+// Property keys.
+inline constexpr const char* kName = "name";                  // string
+inline constexpr const char* kIdProp = "id";                  // int
+inline constexpr const char* kAge = "age";                    // int
+inline constexpr const char* kCreationDate = "creationDate";  // int (days)
+inline constexpr const char* kTitle = "title";                // string
+inline constexpr const char* kLength = "length";              // int
+
+}  // namespace rpqd::ldbc

@@ -1,0 +1,105 @@
+#include "ldbc/synthetic.h"
+
+#include <deque>
+#include <string>
+
+#include "common/rng.h"
+
+namespace rpqd::synthetic {
+
+namespace {
+
+void set_id(GraphBuilder& b, VertexId v, std::int64_t id) {
+  b.set_property(v, "id", int_value(id));
+}
+
+}  // namespace
+
+Graph make_chain(std::size_t n, const char* vlabel, const char* elabel) {
+  GraphBuilder b;
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = b.add_vertex(vlabel);
+    set_id(b, v, static_cast<std::int64_t>(i));
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_edge(i, i + 1, elabel);
+  }
+  return std::move(b).build();
+}
+
+Graph make_cycle(std::size_t n, const char* vlabel, const char* elabel) {
+  GraphBuilder b;
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = b.add_vertex(vlabel);
+    set_id(b, v, static_cast<std::int64_t>(i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add_edge(i, (i + 1) % n, elabel);
+  }
+  return std::move(b).build();
+}
+
+Graph make_tree(unsigned arity, unsigned depth, const char* root_label,
+                const char* vlabel, const char* elabel) {
+  GraphBuilder b;
+  const VertexId root = b.add_vertex(root_label);
+  set_id(b, root, 0);
+  std::deque<std::pair<VertexId, unsigned>> frontier{{root, 0}};
+  while (!frontier.empty()) {
+    const auto [parent, d] = frontier.front();
+    frontier.pop_front();
+    if (d >= depth) continue;
+    for (unsigned c = 0; c < arity; ++c) {
+      const VertexId child = b.add_vertex(vlabel);
+      set_id(b, child, static_cast<std::int64_t>(child));
+      b.add_edge(child, parent, elabel);
+      frontier.emplace_back(child, d + 1);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph make_complete(std::size_t n, const char* vlabel, const char* elabel) {
+  GraphBuilder b;
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = b.add_vertex(vlabel);
+    set_id(b, v, static_cast<std::int64_t>(i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) b.add_edge(i, j, elabel);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph make_random(const RandomGraphConfig& config) {
+  Rng rng(config.seed);
+  GraphBuilder b;
+  for (unsigned l = 0; l < config.num_vertex_labels; ++l) {
+    b.catalog().vertex_label("L" + std::to_string(l));
+  }
+  for (unsigned l = 0; l < config.num_edge_labels; ++l) {
+    b.catalog().edge_label("e" + std::to_string(l));
+  }
+  for (std::size_t i = 0; i < config.num_vertices; ++i) {
+    const auto label =
+        static_cast<LabelId>(rng.next_below(config.num_vertex_labels));
+    const VertexId v = b.add_vertex(label);
+    set_id(b, v, static_cast<std::int64_t>(i));
+    b.set_property(v, "weight", int_value(rng.next_int(0, 100)));
+  }
+  for (std::size_t e = 0; e < config.num_edges; ++e) {
+    const VertexId src = rng.next_below(config.num_vertices);
+    VertexId dst = rng.next_below(config.num_vertices);
+    if (!config.allow_self_loops && dst == src) {
+      dst = (dst + 1) % config.num_vertices;
+      if (dst == src) continue;  // single-vertex graph
+    }
+    b.add_edge(src, dst,
+               static_cast<LabelId>(rng.next_below(config.num_edge_labels)));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace rpqd::synthetic

@@ -1,0 +1,44 @@
+// Small synthetic graphs for tests and micro-benchmarks: chains, trees,
+// cycles, cliques, and seeded random graphs. These drive the unit tests
+// and the property-based engine-agreement oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace rpqd::synthetic {
+
+/// Directed chain v0 -> v1 -> ... -> v(n-1), all edges labelled `elabel`,
+/// all vertices labelled `vlabel`. Vertex property "id" holds the index.
+Graph make_chain(std::size_t n, const char* vlabel = "Node",
+                 const char* elabel = "next");
+
+/// Directed cycle of n vertices.
+Graph make_cycle(std::size_t n, const char* vlabel = "Node",
+                 const char* elabel = "next");
+
+/// Complete k-ary tree of the given depth; edges point child -> parent
+/// (label `elabel`), mirroring LDBC's replyOf orientation. The root has
+/// label `root_label`, inner vertices `vlabel`.
+Graph make_tree(unsigned arity, unsigned depth, const char* root_label = "Root",
+                const char* vlabel = "Node", const char* elabel = "replyOf");
+
+/// Complete directed graph on n vertices (both directions, no self loops).
+Graph make_complete(std::size_t n, const char* vlabel = "Node",
+                    const char* elabel = "edge");
+
+struct RandomGraphConfig {
+  std::size_t num_vertices = 50;
+  std::size_t num_edges = 150;
+  unsigned num_vertex_labels = 3;
+  unsigned num_edge_labels = 3;
+  bool allow_self_loops = false;
+  std::uint64_t seed = 1;
+};
+
+/// Seeded uniform random multigraph with labelled vertices/edges and an
+/// integer "id" plus "weight" property per vertex.
+Graph make_random(const RandomGraphConfig& config);
+
+}  // namespace rpqd::synthetic

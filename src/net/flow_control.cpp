@@ -1,0 +1,149 @@
+#include "net/flow_control.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace rpqd {
+
+const char* to_string(CreditClass c) {
+  switch (c) {
+    case CreditClass::kFixed: return "fixed";
+    case CreditClass::kRpqDedicated: return "rpq-dedicated";
+    case CreditClass::kRpqShared: return "rpq-shared";
+    case CreditClass::kRpqOverflow: return "rpq-overflow";
+    case CreditClass::kEmergency: return "emergency";
+  }
+  return "?";
+}
+
+FlowControl::FlowControl(const EngineConfig& config, unsigned num_machines,
+                         std::vector<bool> is_rpq_stage)
+    : config_(config), num_machines_(num_machines) {
+  const auto num_stages = static_cast<unsigned>(is_rpq_stage.size());
+  engine_check(num_stages > 0, "flow control needs at least one stage");
+
+  // Partition the per-machine buffer allowance equally among stages and
+  // destinations; every (stage, destination) slot gets at least two
+  // buffers (one sending, one receiving) as required by §3.3.
+  const unsigned slots = num_stages * num_machines;
+  per_slot_credits_ =
+      std::max(2u, config.buffers_per_machine / std::max(1u, slots));
+
+  pools_.resize(num_stages);
+  for (unsigned s = 0; s < num_stages; ++s) {
+    StagePool& pool = pools_[s];
+    pool.is_rpq = is_rpq_stage[s];
+    pool.dedicated.resize(num_machines);
+    pool.shared.assign(num_machines, 0);
+    pool.overflow_out.resize(num_machines);
+    for (unsigned m = 0; m < num_machines; ++m) {
+      if (pool.is_rpq) {
+        // Per-depth dedicated credits up to D; the same per-slot
+        // allowance is spread over the depth window.
+        const unsigned window = std::max(1u, config.rpq_preallocated_depth);
+        const unsigned per_depth =
+            std::max(1u, per_slot_credits_ / window);
+        pool.dedicated[m].assign(window, per_depth);
+        pool.shared[m] = config.rpq_shared_credits_per_stage;
+      } else {
+        pool.dedicated[m].assign(1, per_slot_credits_);
+      }
+    }
+  }
+}
+
+std::optional<CreditClass> FlowControl::try_acquire(MachineId dest,
+                                                    StageId stage,
+                                                    Depth depth) {
+  std::lock_guard lock(mutex_);
+  engine_check(stage < pools_.size(), "flow control: stage out of range");
+  StagePool& pool = pools_[stage];
+  auto grant = [&](CreditClass c) {
+    ++stats_.acquired;
+    ++outstanding_;
+    return std::optional<CreditClass>(c);
+  };
+  if (!pool.is_rpq) {
+    unsigned& credits = pool.dedicated[dest][0];
+    if (credits > 0) {
+      --credits;
+      return grant(CreditClass::kFixed);
+    }
+    ++stats_.blocked;
+    return std::nullopt;
+  }
+  // RPQ stage: dedicated window first, then the shared pool, then one
+  // overflow credit per depth.
+  auto& window = pool.dedicated[dest];
+  if (depth < window.size() && window[depth] > 0) {
+    --window[depth];
+    return grant(CreditClass::kRpqDedicated);
+  }
+  if (pool.shared[dest] > 0) {
+    --pool.shared[dest];
+    ++stats_.shared_used;
+    return grant(CreditClass::kRpqShared);
+  }
+  auto& overflow = pool.overflow_out[dest];
+  if (config_.rpq_overflow_credits_per_depth > 0 &&
+      overflow.count(depth) == 0) {
+    overflow.insert(depth);
+    ++stats_.overflow_used;
+    return grant(CreditClass::kRpqOverflow);
+  }
+  ++stats_.blocked;
+  return std::nullopt;
+}
+
+void FlowControl::wait_for_release(std::chrono::microseconds max_wait) {
+  std::unique_lock lock(mutex_);
+  released_.wait_for(lock, max_wait);
+}
+
+void FlowControl::release(MachineId dest, StageId stage, Depth depth,
+                          CreditClass credit) {
+  std::lock_guard lock(mutex_);
+  released_.notify_all();
+  engine_check(stage < pools_.size(), "flow control: stage out of range");
+  StagePool& pool = pools_[stage];
+  engine_check(outstanding_ > 0, "flow control: release without acquire");
+  --outstanding_;
+  switch (credit) {
+    case CreditClass::kFixed:
+      ++pool.dedicated[dest][0];
+      return;
+    case CreditClass::kRpqDedicated:
+      engine_check(depth < pool.dedicated[dest].size(),
+                   "flow control: bad dedicated depth");
+      ++pool.dedicated[dest][depth];
+      return;
+    case CreditClass::kRpqShared:
+      ++pool.shared[dest];
+      return;
+    case CreditClass::kRpqOverflow:
+      pool.overflow_out[dest].erase(depth);
+      return;
+    case CreditClass::kEmergency:
+      return;  // unbounded; nothing to return to
+  }
+}
+
+CreditClass FlowControl::acquire_emergency() {
+  std::lock_guard lock(mutex_);
+  ++stats_.emergency_used;
+  ++outstanding_;
+  return CreditClass::kEmergency;
+}
+
+FlowControlStats FlowControl::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::uint64_t FlowControl::outstanding() const {
+  std::lock_guard lock(mutex_);
+  return outstanding_;
+}
+
+}  // namespace rpqd

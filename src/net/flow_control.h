@@ -1,0 +1,87 @@
+// Credit-based flow control (§3.3).
+//
+// Each machine owns a fixed allowance of message buffers, partitioned
+// equally among stages and destination machines. RPQ stages additionally
+// partition their buffers per depth up to a preconfigured depth D;
+// depths >= D draw from a small shared pool per path stage, and a bounded
+// number of overflow credits (one per observed depth) break the livelock
+// where a path stage is blocked at depth D but credits only free up after
+// matching at depth > D.
+//
+// A credit is acquired before sending to a destination machine and
+// released when that machine reports the buffer processed (DONE message).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.h"
+#include "net/message.h"
+
+namespace rpqd {
+
+struct FlowControlStats {
+  std::uint64_t acquired = 0;
+  std::uint64_t blocked = 0;        // try_acquire failures (§4.2 metric)
+  std::uint64_t shared_used = 0;
+  std::uint64_t overflow_used = 0;
+  std::uint64_t emergency_used = 0;
+};
+
+class FlowControl {
+ public:
+  /// `is_rpq_stage[s]` marks path/control stages (they use the RPQ
+  /// partitioning); other stages use the fixed per-(stage,machine) pools.
+  FlowControl(const EngineConfig& config, unsigned num_machines,
+              std::vector<bool> is_rpq_stage);
+
+  /// Tries to take one send credit for (dest, stage, depth). Returns the
+  /// credit class consumed, or nullopt when the caller must back off and
+  /// process incoming work instead (pickup rule iii of §3.2).
+  std::optional<CreditClass> try_acquire(MachineId dest, StageId stage,
+                                         Depth depth);
+
+  /// Returns a credit (on receipt of the matching DONE message).
+  void release(MachineId dest, StageId stage, Depth depth, CreditClass credit);
+
+  /// Last-resort credit when a worker exhausted its pickup-nesting budget
+  /// and spun without progress. Unbounded but counted: a healthy run never
+  /// takes one (asserted by tests).
+  CreditClass acquire_emergency();
+
+  /// Blocks up to `max_wait` for any credit release, so blocked senders
+  /// wake immediately when a DONE returns instead of polling.
+  void wait_for_release(std::chrono::microseconds max_wait);
+
+  FlowControlStats stats() const;
+
+  /// Total credits currently outstanding (for leak checks in tests).
+  std::uint64_t outstanding() const;
+
+ private:
+  struct StagePool {
+    bool is_rpq = false;
+    // Fixed stages: one counter per destination machine.
+    // RPQ stages: per destination, one counter per depth < D, plus a
+    // shared counter and an overflow set keyed by depth.
+    std::vector<std::vector<unsigned>> dedicated;  // [dest][depth or 0]
+    std::vector<unsigned> shared;                  // [dest]
+    std::vector<std::unordered_set<Depth>> overflow_out;  // [dest] in-use
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable released_;
+  EngineConfig config_;
+  unsigned num_machines_;
+  std::vector<StagePool> pools_;
+  unsigned per_slot_credits_ = 2;
+  FlowControlStats stats_;
+  std::uint64_t outstanding_ = 0;
+};
+
+}  // namespace rpqd

@@ -1,0 +1,49 @@
+// Wire format of the simulated cluster fabric.
+//
+// Everything that crosses machines is a Message: a small POD header plus
+// a serialized payload. Data messages batch many execution contexts for
+// one (stage, depth); DONE messages return flow-control credits (§3.3);
+// termination messages carry the status broadcasts of §3.4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rpqd {
+
+enum class MessageType : std::uint8_t {
+  kData,         // batched execution contexts
+  kDone,         // flow-control credit return
+  kTermination,  // termination-protocol status broadcast
+};
+
+/// Which flow-control credit a data message consumed; echoed back in the
+/// DONE message so the sender releases the right pool (§3.3).
+enum class CreditClass : std::uint8_t {
+  kFixed,         // per-(stage, machine) preallocated buffer
+  kRpqDedicated,  // per-(path stage, machine, depth < D) buffer
+  kRpqShared,     // shared pool for depths >= D
+  kRpqOverflow,   // livelock-avoidance overflow buffer
+  kEmergency,     // unbounded safety valve; never used in healthy runs
+};
+
+struct MessageHeader {
+  MessageType type = MessageType::kData;
+  MachineId src = 0;
+  StageId stage = kInvalidStage;  // target stage (kData)
+  Depth depth = 0;                // RPQ depth of the batch (kData)
+  std::uint32_t count = 0;        // #contexts in the payload (kData)
+  CreditClass credit = CreditClass::kFixed;
+  Depth credit_depth = 0;  // depth the credit was charged at
+};
+
+struct Message {
+  MessageHeader header;
+  std::vector<std::byte> payload;
+};
+
+const char* to_string(CreditClass c);
+
+}  // namespace rpqd

@@ -1,0 +1,83 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace rpqd {
+
+void NetStats::note_queued(std::uint64_t delta_add) {
+  const auto now =
+      queued_bytes.fetch_add(delta_add, std::memory_order_relaxed) + delta_add;
+  auto peak = peak_queued_bytes.load(std::memory_order_relaxed);
+  while (now > peak && !peak_queued_bytes.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void NetStats::note_dequeued(std::uint64_t delta_sub) {
+  queued_bytes.fetch_sub(delta_sub, std::memory_order_relaxed);
+}
+
+void Inbox::push(Message msg, NetStats& stats) {
+  switch (msg.header.type) {
+    case MessageType::kDone:
+      // Receiver-thread behaviour: return the credit immediately.
+      stats.done_messages.fetch_add(1, std::memory_order_relaxed);
+      engine_check(flow_ != nullptr, "inbox without flow control");
+      flow_->release(msg.header.src, msg.header.stage,
+                     msg.header.credit_depth, msg.header.credit);
+      return;
+    case MessageType::kTermination:
+      stats.term_messages.fetch_add(1, std::memory_order_relaxed);
+      term_.push(std::move(msg));
+      return;
+    case MessageType::kData: {
+      stats.data_messages.fetch_add(1, std::memory_order_relaxed);
+      stats.contexts.fetch_add(msg.header.count, std::memory_order_relaxed);
+      const auto bytes = static_cast<std::uint64_t>(msg.payload.size());
+      stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
+      stats.note_queued(bytes);
+      const auto cmp = [this](const Entry& a, const Entry& b) {
+        return before(a, b);
+      };
+      std::lock_guard lock(mutex_);
+      heap_.push_back(Entry{std::move(msg), next_seq_++});
+      std::push_heap(heap_.begin(), heap_.end(), cmp);
+      return;
+    }
+  }
+}
+
+std::optional<Message> Inbox::try_pop_data(NetStats& stats) {
+  const auto cmp = [this](const Entry& a, const Entry& b) {
+    return before(a, b);
+  };
+  std::unique_lock lock(mutex_);
+  if (heap_.empty()) return std::nullopt;
+  std::pop_heap(heap_.begin(), heap_.end(), cmp);
+  Message msg = std::move(heap_.back().msg);
+  heap_.pop_back();
+  lock.unlock();
+  stats.note_dequeued(msg.payload.size());
+  return msg;
+}
+
+std::optional<Message> Inbox::try_pop_term() { return term_.try_pop(); }
+
+bool Inbox::has_data() const {
+  std::lock_guard lock(mutex_);
+  return !heap_.empty();
+}
+
+std::size_t Inbox::data_size() const {
+  std::lock_guard lock(mutex_);
+  return heap_.size();
+}
+
+void Network::send(MachineId dest, Message msg) {
+  engine_check(dest < inboxes_.size(), "send to unknown machine");
+  inboxes_[dest].push(std::move(msg), stats_);
+}
+
+}  // namespace rpqd

@@ -1,0 +1,106 @@
+// Simulated cluster fabric: per-machine inboxes with the paper's pickup
+// priority, and a Network object that models the interconnect.
+//
+// Delivery is a thread-safe push into the destination inbox — the
+// simulation's stand-in for the paper's InfiniBand + dedicated receiver
+// threads. DONE messages are handled at delivery time (credits return to
+// the local FlowControl immediately, as a receiver thread would do);
+// data messages queue in a priority heap ordered by (depth desc, stage
+// desc), implementing §3.2's "larger depth first, later stage first";
+// termination broadcasts queue separately and are drained by idle workers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/queue.h"
+#include "net/flow_control.h"
+#include "net/message.h"
+
+namespace rpqd {
+
+struct NetStats {
+  std::atomic<std::uint64_t> data_messages{0};
+  std::atomic<std::uint64_t> done_messages{0};
+  std::atomic<std::uint64_t> term_messages{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> contexts{0};
+  std::atomic<std::uint64_t> queued_bytes{0};  // currently buffered
+  std::atomic<std::uint64_t> peak_queued_bytes{0};
+
+  void note_queued(std::uint64_t delta_add);
+  void note_dequeued(std::uint64_t delta_sub);
+};
+
+class Inbox {
+ public:
+  /// DONE messages release credits on this flow control at delivery time.
+  void attach_flow_control(FlowControl* fc) { flow_ = fc; }
+
+  /// Ablation knob (§3.2): false switches pickup to FIFO order instead
+  /// of the deepest-depth / latest-stage priority. Set before any push.
+  void set_deep_priority(bool enabled) { deep_priority_ = enabled; }
+
+  void push(Message msg, NetStats& stats);
+
+  /// Pops the highest-priority data message: larger depth first, then
+  /// later stage first (§3.2 messaging rules); FIFO in ablation mode.
+  std::optional<Message> try_pop_data(NetStats& stats);
+
+  std::optional<Message> try_pop_term();
+
+  bool has_data() const;
+  std::size_t data_size() const;
+
+ private:
+  struct Entry {
+    Message msg;
+    std::uint64_t seq = 0;  // FIFO tiebreak / FIFO-mode key
+  };
+
+  // Max-heap order: priority mode compares (depth, stage), FIFO mode
+  // compares arrival order (older first).
+  bool before(const Entry& a, const Entry& b) const {
+    if (deep_priority_) {
+      if (a.msg.header.depth != b.msg.header.depth) {
+        return a.msg.header.depth < b.msg.header.depth;
+      }
+      if (a.msg.header.stage != b.msg.header.stage) {
+        return a.msg.header.stage < b.msg.header.stage;
+      }
+    }
+    return a.seq > b.seq;  // older messages win ties / FIFO mode
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+  bool deep_priority_ = true;
+  MpmcQueue<Message> term_;
+  FlowControl* flow_ = nullptr;
+};
+
+/// The interconnect: owns one inbox per machine plus global statistics.
+class Network {
+ public:
+  explicit Network(unsigned num_machines) : inboxes_(num_machines) {}
+
+  unsigned num_machines() const {
+    return static_cast<unsigned>(inboxes_.size());
+  }
+
+  void send(MachineId dest, Message msg);
+
+  Inbox& inbox(MachineId m) { return inboxes_[m]; }
+  NetStats& stats() { return stats_; }
+  const NetStats& stats() const { return stats_; }
+
+ private:
+  std::vector<Inbox> inboxes_;
+  NetStats stats_;
+};
+
+}  // namespace rpqd

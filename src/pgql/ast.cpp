@@ -1,0 +1,151 @@
+#include "pgql/ast.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rpqd::pgql {
+
+ExprPtr make_int(std::int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntLit;
+  e->int_value = v;
+  return e;
+}
+
+ExprPtr make_double(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kDoubleLit;
+  e->double_value = v;
+  return e;
+}
+
+ExprPtr make_string(std::string v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStringLit;
+  e->text = std::move(v);
+  return e;
+}
+
+ExprPtr make_bool(bool v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBoolLit;
+  e->bool_value = v;
+  return e;
+}
+
+ExprPtr make_prop_ref(std::string var, std::string prop) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kPropRef;
+  e->text = std::move(var);
+  e->prop = std::move(prop);
+  return e;
+}
+
+ExprPtr make_id_func(std::string var) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIdFunc;
+  e->text = std::move(var);
+  return e;
+}
+
+ExprPtr make_label_func(std::string var) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLabelFunc;
+  e->text = std::move(var);
+  return e;
+}
+
+ExprPtr make_unary(UnOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr clone(const Expr& e) {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = e.kind;
+  copy->int_value = e.int_value;
+  copy->double_value = e.double_value;
+  copy->bool_value = e.bool_value;
+  copy->text = e.text;
+  copy->prop = e.prop;
+  copy->bin_op = e.bin_op;
+  copy->un_op = e.un_op;
+  if (e.lhs) copy->lhs = clone(*e.lhs);
+  if (e.rhs) copy->rhs = clone(*e.rhs);
+  return copy;
+}
+
+void collect_vars(const Expr& e, std::vector<std::string>& out) {
+  switch (e.kind) {
+    case ExprKind::kPropRef:
+    case ExprKind::kIdFunc:
+    case ExprKind::kLabelFunc:
+      if (std::find(out.begin(), out.end(), e.text) == out.end()) {
+        out.push_back(e.text);
+      }
+      break;
+    default:
+      break;
+  }
+  if (e.lhs) collect_vars(*e.lhs, out);
+  if (e.rhs) collect_vars(*e.rhs, out);
+}
+
+namespace {
+
+const char* bin_op_text(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_text(const Expr& e) {
+  std::ostringstream out;
+  switch (e.kind) {
+    case ExprKind::kIntLit: out << e.int_value; break;
+    case ExprKind::kDoubleLit: out << e.double_value; break;
+    case ExprKind::kStringLit: out << '\'' << e.text << '\''; break;
+    case ExprKind::kBoolLit: out << (e.bool_value ? "true" : "false"); break;
+    case ExprKind::kPropRef: out << e.text << '.' << e.prop; break;
+    case ExprKind::kIdFunc: out << "id(" << e.text << ')'; break;
+    case ExprKind::kLabelFunc: out << "label(" << e.text << ')'; break;
+    case ExprKind::kUnary:
+      out << (e.un_op == UnOp::kNeg ? "-" : "NOT ") << '(' << to_text(*e.lhs)
+          << ')';
+      break;
+    case ExprKind::kBinary:
+      out << '(' << to_text(*e.lhs) << ' ' << bin_op_text(e.bin_op) << ' '
+          << to_text(*e.rhs) << ')';
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace rpqd::pgql

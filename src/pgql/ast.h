@@ -1,0 +1,138 @@
+// Abstract syntax tree for the PGQL subset (see README for the grammar).
+//
+// The subset mirrors what the paper's engine evaluates: SELECT with
+// projections or COUNT(*), MATCH over one or more (possibly non-linear)
+// pattern chains, fixed edges and RPQ segments with quantifiers, PATH
+// macros with per-iteration WHERE filters, and a query-level WHERE that
+// may cross-filter into path variables (§1, §2).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rpqd::pgql {
+
+// ---------------------------------------------------------------- exprs --
+
+enum class BinOp : std::uint8_t {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr,
+};
+
+enum class UnOp : std::uint8_t { kNeg, kNot };
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kDoubleLit,
+  kStringLit,
+  kBoolLit,
+  kPropRef,   // var.prop
+  kIdFunc,    // id(var)
+  kLabelFunc, // label(var) — evaluates to the vertex label name
+  kUnary,
+  kBinary,
+};
+
+struct Expr {
+  ExprKind kind{};
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+  std::string text;  // string literal, or variable name for refs
+  std::string prop;  // property name for kPropRef
+  BinOp bin_op{};
+  UnOp un_op{};
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr make_int(std::int64_t v);
+ExprPtr make_double(double v);
+ExprPtr make_string(std::string v);
+ExprPtr make_bool(bool v);
+ExprPtr make_prop_ref(std::string var, std::string prop);
+ExprPtr make_id_func(std::string var);
+ExprPtr make_label_func(std::string var);
+ExprPtr make_unary(UnOp op, ExprPtr operand);
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+
+/// Deep copy (used when a filter is duplicated into several plan stages).
+ExprPtr clone(const Expr& e);
+
+/// Collects the distinct variable names referenced by an expression.
+void collect_vars(const Expr& e, std::vector<std::string>& out);
+
+/// Renders the expression back to (normalized) PGQL text, for debugging
+/// and EXPLAIN output.
+std::string to_text(const Expr& e);
+
+// ------------------------------------------------------------- patterns --
+
+/// Quantifier of an RPQ segment; max == kUnboundedDepth means unbounded.
+struct Quantifier {
+  Depth min = 1;
+  Depth max = 1;
+};
+
+struct VertexPattern {
+  std::string var;                  // empty = anonymous
+  std::vector<std::string> labels;  // alternation; empty = any label
+};
+
+struct EdgePattern {
+  Direction dir = Direction::kOut;
+  std::string var;                  // optional edge variable, `-[e:..]->`
+  std::vector<std::string> labels;  // alternation; empty = any label
+  bool is_rpq = false;
+  /// For RPQ segments: either a PATH macro name or a plain edge label.
+  std::string path_name;
+  Quantifier quantifier;
+};
+
+struct PatternHop {
+  EdgePattern edge;
+  VertexPattern dst;
+};
+
+/// One linear chain `(v0) -e1- (v1) -e2- (v2) ...`. Non-linear patterns
+/// are expressed as multiple chains sharing variable names.
+struct PatternChain {
+  VertexPattern src;
+  std::vector<PatternHop> hops;
+};
+
+/// `PATH name AS (a)-[...]-(b) WHERE expr` macro declaration.
+struct PathMacro {
+  std::string name;
+  PatternChain pattern;
+  ExprPtr where;  // per-iteration filter; may reference outer variables
+};
+
+/// Aggregate function applied to a SELECT item.
+enum class AggKind : std::uint8_t { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+struct SelectItem {
+  ExprPtr expr;  // null for COUNT(*)
+  std::string alias;
+  AggKind agg = AggKind::kNone;
+};
+
+struct Query {
+  std::vector<PathMacro> path_macros;
+  bool count_star = false;
+  std::vector<SelectItem> select;
+  std::vector<PatternChain> match;
+  ExprPtr where;
+  /// Explicit GROUP BY keys; when absent but aggregates are present, the
+  /// non-aggregate SELECT items group implicitly (SQL-style).
+  std::vector<ExprPtr> group_by;
+};
+
+}  // namespace rpqd::pgql

@@ -1,0 +1,190 @@
+#include "pgql/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/error.h"
+
+namespace rpqd::pgql {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kDouble: return "double";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBracket: return "[";
+    case TokenKind::kRBracket: return "]";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kColon: return ":";
+    case TokenKind::kPipe: return "|";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kQuestion: return "?";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kEq: return "=";
+    case TokenKind::kNe: return "<>";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const std::string& what) {
+  throw QueryError("lex error at offset " + std::to_string(offset) + ": " +
+                   what);
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = query.size();
+
+  const auto push = [&](TokenKind kind, std::size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(query[j])) != 0 ||
+                       query[j] == '_')) {
+        ++j;
+      }
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = std::string(query.substr(i, j - i));
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(query[j])) != 0) {
+        ++j;
+      }
+      if (j + 1 < n && query[j] == '.' &&
+          std::isdigit(static_cast<unsigned char>(query[j + 1])) != 0) {
+        is_double = true;
+        ++j;
+        while (j < n &&
+               std::isdigit(static_cast<unsigned char>(query[j])) != 0) {
+          ++j;
+        }
+      }
+      Token t;
+      t.offset = start;
+      const auto text = query.substr(i, j - i);
+      if (is_double) {
+        t.kind = TokenKind::kDouble;
+        t.double_value = std::stod(std::string(text));
+      } else {
+        t.kind = TokenKind::kInt;
+        const auto result = std::from_chars(text.data(), text.data() + text.size(),
+                                            t.int_value);
+        if (result.ec != std::errc{}) fail(start, "integer literal overflow");
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < n && query[j] != '\'') {
+        value.push_back(query[j]);
+        ++j;
+      }
+      if (j >= n) fail(start, "unterminated string literal");
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(value);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, start); ++i; break;
+      case ')': push(TokenKind::kRParen, start); ++i; break;
+      case '[': push(TokenKind::kLBracket, start); ++i; break;
+      case ']': push(TokenKind::kRBracket, start); ++i; break;
+      case '{': push(TokenKind::kLBrace, start); ++i; break;
+      case '}': push(TokenKind::kRBrace, start); ++i; break;
+      case ',': push(TokenKind::kComma, start); ++i; break;
+      case '.': push(TokenKind::kDot, start); ++i; break;
+      case ':': push(TokenKind::kColon, start); ++i; break;
+      case '|': push(TokenKind::kPipe, start); ++i; break;
+      case '*': push(TokenKind::kStar, start); ++i; break;
+      case '+': push(TokenKind::kPlus, start); ++i; break;
+      case '?': push(TokenKind::kQuestion, start); ++i; break;
+      case '/': push(TokenKind::kSlash, start); ++i; break;
+      case '-': push(TokenKind::kMinus, start); ++i; break;
+      case '%': push(TokenKind::kPercent, start); ++i; break;
+      case '=': push(TokenKind::kEq, start); ++i; break;
+      case '!':
+        if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          fail(start, "unexpected '!'");
+        }
+        break;
+      case '<':
+        if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && query[i + 1] == '>') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        fail(start, std::string("unexpected character '") + c + "'");
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace rpqd::pgql

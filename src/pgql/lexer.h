@@ -1,0 +1,18 @@
+// Hand-written lexer for the PGQL subset.
+//
+// Arrows (`->`, `<-`) are deliberately NOT fused into composite tokens:
+// the parser assembles them from kMinus/kGt/kLt in pattern context, which
+// keeps expressions like `a.x < -5` unambiguous.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pgql/token.h"
+
+namespace rpqd::pgql {
+
+/// Tokenizes the whole query text. Throws QueryError on invalid input.
+std::vector<Token> tokenize(std::string_view query);
+
+}  // namespace rpqd::pgql

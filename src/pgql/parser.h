@@ -1,0 +1,17 @@
+// Recursive-descent parser for the PGQL subset.
+#pragma once
+
+#include <string_view>
+
+#include "pgql/ast.h"
+
+namespace rpqd::pgql {
+
+/// Parses a query text into an AST. Throws QueryError on malformed input
+/// or on constructs outside the supported subset.
+Query parse(std::string_view text);
+
+/// Parses a standalone expression (used by tests).
+ExprPtr parse_expression(std::string_view text);
+
+}  // namespace rpqd::pgql

@@ -1,0 +1,49 @@
+// Token model for the PGQL-subset lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rpqd::pgql {
+
+enum class TokenKind : std::uint8_t {
+  kEnd,
+  kIdent,      // bare identifier (keywords are classified by the parser)
+  kInt,        // integer literal
+  kDouble,     // floating literal
+  kString,     // 'single quoted'
+  kLParen,     // (
+  kRParen,     // )
+  kLBracket,   // [
+  kRBracket,   // ]
+  kLBrace,     // {
+  kRBrace,     // }
+  kComma,      // ,
+  kDot,        // .
+  kColon,      // :
+  kPipe,       // |
+  kStar,       // *
+  kPlus,       // +
+  kQuestion,   // ?
+  kSlash,      // /
+  kMinus,      // -
+  kPercent,    // %
+  kEq,         // =
+  kNe,         // <> or !=
+  kLt,         // <
+  kLe,         // <=
+  kGt,         // >
+  kGe,         // >=
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier or string payload
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::size_t offset = 0;  // byte offset in the query, for error messages
+};
+
+const char* to_string(TokenKind kind);
+
+}  // namespace rpqd::pgql

@@ -1,0 +1,83 @@
+#include "plan/plan.h"
+
+#include <sstream>
+
+namespace rpqd {
+
+namespace {
+
+const char* hop_name(HopKind k) {
+  switch (k) {
+    case HopKind::kNeighbor: return "neighbor";
+    case HopKind::kEdge: return "edge";
+    case HopKind::kInspect: return "inspect";
+    case HopKind::kTransition: return "transition";
+    case HopKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+const char* stage_name(StageKind k) {
+  switch (k) {
+    case StageKind::kNormal: return "stage";
+    case StageKind::kRpqControl: return "rpq-control";
+    case StageKind::kPath: return "path";
+  }
+  return "?";
+}
+
+const char* dir_name(Direction d) {
+  switch (d) {
+    case Direction::kOut: return "out";
+    case Direction::kIn: return "in";
+    case Direction::kBoth: return "both";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string explain_plan(const ExecPlan& plan) {
+  std::ostringstream out;
+  out << "plan: " << plan.stages.size() << " stages, " << plan.num_slots
+      << " slots, " << plan.num_rpq_indexes << " rpq index(es)\n";
+  for (const auto& s : plan.stages) {
+    out << "  S" << s.id << " [" << stage_name(s.kind) << "] " << s.note;
+    if (!s.vlabels.empty()) {
+      out << " labels(";
+      for (std::size_t i = 0; i < s.vlabels.size(); ++i) {
+        out << (i > 0 ? "|" : "") << s.vlabels[i];
+      }
+      out << ')';
+    }
+    if (!s.filters.empty()) out << " filters=" << s.filters.size();
+    if (!s.actions.empty()) out << " actions=" << s.actions.size();
+    if (s.kind == StageKind::kRpqControl) {
+      out << " min=" << s.rpq.min_hop << " max=";
+      if (s.rpq.max_hop == kUnboundedDepth) {
+        out << "inf";
+      } else {
+        out << s.rpq.max_hop;
+      }
+      out << " path_entry=S" << s.rpq.path_entry << " cont=S"
+          << s.rpq.continuation;
+    }
+    out << " -> " << hop_name(s.hop.kind);
+    if (s.hop.kind == HopKind::kNeighbor || s.hop.kind == HopKind::kEdge) {
+      out << '(' << dir_name(s.hop.dir) << ')';
+    }
+    if (s.hop.to != kInvalidStage) out << " S" << s.hop.to;
+    if (s.increments_depth) out << " (depth++)";
+    out << '\n';
+  }
+  if (plan.count_star) {
+    out << "  output: COUNT(*)\n";
+  } else {
+    out << "  output:";
+    for (const auto& name : plan.column_names) out << ' ' << name;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rpqd

@@ -1,0 +1,145 @@
+// Distributed execution plan: the stage/hop automaton of Table 1.
+//
+// A plan is a sequence of stages. Each stage optionally matches the
+// current vertex (labels + filters), materializes values into context
+// slots (actions), and leaves through exactly one hop:
+//
+//   kNeighbor   follow edges of the current vertex        (neighbor hop)
+//   kEdge       O(log) check of an edge to a bound vertex (edge hop)
+//   kInspect    move execution to a bound vertex          (inspection hop)
+//   kTransition change stage without moving               (transition hop)
+//   kOutput     store projections / bump COUNT            (output hop)
+//
+// RPQ segments compile to a control stage (kind kRpqControl) plus a ring
+// of path stages whose final hop transitions back to the control stage
+// with a depth increment — exactly the automaton of Figure 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "plan/expr.h"
+
+namespace rpqd {
+
+enum class StageKind : std::uint8_t {
+  kNormal,      // regular vertex-match stage
+  kRpqControl,  // RPQ control stage (§3.2, red box of Figure 1)
+  kPath,        // stage inside an RPQ path pattern
+};
+
+enum class HopKind : std::uint8_t {
+  kNeighbor,
+  kEdge,
+  kInspect,
+  kTransition,
+  kOutput,
+};
+
+/// Materializes an edge property into a context slot while hopping, so a
+/// later (possibly remote) stage can filter on it.
+struct EpropStore {
+  SlotId slot = kInvalidSlot;
+  PropId prop = kInvalidProp;
+};
+
+struct HopPlan {
+  HopKind kind = HopKind::kOutput;
+  StageId to = kInvalidStage;
+  // kNeighbor / kEdge:
+  Direction dir = Direction::kOut;
+  std::vector<LabelId> elabels;  // alternation; empty = any label
+  /// Sender-side per-edge filters (edge-variable predicates). They may
+  /// read the edge's properties and context slots, never the destination.
+  std::vector<CompiledExpr> edge_filters;
+  /// Sender-side edge-property materializations.
+  std::vector<EpropStore> eprop_stores;
+  // kEdge / kInspect: slot holding the bound target vertex.
+  SlotId target_slot = kInvalidSlot;
+};
+
+struct SlotAction {
+  enum class Kind : std::uint8_t { kStoreVertex, kStoreProp };
+  Kind kind = Kind::kStoreVertex;
+  SlotId slot = kInvalidSlot;
+  PropId prop = kInvalidProp;  // kStoreProp only
+};
+
+/// RPQ control-stage parameters (§3.2–§3.5).
+struct RpqControlPlan {
+  Depth min_hop = 0;
+  Depth max_hop = kUnboundedDepth;
+  StageId path_entry = kInvalidStage;    // first path stage
+  StageId continuation = kInvalidStage;  // stage entered on emission
+  /// Destination vertex match, gating emission only (exploration
+  /// continues regardless).
+  std::vector<LabelId> dest_labels;
+  std::vector<CompiledExpr> dest_filters;
+  /// When the RPQ's destination variable was already bound (cycle-closing
+  /// RPQ), emission additionally requires current == slots[bound_dest].
+  SlotId bound_dest_slot = kInvalidSlot;
+  /// Which reachability-index instance this control stage uses.
+  unsigned index_id = 0;
+  StageId first_path_stage = kInvalidStage;
+  StageId last_path_stage = kInvalidStage;
+};
+
+struct StagePlan {
+  StageId id = kInvalidStage;
+  StageKind kind = StageKind::kNormal;
+  /// Vertex match: label alternation (empty = any) + filters.
+  std::vector<LabelId> vlabels;
+  std::vector<CompiledExpr> filters;
+  std::vector<SlotAction> actions;
+  HopPlan hop;
+  /// Set on the transition hop returning from the last path stage to the
+  /// control stage: entering the control stage bumps the RPQ depth.
+  bool increments_depth = false;
+  /// kRpqControl only.
+  RpqControlPlan rpq;
+  /// For kPath / kRpqControl stages: the owning control stage;
+  /// kInvalidStage for normal stages.
+  StageId rpq_group = kInvalidStage;
+  /// Human-readable note for EXPLAIN output.
+  std::string note;
+};
+
+/// One aggregate function of a GROUP BY plan.
+struct AggSpec {
+  pgql::AggKind kind = pgql::AggKind::kNone;
+  bool has_operand = false;  // false: COUNT(*)
+  CompiledExpr operand;
+};
+
+struct ExecPlan {
+  std::vector<StagePlan> stages;
+  unsigned num_slots = 0;
+  unsigned num_rpq_indexes = 0;  // reachability-index instances needed
+
+  bool count_star = false;
+  std::vector<CompiledExpr> projections;  // evaluated at the output hop
+  std::vector<std::string> column_names;
+
+  // Aggregation (GROUP BY): group keys + aggregate functions; the
+  // select_layout maps each output column to (is_aggregate, index).
+  bool has_aggregates = false;
+  std::vector<CompiledExpr> group_exprs;
+  std::vector<AggSpec> aggregates;
+  std::vector<std::pair<bool, unsigned>> select_layout;
+
+  /// True when stage 0 carries an `ID(v) = const` single-match filter, so
+  /// bootstrapping can skip the scan (planner heuristic i).
+  bool single_start = false;
+  VertexId start_vertex = kInvalidVertex;
+
+  std::string explain;  // rendered plan, for logging and tests
+
+  const StagePlan& stage(StageId id) const { return stages[id]; }
+  StageId num_stages() const { return static_cast<StageId>(stages.size()); }
+};
+
+/// Renders a plan in a compact EXPLAIN-like format.
+std::string explain_plan(const ExecPlan& plan);
+
+}  // namespace rpqd

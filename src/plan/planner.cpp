@@ -1,0 +1,1358 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rpqd {
+
+namespace {
+
+using pgql::BinOp;
+using pgql::EdgePattern;
+using pgql::Expr;
+using pgql::ExprKind;
+using pgql::PathMacro;
+using pgql::PatternChain;
+using pgql::Query;
+using pgql::UnOp;
+using pgql::VertexPattern;
+
+// ------------------------------------------------------------ pattern IR --
+
+struct VarInfo {
+  std::string name;
+  std::vector<std::string> labels;  // merged; empty = unconstrained
+  bool constrained = false;         // had any label constraint
+  bool impossible = false;          // conflicting label constraints
+  int weight = 0;                   // selectivity score for heuristics
+  int bind_pos = -1;                // op index binding this var
+};
+
+struct CEdge {
+  int id = 0;
+  std::string src, dst;
+  Direction dir = Direction::kOut;
+  std::vector<std::string> labels;
+  std::string edge_var;
+  bool is_rpq = false;
+  pgql::Quantifier quant;
+  const PathMacro* macro = nullptr;  // resolved macro (RPQ only)
+  std::vector<std::string> rpq_labels;  // plain-label RPQ alternation
+  bool used = false;
+};
+
+struct Conjunct {
+  const Expr* expr = nullptr;
+  std::vector<std::string> vars;
+};
+
+enum class OpKind { kStart, kNeighbor, kEdgeCheck, kRpq };
+
+struct Op {
+  OpKind kind = OpKind::kStart;
+  CEdge* edge = nullptr;
+  std::string from, to;  // kStart: only `to`
+  bool reversed = false;  // traversal enters the pattern edge at its dst
+  std::string inspect_var;  // non-empty: inspection hop to this var first
+  // Filled during placement:
+  std::vector<const Expr*> conjuncts;  // evaluated at this op's match stage
+  std::vector<const Expr*> iter_conjuncts;   // RPQ per-iteration filters
+  std::vector<const Expr*> edge_conjuncts;   // sender-side edge filters
+};
+
+// ------------------------------------------------------------ utilities --
+
+void flatten_and(const Expr* e, std::vector<const Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->bin_op == BinOp::kAnd) {
+    flatten_and(e->lhs.get(), out);
+    flatten_and(e->rhs.get(), out);
+    return;
+  }
+  out.push_back(e);
+}
+
+// Intersects label alternations; empty `add` means unconstrained.
+void merge_labels(VarInfo& var, const std::vector<std::string>& add) {
+  if (add.empty()) return;
+  if (!var.constrained) {
+    var.labels = add;
+    var.constrained = true;
+    return;
+  }
+  std::vector<std::string> kept;
+  for (const auto& l : var.labels) {
+    if (std::find(add.begin(), add.end(), l) != add.end()) kept.push_back(l);
+  }
+  var.labels = std::move(kept);
+  if (var.labels.empty()) var.impossible = true;
+}
+
+// Detects `ID(var) = <int>` (either operand order); returns the literal.
+std::optional<std::int64_t> single_match_literal(const Expr& e,
+                                                 const std::string& var) {
+  if (e.kind != ExprKind::kBinary || e.bin_op != BinOp::kEq) return std::nullopt;
+  const Expr* fn = nullptr;
+  const Expr* lit = nullptr;
+  if (e.lhs->kind == ExprKind::kIdFunc) {
+    fn = e.lhs.get();
+    lit = e.rhs.get();
+  } else if (e.rhs->kind == ExprKind::kIdFunc) {
+    fn = e.rhs.get();
+    lit = e.lhs.get();
+  } else {
+    return std::nullopt;
+  }
+  if (fn->text != var || lit->kind != ExprKind::kIntLit) return std::nullopt;
+  return lit->int_value;
+}
+
+// --------------------------------------------------------- slot allocator --
+
+class SlotAllocator {
+ public:
+  SlotId slot_of(const std::string& key) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const auto id = static_cast<SlotId>(keys_.size());
+    keys_.push_back(key);
+    index_.emplace(key, id);
+    return id;
+  }
+
+  std::optional<SlotId> find(const std::string& key) const {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  unsigned count() const { return static_cast<unsigned>(keys_.size()); }
+  const std::vector<std::string>& keys() const { return keys_; }
+
+ private:
+  std::vector<std::string> keys_;
+  std::unordered_map<std::string, SlotId> index_;
+};
+
+std::string vkey(const std::string& var) { return "v:" + var; }
+std::string pkey(const std::string& var, const std::string& prop) {
+  return "p:" + var + "." + prop;
+}
+// Macro-scoped keys are namespaced by the op index so two uses of the same
+// macro do not collide.
+std::string mvkey(std::size_t op, const std::string& var) {
+  return "mv:" + std::to_string(op) + ":" + var;
+}
+std::string mpkey(std::size_t op, const std::string& var,
+                  const std::string& prop) {
+  return "mp:" + std::to_string(op) + ":" + var + "." + prop;
+}
+std::string ekey(int edge_id, const std::string& prop) {
+  return "e:" + std::to_string(edge_id) + "." + prop;
+}
+
+// ---------------------------------------------------------- the planner --
+
+class Planner {
+ public:
+  Planner(const Query& query, const Catalog& catalog)
+      : q_(query), cat_(catalog) {}
+
+  ExecPlan run() {
+    collect_macros();
+    collect_pattern();
+    split_where();
+    score_vars();
+    order_operators();
+    place_conjuncts();
+    analyze_needs();
+    emit_stages();
+    finalize();
+    return std::move(plan_);
+  }
+
+ private:
+  // ------------------------------------------------------------ collect --
+  void collect_macros() {
+    for (const auto& m : q_.path_macros) {
+      if (macros_.count(m.name) != 0) {
+        throw QueryError("duplicate PATH macro '" + m.name + "'");
+      }
+      if (m.pattern.hops.empty()) {
+        throw UnsupportedError("PATH macro '" + m.name +
+                               "' must contain at least one edge");
+      }
+      for (const auto& hop : m.pattern.hops) {
+        if (hop.edge.is_rpq) {
+          throw UnsupportedError("nested RPQ inside PATH macro '" + m.name +
+                                 "' is not supported");
+        }
+      }
+      macros_.emplace(m.name, &m);
+    }
+  }
+
+  VarInfo& var(const std::string& name) {
+    const auto it = var_index_.find(name);
+    if (it != var_index_.end()) return vars_[it->second];
+    var_index_.emplace(name, vars_.size());
+    vars_.push_back(VarInfo{name, {}, false, false, 0, -1});
+    return vars_.back();
+  }
+
+  bool has_var(const std::string& name) const {
+    return var_index_.count(name) != 0;
+  }
+
+  void collect_pattern() {
+    if (q_.match.empty()) throw QueryError("query has no MATCH pattern");
+    for (const auto& chain : q_.match) {
+      merge_labels(var(chain.src.var), chain.src.labels);
+      std::string prev = chain.src.var;
+      for (const auto& hop : chain.hops) {
+        merge_labels(var(hop.dst.var), hop.dst.labels);
+        CEdge e;
+        e.id = static_cast<int>(edges_.size());
+        e.src = prev;
+        e.dst = hop.dst.var;
+        e.dir = hop.edge.dir;
+        e.labels = hop.edge.labels;
+        e.edge_var = hop.edge.var;
+        e.is_rpq = hop.edge.is_rpq;
+        e.quant = hop.edge.quantifier;
+        if (e.is_rpq && e.dir == Direction::kIn) {
+          // Normalize `<-/:p/-` so the RPQ's logical source is e.src:
+          // the path pattern runs from the right-hand vertex.
+          std::swap(e.src, e.dst);
+          e.dir = Direction::kOut;
+        }
+        if (e.is_rpq) {
+          if (!hop.edge.path_name.empty()) {
+            const auto it = macros_.find(hop.edge.path_name);
+            if (it != macros_.end()) {
+              e.macro = it->second;
+            } else {
+              e.rpq_labels = {hop.edge.path_name};  // plain label RPQ
+            }
+          } else {
+            e.rpq_labels = hop.edge.labels;  // label alternation RPQ
+            e.labels.clear();
+          }
+        }
+        if (!e.edge_var.empty()) {
+          if (edge_vars_.count(e.edge_var) != 0) {
+            throw UnsupportedError("edge variable '" + e.edge_var +
+                                   "' bound more than once");
+          }
+          edge_vars_.emplace(e.edge_var, e.id);
+        }
+        edges_.push_back(std::move(e));
+        prev = hop.dst.var;
+      }
+    }
+    // Macro-internal variable sets (per macro), used for WHERE scoping.
+    for (const auto& [name, m] : macros_) {
+      auto& set = macro_vars_[name];
+      set.insert(m->pattern.src.var);
+      for (const auto& hop : m->pattern.hops) {
+        set.insert(hop.dst.var);
+        if (!hop.edge.var.empty()) macro_edge_vars_[name].insert(hop.edge.var);
+      }
+    }
+    for (const auto& [name, id] : edge_vars_) {
+      (void)id;
+      if (has_var(name)) {
+        throw UnsupportedError("name '" + name +
+                               "' is used for both a vertex and an edge");
+      }
+    }
+  }
+
+  void split_where() {
+    std::vector<const Expr*> exprs;
+    flatten_and(q_.where.get(), exprs);
+    for (const Expr* e : exprs) {
+      Conjunct c;
+      c.expr = e;
+      pgql::collect_vars(*e, c.vars);
+      conjuncts_.push_back(std::move(c));
+    }
+  }
+
+  void score_vars() {
+    for (auto& v : vars_) {
+      if (v.constrained) v.weight += v.labels.size() == 1 ? 3 : 2;
+    }
+    for (const auto& c : conjuncts_) {
+      if (c.vars.size() != 1) continue;
+      const auto it = var_index_.find(c.vars[0]);
+      if (it == var_index_.end()) continue;  // macro/edge var
+      VarInfo& v = vars_[it->second];
+      if (single_match_literal(*c.expr, v.name)) {
+        v.weight += 1000;  // heuristic (i): single-match start
+      } else if (c.expr->kind == ExprKind::kBinary &&
+                 c.expr->bin_op == BinOp::kEq) {
+        v.weight += 10;  // heuristic (ii): heavy (equality) filter
+      } else {
+        v.weight += 5;
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ ordering --
+  void order_operators() {
+    // Start vertex: heuristic (i) + (ii) via weights; ties resolved by
+    // first appearance for determinism.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < vars_.size(); ++i) {
+      if (vars_[i].weight > vars_[best].weight) best = i;
+    }
+    Op start;
+    start.kind = OpKind::kStart;
+    start.to = vars_[best].name;
+    ops_.push_back(start);
+    vars_[best].bind_pos = 0;
+    std::string current = vars_[best].name;
+
+    auto bound = [&](const std::string& v) {
+      return vars_[var_index_.at(v)].bind_pos >= 0;
+    };
+
+    std::size_t remaining = edges_.size();
+    while (remaining > 0) {
+      // Candidate ranking: (category, -target weight, edge id).
+      int best_cat = 99;
+      int best_score = -1;
+      CEdge* pick = nullptr;
+      for (auto& e : edges_) {
+        if (e.used) continue;
+        const bool bs = bound(e.src);
+        const bool bd = bound(e.dst);
+        if (!bs && !bd) continue;
+        int cat;
+        int score = 0;
+        if (!e.is_rpq && bs && bd) {
+          cat = 0;  // heuristic (iii): edge match over neighbor match
+        } else if (e.is_rpq) {
+          cat = 1;  // heuristic (iv): RPQ before plain neighbor matches
+        } else {
+          cat = 2;
+          const auto& target = bs ? e.dst : e.src;
+          score = vars_[var_index_.at(target)].weight;
+        }
+        if (cat < best_cat ||
+            (cat == best_cat && (score > best_score ||
+                                 (score == best_score && pick != nullptr &&
+                                  e.id < pick->id)))) {
+          best_cat = cat;
+          best_score = score;
+          pick = &e;
+        }
+      }
+      if (pick == nullptr) {
+        throw UnsupportedError(
+            "disconnected MATCH pattern (cartesian products are not "
+            "supported)");
+      }
+      pick->used = true;
+      --remaining;
+
+      Op op;
+      op.edge = pick;
+      const bool bs = bound(pick->src);
+      const bool bd = bound(pick->dst);
+      if (!pick->is_rpq && bs && bd) {
+        op.kind = OpKind::kEdgeCheck;
+        // Orient the check from the current vertex when possible.
+        if (current == pick->src) {
+          op.from = pick->src;
+          op.to = pick->dst;
+        } else if (current == pick->dst) {
+          op.from = pick->dst;
+          op.to = pick->src;
+          op.reversed = true;
+        } else {
+          op.from = pick->src;
+          op.to = pick->dst;
+          op.inspect_var = pick->src;
+        }
+        ops_.push_back(op);
+        if (!op.inspect_var.empty()) current = op.from;
+        continue;  // binds nothing
+      }
+      if (pick->is_rpq) {
+        op.kind = OpKind::kRpq;
+        if (bs) {
+          op.from = pick->src;
+          op.to = pick->dst;
+        } else {
+          op.from = pick->dst;
+          op.to = pick->src;
+          op.reversed = true;
+        }
+      } else {
+        op.kind = OpKind::kNeighbor;
+        if (bs) {
+          op.from = pick->src;
+          op.to = pick->dst;
+        } else {
+          op.from = pick->dst;
+          op.to = pick->src;
+          op.reversed = true;
+        }
+      }
+      if (op.from != current) op.inspect_var = op.from;
+      VarInfo& target = vars_[var_index_.at(op.to)];
+      if (target.bind_pos < 0) {
+        target.bind_pos = static_cast<int>(ops_.size());
+      } else if (op.kind == OpKind::kRpq) {
+        // Cycle-closing RPQ: destination already bound.
+        rpq_bound_dest_.insert(ops_.size());
+      }
+      ops_.push_back(op);
+      current = op.to;
+    }
+
+    for (const auto& v : vars_) {
+      if (v.bind_pos < 0) {
+        throw UnsupportedError(
+            "pattern variable '" + v.name +
+            "' is not connected to the rest of the pattern");
+      }
+    }
+    final_var_ = current;
+  }
+
+  // The op index that binds `v` (0 = start).
+  int bind_pos(const std::string& v) const {
+    return vars_[var_index_.at(v)].bind_pos;
+  }
+
+  // ----------------------------------------------------------- placement --
+  // Returns the macro whose internal vars the conjunct references, if any.
+  const PathMacro* conjunct_macro(const Conjunct& c) const {
+    for (const auto& [name, vset] : macro_vars_) {
+      for (const auto& v : c.vars) {
+        if (vset.count(v) != 0 || (macro_edge_vars_.count(name) != 0 &&
+                                   macro_edge_vars_.at(name).count(v) != 0)) {
+          return macros_.at(name);
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  void place_conjuncts() {
+    for (auto& c : conjuncts_) {
+      const PathMacro* macro = conjunct_macro(c);
+      if (macro != nullptr) {
+        place_macro_conjunct(c, macro);
+        continue;
+      }
+      // Edge-variable conjuncts.
+      int edge_op = -1;
+      for (const auto& v : c.vars) {
+        const auto it = edge_vars_.find(v);
+        if (it == edge_vars_.end()) continue;
+        const int op = op_of_edge(it->second);
+        if (edge_op >= 0 && edge_op != op) {
+          throw UnsupportedError(
+              "filter references two different edge variables");
+        }
+        edge_op = op;
+      }
+      if (edge_op >= 0) {
+        place_edge_conjunct(c, static_cast<std::size_t>(edge_op));
+        continue;
+      }
+      // Plain conjunct: evaluated at the latest binding op.
+      std::size_t pos = 0;
+      for (const auto& v : c.vars) {
+        if (!has_var(v)) {
+          throw QueryError("unknown variable '" + v + "' in WHERE");
+        }
+        pos = std::max(pos, static_cast<std::size_t>(bind_pos(v)));
+      }
+      ops_[pos].conjuncts.push_back(c.expr);
+    }
+    // PATH macro WHERE clauses: per-iteration filters on each use.
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      const Op& op = ops_[i];
+      if (op.kind == OpKind::kRpq && op.edge->macro != nullptr &&
+          op.edge->macro->where != nullptr) {
+        ops_[i].iter_conjuncts.push_back(op.edge->macro->where.get());
+      }
+    }
+  }
+
+  int op_of_edge(int edge_id) const {
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (ops_[i].edge != nullptr && ops_[i].edge->id == edge_id) {
+        return static_cast<int>(i);
+      }
+    }
+    throw EngineError("edge without op");
+  }
+
+  void place_macro_conjunct(Conjunct& c, const PathMacro* macro) {
+    // Find the unique RPQ op using this macro.
+    int use = -1;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (ops_[i].kind == OpKind::kRpq && ops_[i].edge->macro == macro) {
+        if (use >= 0) {
+          throw UnsupportedError(
+              "WHERE references variables of PATH macro '" + macro->name +
+              "' which is used by multiple RPQ segments");
+        }
+        use = static_cast<int>(i);
+      }
+    }
+    if (use < 0) {
+      throw QueryError("WHERE references variables of unused PATH macro '" +
+                       macro->name + "'");
+    }
+    // Outer variables must be bound before the RPQ runs for per-iteration
+    // evaluation; otherwise the filter degrades to a final filter over the
+    // last iteration's values.
+    bool late = false;
+    const auto& internals = macro_vars_.at(macro->name);
+    for (const auto& v : c.vars) {
+      if (internals.count(v) != 0) continue;
+      if (macro_edge_vars_.count(macro->name) != 0 &&
+          macro_edge_vars_.at(macro->name).count(v) != 0) {
+        continue;
+      }
+      if (!has_var(v)) {
+        throw QueryError("unknown variable '" + v + "' in WHERE");
+      }
+      if (bind_pos(v) > use) late = true;
+    }
+    if (late) {
+      final_macro_conjuncts_.emplace_back(c.expr,
+                                          static_cast<std::size_t>(use));
+    } else {
+      ops_[use].iter_conjuncts.push_back(c.expr);
+    }
+  }
+
+  void place_edge_conjunct(Conjunct& c, std::size_t op_pos) {
+    // Sender-side if every non-edge var is bound strictly before the hop
+    // lands (i.e., at or before the hop's source); otherwise the edge
+    // properties are materialized into slots and the filter runs at the
+    // latest binding op like a plain conjunct.
+    bool sender_side = true;
+    std::size_t latest = op_pos;
+    for (const auto& v : c.vars) {
+      if (edge_vars_.count(v) != 0) continue;
+      if (!has_var(v)) throw QueryError("unknown variable '" + v + "' in WHERE");
+      const auto pos = static_cast<std::size_t>(bind_pos(v));
+      if (pos >= op_pos) sender_side = false;
+      latest = std::max(latest, pos);
+    }
+    if (sender_side) {
+      ops_[op_pos].edge_conjuncts.push_back(c.expr);
+    } else {
+      // Materialize the referenced edge properties during the hop.
+      materialized_edge_conjuncts_.emplace_back(c.expr, op_pos);
+      ops_[latest].conjuncts.push_back(c.expr);
+    }
+  }
+
+  // --------------------------------------------------------------- needs --
+  // Walks an expression, recording slot needs for every variable that is
+  // not `current_var` in the evaluation environment of `op` (outer scope).
+  void need_expr(const Expr& e, const std::string& current_var) {
+    switch (e.kind) {
+      case ExprKind::kPropRef:
+        if (e.text != current_var && has_var(e.text)) {
+          slots_.slot_of(pkey(e.text, e.prop));
+        }
+        break;
+      case ExprKind::kIdFunc:
+        if (e.text != current_var && has_var(e.text)) {
+          slots_.slot_of(vkey(e.text));
+        }
+        break;
+      case ExprKind::kLabelFunc:
+        if (e.text != current_var && has_var(e.text)) {
+          throw UnsupportedError(
+              "label() of a non-current vertex is not supported");
+        }
+        break;
+      default:
+        break;
+    }
+    if (e.lhs) need_expr(*e.lhs, current_var);
+    if (e.rhs) need_expr(*e.rhs, current_var);
+  }
+
+  // Macro-scope version: macro vars get op-scoped slots unless current.
+  void need_macro_expr(const Expr& e, std::size_t op,
+                       const std::string& current_var,
+                       const std::unordered_set<std::string>& internals) {
+    switch (e.kind) {
+      case ExprKind::kPropRef:
+      case ExprKind::kIdFunc:
+        if (e.text == current_var) break;
+        if (internals.count(e.text) != 0) {
+          if (e.kind == ExprKind::kPropRef) {
+            slots_.slot_of(mpkey(op, e.text, e.prop));
+          } else {
+            slots_.slot_of(mvkey(op, e.text));
+          }
+        } else if (has_var(e.text)) {
+          if (e.kind == ExprKind::kPropRef) {
+            slots_.slot_of(pkey(e.text, e.prop));
+          } else {
+            slots_.slot_of(vkey(e.text));
+          }
+        }
+        break;
+      case ExprKind::kLabelFunc:
+        throw UnsupportedError("label() inside path filters is not supported");
+      default:
+        break;
+    }
+    if (e.lhs) need_macro_expr(*e.lhs, op, current_var, internals);
+    if (e.rhs) need_macro_expr(*e.rhs, op, current_var, internals);
+  }
+
+  // The (oriented) macro chain of an RPQ op: vertices v0..vH and hops.
+  struct OrientedChain {
+    std::vector<const VertexPattern*> verts;
+    struct OHop {
+      const EdgePattern* edge;
+      Direction dir;
+    };
+    std::vector<OHop> hops;  // hops[i] connects verts[i] -> verts[i+1]
+  };
+
+  OrientedChain oriented_chain(const Op& op) const {
+    OrientedChain chain;
+    if (op.edge->macro != nullptr) {
+      const PatternChain& p = op.edge->macro->pattern;
+      chain.verts.push_back(&p.src);
+      for (const auto& hop : p.hops) {
+        chain.verts.push_back(&hop.dst);
+        chain.hops.push_back({&hop.edge, hop.edge.dir});
+      }
+    } else {
+      // Implicit single-edge pattern from a plain-label RPQ; direction of
+      // the inner hop is the RPQ arrow itself.
+      static const VertexPattern anon_src{"_rpq_src", {}};
+      static const VertexPattern anon_dst{"_rpq_dst", {}};
+      static EdgePattern edge;  // labels filled per-op below (copy)
+      chain.verts.push_back(&anon_src);
+      chain.verts.push_back(&anon_dst);
+      chain.hops.push_back({&edge, op.edge->dir});
+    }
+    if (op.reversed) {
+      std::reverse(chain.verts.begin(), chain.verts.end());
+      std::reverse(chain.hops.begin(), chain.hops.end());
+      for (auto& h : chain.hops) h.dir = reverse(h.dir);
+    }
+    return chain;
+  }
+
+  // Position (0-based vertex index) of a macro var in the oriented chain;
+  // -1 if absent.
+  static int chain_pos(const OrientedChain& chain, const std::string& var) {
+    for (std::size_t i = 0; i < chain.verts.size(); ++i) {
+      if (chain.verts[i]->var == var) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void analyze_needs() {
+    // Hop targets need vertex slots.
+    for (auto& op : ops_) {
+      if (!op.inspect_var.empty()) slots_.slot_of(vkey(op.inspect_var));
+      if (op.kind == OpKind::kEdgeCheck) slots_.slot_of(vkey(op.to));
+    }
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (rpq_bound_dest_.count(i) != 0) slots_.slot_of(vkey(ops_[i].to));
+    }
+    // Conjuncts at their placement stage.
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      const Op& op = ops_[i];
+      const std::string current =
+          op.kind == OpKind::kEdgeCheck ? std::string() : op.to;
+      for (const Expr* e : op.conjuncts) need_expr(*e, current);
+      for (const Expr* e : op.edge_conjuncts) {
+        // Sender-side: nothing may read a current vertex.
+        need_expr(*e, std::string());
+      }
+      if (op.kind == OpKind::kRpq) {
+        const auto& internals = op.edge->macro != nullptr
+                                    ? macro_vars_.at(op.edge->macro->name)
+                                    : empty_set_;
+        const OrientedChain chain = oriented_chain(op);
+        for (const Expr* e : op.iter_conjuncts) {
+          const IterAnchor anchor =
+              classify_iter(chain, *e, internals, macro_edge_set(op));
+          need_macro_expr(*e, i, anchor.current, internals);
+        }
+      }
+    }
+    // Final (late) macro conjuncts and projections: current = final var.
+    for (const auto& [e, op] : final_macro_conjuncts_) {
+      const auto& internals = ops_[op].edge->macro != nullptr
+                                  ? macro_vars_.at(ops_[op].edge->macro->name)
+                                  : empty_set_;
+      need_macro_expr(*e, op, final_var_, internals);
+    }
+    for (const auto& item : q_.select) {
+      if (item.expr != nullptr) need_projection_expr(*item.expr);
+    }
+    for (const auto& key : q_.group_by) {
+      need_projection_expr(*key);
+    }
+    // Materialized edge-property conjuncts.
+    for (const auto& [e, op_pos] : materialized_edge_conjuncts_) {
+      need_edge_props(*e, ops_[op_pos].edge->id);
+    }
+  }
+
+  // Where a per-iteration conjunct evaluates inside the path-stage ring:
+  // either anchored to a hop (it reads a macro edge variable; evaluated as
+  // a sender-side edge filter on that hop) or to the chain vertex with the
+  // largest position among referenced macro vars (v0 if none).
+  struct IterAnchor {
+    int hop = -1;         // >= 0: edge filter on chain hop `hop`
+    std::string current;  // vertex var whose stage evaluates the filter
+  };
+
+  IterAnchor classify_iter(const OrientedChain& chain, const Expr& e,
+                           const std::unordered_set<std::string>& internals,
+                           const std::unordered_set<std::string>& edge_vars) {
+    std::vector<std::string> vars;
+    pgql::collect_vars(e, vars);
+    IterAnchor anchor;
+    std::string macro_edge;
+    for (const auto& v : vars) {
+      if (edge_vars.count(v) == 0) continue;
+      if (!macro_edge.empty() && macro_edge != v) {
+        throw UnsupportedError(
+            "path filter references two different edge variables");
+      }
+      macro_edge = v;
+    }
+    int best = 0;
+    for (const auto& v : vars) {
+      if (internals.count(v) == 0) continue;
+      best = std::max(best, chain_pos(chain, v));
+    }
+    if (!macro_edge.empty()) {
+      for (std::size_t h = 0; h < chain.hops.size(); ++h) {
+        if (chain.hops[h].edge->var == macro_edge) {
+          anchor.hop = static_cast<int>(h);
+          break;
+        }
+      }
+      engine_check(anchor.hop >= 0, "macro edge variable without a hop");
+      if (best > anchor.hop) {
+        throw UnsupportedError(
+            "path filter reads a vertex matched after its edge variable");
+      }
+      anchor.current = chain.verts[static_cast<std::size_t>(anchor.hop)]->var;
+      return anchor;
+    }
+    anchor.current = chain.verts[static_cast<std::size_t>(best)]->var;
+    return anchor;
+  }
+
+  const std::unordered_set<std::string>& macro_edge_set(const Op& op) const {
+    if (op.edge->macro != nullptr) {
+      const auto it = macro_edge_vars_.find(op.edge->macro->name);
+      if (it != macro_edge_vars_.end()) return it->second;
+    }
+    return empty_set_;
+  }
+
+  void need_projection_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kPropRef:
+      case ExprKind::kIdFunc: {
+        if (e.text == final_var_) break;
+        if (has_var(e.text)) {
+          slots_.slot_of(e.kind == ExprKind::kPropRef ? pkey(e.text, e.prop)
+                                                      : vkey(e.text));
+          break;
+        }
+        // Macro variable? Resolve against the chain of each RPQ op.
+        bool found = false;
+        for (std::size_t i = 0; i < ops_.size() && !found; ++i) {
+          if (ops_[i].kind != OpKind::kRpq) continue;
+          const auto& internals =
+              ops_[i].edge->macro != nullptr
+                  ? macro_vars_.at(ops_[i].edge->macro->name)
+                  : empty_set_;
+          if (internals.count(e.text) != 0) {
+            slots_.slot_of(e.kind == ExprKind::kPropRef
+                               ? mpkey(i, e.text, e.prop)
+                               : mvkey(i, e.text));
+            found = true;
+          }
+        }
+        if (!found) {
+          throw QueryError("unknown variable '" + e.text + "' in SELECT");
+        }
+        break;
+      }
+      case ExprKind::kLabelFunc:
+        if (e.text != final_var_) {
+          throw UnsupportedError(
+              "label() of a non-final vertex in SELECT is not supported");
+        }
+        break;
+      default:
+        break;
+    }
+    if (e.lhs) need_projection_expr(*e.lhs);
+    if (e.rhs) need_projection_expr(*e.rhs);
+  }
+
+  void need_edge_props(const Expr& e, int edge_id) {
+    if (e.kind == ExprKind::kPropRef && edge_vars_.count(e.text) != 0 &&
+        edge_vars_.at(e.text) == edge_id) {
+      slots_.slot_of(ekey(edge_id, e.prop));
+    }
+    if (e.lhs) need_edge_props(*e.lhs, edge_id);
+    if (e.rhs) need_edge_props(*e.rhs, edge_id);
+  }
+
+  // ------------------------------------------------------- expr compiler --
+  struct Env {
+    std::string current;            // vertex var matched at this stage
+    std::size_t rpq_op = SIZE_MAX;  // macro scope (SIZE_MAX = none)
+    const std::unordered_set<std::string>* internals = nullptr;
+    int hop_edge_id = -1;            // outer edge var readable via kEdgeProp
+    std::string hop_macro_edge_var;  // macro edge var readable via kEdgeProp
+  };
+
+  CompiledExpr compile(const Expr& e, const Env& env) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return CompiledExpr::constant(int_value(e.int_value));
+      case ExprKind::kDoubleLit:
+        return CompiledExpr::constant(double_value(e.double_value));
+      case ExprKind::kBoolLit:
+        return CompiledExpr::constant(bool_value(e.bool_value));
+      case ExprKind::kStringLit: {
+        const auto id = cat_.find_string(e.text);
+        if (id) return CompiledExpr::constant(string_value(*id));
+        return CompiledExpr::constant_text(e.text);
+      }
+      case ExprKind::kPropRef: {
+        // Macro edge variable readable at the current hop?
+        if (!env.hop_macro_edge_var.empty() &&
+            e.text == env.hop_macro_edge_var) {
+          const auto prop = cat_.find_property(e.prop);
+          if (!prop) return CompiledExpr::constant(null_value());
+          return CompiledExpr::edge_prop(*prop);
+        }
+        // Edge variable?
+        const auto ev = edge_vars_.find(e.text);
+        if (ev != edge_vars_.end()) {
+          const auto prop = cat_.find_property(e.prop);
+          if (ev->second == env.hop_edge_id) {
+            if (!prop) return CompiledExpr::constant(null_value());
+            return CompiledExpr::edge_prop(*prop);
+          }
+          const auto slot = slots_.find(ekey(ev->second, e.prop));
+          if (slot) return CompiledExpr::slot(*slot);
+          throw UnsupportedError("edge variable '" + e.text +
+                                 "' is not accessible here");
+        }
+        // Macro variable?
+        if (env.internals != nullptr && env.internals->count(e.text) != 0) {
+          if (e.text == env.current) {
+            const auto prop = cat_.find_property(e.prop);
+            if (!prop) return CompiledExpr::constant(null_value());
+            return CompiledExpr::current_prop(*prop);
+          }
+          const auto slot = slots_.find(mpkey(env.rpq_op, e.text, e.prop));
+          engine_check(slot.has_value(), "macro prop slot missing");
+          return CompiledExpr::slot(*slot);
+        }
+        if (e.text == env.current) {
+          const auto prop = cat_.find_property(e.prop);
+          if (!prop) return CompiledExpr::constant(null_value());
+          return CompiledExpr::current_prop(*prop);
+        }
+        {
+          const auto slot = slots_.find(pkey(e.text, e.prop));
+          if (slot) return CompiledExpr::slot(*slot);
+        }
+        // Macro var referenced in SELECT/final filters outside its env.
+        for (std::size_t i = 0; i < ops_.size(); ++i) {
+          const auto slot = slots_.find(mpkey(i, e.text, e.prop));
+          if (slot) return CompiledExpr::slot(*slot);
+        }
+        throw QueryError("unknown variable '" + e.text + "'");
+      }
+      case ExprKind::kIdFunc: {
+        if (env.internals != nullptr && env.internals->count(e.text) != 0) {
+          if (e.text == env.current) return CompiledExpr::current_id();
+          const auto slot = slots_.find(mvkey(env.rpq_op, e.text));
+          engine_check(slot.has_value(), "macro vertex slot missing");
+          return CompiledExpr::slot(*slot);
+        }
+        if (e.text == env.current) return CompiledExpr::current_id();
+        {
+          const auto slot = slots_.find(vkey(e.text));
+          if (slot) return CompiledExpr::slot(*slot);
+        }
+        for (std::size_t i = 0; i < ops_.size(); ++i) {
+          const auto slot = slots_.find(mvkey(i, e.text));
+          if (slot) return CompiledExpr::slot(*slot);
+        }
+        throw QueryError("unknown variable '" + e.text + "'");
+      }
+      case ExprKind::kLabelFunc: {
+        if (e.text == env.current) return CompiledExpr::current_label();
+        throw UnsupportedError("label() of a non-current vertex");
+      }
+      case ExprKind::kUnary:
+        return CompiledExpr::unary(e.un_op, compile(*e.lhs, env));
+      case ExprKind::kBinary:
+        return CompiledExpr::binary(e.bin_op, compile(*e.lhs, env),
+                                    compile(*e.rhs, env));
+    }
+    throw EngineError("unhandled expression kind");
+  }
+
+  // ------------------------------------------------------------ emission --
+  std::vector<LabelId> resolve_vlabels(const std::vector<std::string>& names,
+                                       bool* impossible) {
+    std::vector<LabelId> out;
+    for (const auto& n : names) {
+      const auto id = cat_.find_vertex_label(n);
+      if (id) out.push_back(*id);
+    }
+    if (!names.empty() && out.empty()) *impossible = true;
+    return out;
+  }
+
+  std::vector<LabelId> resolve_elabels(const std::vector<std::string>& names,
+                                       bool* impossible) {
+    std::vector<LabelId> out;
+    for (const auto& n : names) {
+      const auto id = cat_.find_edge_label(n);
+      if (id) out.push_back(*id);
+    }
+    if (!names.empty() && out.empty()) *impossible = true;
+    return out;
+  }
+
+  StagePlan& new_stage(StageKind kind, const std::string& note) {
+    StagePlan s;
+    s.id = static_cast<StageId>(plan_.stages.size());
+    s.kind = kind;
+    s.note = note;
+    plan_.stages.push_back(std::move(s));
+    return plan_.stages.back();
+  }
+
+  // Adds the vertex-match parts for pattern var `v` to stage `s`:
+  // label constraint, filters placed at op `pos`, and slot actions.
+  void fill_vertex_match(StagePlan& s, const std::string& v, std::size_t pos) {
+    const VarInfo& info = vars_[var_index_.at(v)];
+    bool impossible = info.impossible;
+    s.vlabels = resolve_vlabels(info.labels, &impossible);
+    if (impossible) {
+      s.filters.push_back(CompiledExpr::constant(bool_value(false)));
+    }
+    Env env;
+    env.current = v;
+    for (const Expr* e : ops_[pos].conjuncts) {
+      s.filters.push_back(compile(*e, env));
+    }
+    // Actions: vertex slot + any property slots for this var.
+    if (const auto slot = slots_.find(vkey(v))) {
+      s.actions.push_back({SlotAction::Kind::kStoreVertex, *slot, kInvalidProp});
+    }
+    for (const auto& key : slots_.keys()) {
+      if (key.rfind("p:" + v + ".", 0) == 0) {
+        const std::string prop_name = key.substr(key.find('.') + 1);
+        const auto prop = cat_.find_property(prop_name);
+        s.actions.push_back({SlotAction::Kind::kStoreProp,
+                             *slots_.find(key),
+                             prop ? *prop : kInvalidProp});
+      }
+    }
+  }
+
+  // Fills a neighbor hop on stage `from_stage` for pattern edge `e`
+  // (oriented by `reversed`), targeting stage id `to`.
+  void fill_neighbor_hop(StagePlan& from_stage, const Op& op, StageId to) {
+    HopPlan hop;
+    hop.kind = HopKind::kNeighbor;
+    hop.to = to;
+    hop.dir = op.reversed ? reverse(op.edge->dir) : op.edge->dir;
+    bool impossible = false;
+    hop.elabels = resolve_elabels(op.edge->labels, &impossible);
+    if (impossible) {
+      // No edge can match: poison the hop with an always-false filter.
+      hop.edge_filters.push_back(CompiledExpr::constant(bool_value(false)));
+    }
+    Env env;
+    env.hop_edge_id = op.edge->id;
+    for (const Expr* e : op.edge_conjuncts) {
+      hop.edge_filters.push_back(compile(*e, env));
+    }
+    from_stage.hop = std::move(hop);
+  }
+
+  void emit_stages() {
+    plan_.count_star = q_.count_star;
+
+    // Stage 0: start vertex match (bootstrap stage).
+    StagePlan& s0 = new_stage(StageKind::kNormal, "start(" + ops_[0].to + ")");
+    fill_vertex_match(s0, ops_[0].to, 0);
+    // Single-match start detection for heuristic (i) fast bootstrap.
+    for (const Expr* e : ops_[0].conjuncts) {
+      if (const auto lit = single_match_literal(*e, ops_[0].to)) {
+        plan_.single_start = true;
+        plan_.start_vertex = static_cast<VertexId>(*lit);
+      }
+    }
+    StageId prev = s0.id;
+
+    for (std::size_t i = 1; i < ops_.size(); ++i) {
+      const Op& op = ops_[i];
+      // Optional inspection hop to reposition the traversal.
+      if (!op.inspect_var.empty()) {
+        StagePlan& ins =
+            new_stage(StageKind::kNormal, "inspect(" + op.inspect_var + ")");
+        plan_.stages[prev].hop.kind = HopKind::kInspect;
+        plan_.stages[prev].hop.target_slot =
+            *slots_.find(vkey(op.inspect_var));
+        plan_.stages[prev].hop.to = ins.id;
+        prev = ins.id;
+      }
+      switch (op.kind) {
+        case OpKind::kNeighbor: {
+          StagePlan& match =
+              new_stage(StageKind::kNormal, "match(" + op.to + ")");
+          fill_vertex_match(match, op.to, i);
+          // Materialized edge props are stored during the hop.
+          fill_neighbor_hop(plan_.stages[prev], op, match.id);
+          attach_eprop_stores(plan_.stages[prev].hop, op);
+          prev = match.id;
+          break;
+        }
+        case OpKind::kEdgeCheck: {
+          StagePlan& after =
+              new_stage(StageKind::kNormal,
+                        "edge_check(" + op.from + "->" + op.to + ")");
+          HopPlan hop;
+          hop.kind = HopKind::kEdge;
+          hop.to = after.id;
+          hop.dir = op.reversed ? reverse(op.edge->dir) : op.edge->dir;
+          bool impossible = false;
+          hop.elabels = resolve_elabels(op.edge->labels, &impossible);
+          if (impossible) {
+            after.filters.push_back(CompiledExpr::constant(bool_value(false)));
+          }
+          hop.target_slot = *slots_.find(vkey(op.to));
+          plan_.stages[prev].hop = std::move(hop);
+          // Conjuncts placed at this op run on the stage after the check.
+          Env env;
+          env.current = "";  // current vertex is op.from, not a new match
+          for (const Expr* e : op.conjuncts) {
+            after.filters.push_back(compile(*e, env));
+          }
+          prev = after.id;
+          break;
+        }
+        case OpKind::kRpq: {
+          prev = emit_rpq(prev, i);
+          break;
+        }
+        case OpKind::kStart:
+          throw EngineError("start op after position 0");
+      }
+    }
+
+    // Final stage: late macro conjuncts + output hop.
+    StagePlan& last = plan_.stages[prev];
+    for (const auto& [e, op] : final_macro_conjuncts_) {
+      Env env;
+      env.current = final_var_;
+      env.rpq_op = op;
+      env.internals = ops_[op].edge->macro != nullptr
+                          ? &macro_vars_.at(ops_[op].edge->macro->name)
+                          : &empty_set_;
+      last.filters.push_back(compile(*e, env));
+    }
+    last.hop.kind = HopKind::kOutput;
+
+    // Projections / aggregation.
+    if (!q_.count_star) {
+      Env env;
+      env.current = final_var_;
+      bool any_agg = false;
+      for (const auto& item : q_.select) {
+        if (item.agg != pgql::AggKind::kNone) any_agg = true;
+      }
+      if (!any_agg) {
+        if (!q_.group_by.empty()) {
+          throw QueryError("GROUP BY requires aggregate functions in SELECT");
+        }
+        for (const auto& item : q_.select) {
+          plan_.projections.push_back(compile(*item.expr, env));
+          plan_.column_names.push_back(item.alias);
+        }
+      } else {
+        plan_.has_aggregates = true;
+        for (const auto& item : q_.select) {
+          plan_.column_names.push_back(item.alias);
+          if (item.agg == pgql::AggKind::kNone) {
+            plan_.select_layout.emplace_back(
+                false, static_cast<unsigned>(plan_.group_exprs.size()));
+            plan_.group_exprs.push_back(compile(*item.expr, env));
+          } else {
+            AggSpec spec;
+            spec.kind = item.agg;
+            if (item.expr != nullptr) {
+              spec.has_operand = true;
+              spec.operand = compile(*item.expr, env);
+            } else if (item.agg != pgql::AggKind::kCount) {
+              throw QueryError("only COUNT may omit its operand");
+            }
+            plan_.select_layout.emplace_back(
+                true, static_cast<unsigned>(plan_.aggregates.size()));
+            plan_.aggregates.push_back(std::move(spec));
+          }
+        }
+        // Explicit GROUP BY: each key must textually match one of the
+        // non-aggregate SELECT items (implicit grouping covers the rest).
+        if (!q_.group_by.empty()) {
+          std::vector<std::string> select_keys;
+          for (const auto& item : q_.select) {
+            if (item.agg == pgql::AggKind::kNone) {
+              select_keys.push_back(pgql::to_text(*item.expr));
+            }
+          }
+          for (const auto& key : q_.group_by) {
+            const std::string text = pgql::to_text(*key);
+            if (std::find(select_keys.begin(), select_keys.end(), text) ==
+                select_keys.end()) {
+              throw UnsupportedError(
+                  "GROUP BY key " + text +
+                  " must also appear as a plain SELECT item");
+            }
+          }
+          if (q_.group_by.size() != select_keys.size()) {
+            throw QueryError(
+                "GROUP BY must list every non-aggregate SELECT item");
+          }
+        }
+      }
+    }
+    plan_.num_slots = slots_.count();
+  }
+
+  void attach_eprop_stores(HopPlan& hop, const Op& op) {
+    for (const auto& key : slots_.keys()) {
+      const std::string prefix = "e:" + std::to_string(op.edge->id) + ".";
+      if (key.rfind(prefix, 0) == 0) {
+        const std::string prop_name = key.substr(prefix.size());
+        const auto prop = cat_.find_property(prop_name);
+        hop.eprop_stores.push_back(
+            {*slots_.find(key), prop ? *prop : kInvalidProp});
+      }
+    }
+  }
+
+  StageId emit_rpq(StageId prev, std::size_t i) {
+    const Op& op = ops_[i];
+    const OrientedChain chain = oriented_chain(op);
+    const auto& internals = op.edge->macro != nullptr
+                                ? macro_vars_.at(op.edge->macro->name)
+                                : empty_set_;
+
+    StagePlan& control = new_stage(StageKind::kRpqControl,
+                                   "rpq_control(" + op.to + ")");
+    const StageId control_id = control.id;
+    plan_.stages[prev].hop.kind = HopKind::kTransition;
+    plan_.stages[prev].hop.to = control_id;
+
+    RpqControlPlan rpq;
+    rpq.min_hop = op.edge->quant.min;
+    rpq.max_hop = op.edge->quant.max;
+    rpq.index_id = plan_.num_rpq_indexes++;
+
+    // Destination gating: labels + filters of the RPQ target var.
+    {
+      const VarInfo& info = vars_[var_index_.at(op.to)];
+      bool impossible = info.impossible;
+      rpq.dest_labels = resolve_vlabels(info.labels, &impossible);
+      if (impossible) {
+        rpq.dest_filters.push_back(CompiledExpr::constant(bool_value(false)));
+      }
+      Env env;
+      env.current = op.to;
+      for (const Expr* e : op.conjuncts) {
+        rpq.dest_filters.push_back(compile(*e, env));
+      }
+      if (rpq_bound_dest_.count(i) != 0) {
+        rpq.bound_dest_slot = *slots_.find(vkey(op.to));
+      }
+    }
+
+    // Path stages: one per chain vertex; last one transitions back.
+    std::vector<StageId> path_ids;
+    for (std::size_t j = 0; j < chain.verts.size(); ++j) {
+      StagePlan& p = new_stage(
+          StageKind::kPath,
+          "path[" + std::to_string(j) + "](" + chain.verts[j]->var + ")");
+      p.rpq_group = control_id;
+      path_ids.push_back(p.id);
+    }
+    for (std::size_t j = 0; j < chain.verts.size(); ++j) {
+      StagePlan& p = plan_.stages[path_ids[j]];
+      const VertexPattern& vp = *chain.verts[j];
+      bool impossible = false;
+      p.vlabels = resolve_vlabels(vp.labels, &impossible);
+      if (impossible) {
+        p.filters.push_back(CompiledExpr::constant(bool_value(false)));
+      }
+      // Per-iteration conjuncts anchored at this chain position.
+      Env env;
+      env.current = vp.var;
+      env.rpq_op = i;
+      env.internals = &internals;
+      for (const Expr* e : op.iter_conjuncts) {
+        const IterAnchor anchor =
+            classify_iter(chain, *e, internals, macro_edge_set(op));
+        if (anchor.hop < 0 && anchor.current == vp.var) {
+          p.filters.push_back(compile(*e, env));
+        }
+      }
+      // Macro slot materializations for this var.
+      if (const auto slot = slots_.find(mvkey(i, vp.var))) {
+        p.actions.push_back(
+            {SlotAction::Kind::kStoreVertex, *slot, kInvalidProp});
+      }
+      for (const auto& key : slots_.keys()) {
+        const std::string prefix = "mp:" + std::to_string(i) + ":" + vp.var + ".";
+        if (key.rfind(prefix, 0) == 0) {
+          const std::string prop_name = key.substr(prefix.size());
+          const auto prop = cat_.find_property(prop_name);
+          p.actions.push_back({SlotAction::Kind::kStoreProp,
+                               *slots_.find(key),
+                               prop ? *prop : kInvalidProp});
+        }
+      }
+      // Hop to the next path stage / back to control.
+      if (j + 1 < chain.verts.size()) {
+        HopPlan hop;
+        hop.kind = HopKind::kNeighbor;
+        hop.to = path_ids[j + 1];
+        hop.dir = chain.hops[j].dir;
+        bool ielabel = false;
+        hop.elabels =
+            op.edge->macro != nullptr
+                ? resolve_elabels(chain.hops[j].edge->labels, &ielabel)
+                : resolve_elabels(op.edge->rpq_labels, &ielabel);
+        if (ielabel) {
+          hop.edge_filters.push_back(CompiledExpr::constant(bool_value(false)));
+        }
+        // Edge-variable path filters anchored to this hop (sender-side).
+        for (const Expr* e : op.iter_conjuncts) {
+          const IterAnchor anchor =
+              classify_iter(chain, *e, internals, macro_edge_set(op));
+          if (anchor.hop == static_cast<int>(j)) {
+            Env henv;
+            henv.current = vp.var;
+            henv.rpq_op = i;
+            henv.internals = &internals;
+            henv.hop_macro_edge_var = chain.hops[j].edge->var;
+            hop.edge_filters.push_back(compile(*e, henv));
+          }
+        }
+        p.hop = std::move(hop);
+      } else {
+        p.hop.kind = HopKind::kTransition;
+        p.hop.to = control_id;
+        p.increments_depth = true;
+      }
+    }
+
+    // Continuation stage: actions of the destination var; execution
+    // arrives here on emission with current = destination vertex.
+    StagePlan& cont =
+        new_stage(StageKind::kNormal, "rpq_cont(" + op.to + ")");
+    {
+      const std::string v = op.to;
+      if (const auto slot = slots_.find(vkey(v))) {
+        cont.actions.push_back(
+            {SlotAction::Kind::kStoreVertex, *slot, kInvalidProp});
+      }
+      for (const auto& key : slots_.keys()) {
+        if (key.rfind("p:" + v + ".", 0) == 0) {
+          const std::string prop_name = key.substr(key.find('.') + 1);
+          const auto prop = cat_.find_property(prop_name);
+          cont.actions.push_back({SlotAction::Kind::kStoreProp,
+                                  *slots_.find(key),
+                                  prop ? *prop : kInvalidProp});
+        }
+      }
+    }
+
+    rpq.path_entry = path_ids.front();
+    rpq.first_path_stage = path_ids.front();
+    rpq.last_path_stage = path_ids.back();
+    rpq.continuation = cont.id;
+    StagePlan& control_ref = plan_.stages[control_id];
+    control_ref.rpq = std::move(rpq);
+    control_ref.rpq_group = control_id;
+    control_ref.hop.kind = HopKind::kTransition;
+    control_ref.hop.to = cont.id;
+    return cont.id;
+  }
+
+  void finalize() {
+    plan_.explain = explain_plan(plan_);
+  }
+
+  const Query& q_;
+  const Catalog& cat_;
+  ExecPlan plan_;
+
+  std::vector<VarInfo> vars_;
+  std::unordered_map<std::string, std::size_t> var_index_;
+  std::vector<CEdge> edges_;
+  std::unordered_map<std::string, int> edge_vars_;  // edge var -> edge id
+  std::unordered_map<std::string, const PathMacro*> macros_;
+  std::unordered_map<std::string, std::unordered_set<std::string>> macro_vars_;
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      macro_edge_vars_;
+  std::vector<Conjunct> conjuncts_;
+  std::vector<Op> ops_;
+  std::unordered_set<std::size_t> rpq_bound_dest_;  // op idx with bound dest
+  std::vector<std::pair<const Expr*, std::size_t>> final_macro_conjuncts_;
+  std::vector<std::pair<const Expr*, std::size_t>>
+      materialized_edge_conjuncts_;
+  SlotAllocator slots_;
+  std::string final_var_;
+  const std::unordered_set<std::string> empty_set_;
+};
+
+}  // namespace
+
+ExecPlan plan_query(const Query& query, const Catalog& catalog) {
+  return Planner(query, catalog).run();
+}
+
+}  // namespace rpqd

@@ -1,0 +1,27 @@
+// Cost-based query planner: PGQL AST -> distributed execution plan.
+//
+// Implements the paper's §3.1 pipeline. The logical operator choice uses
+// the four published heuristics:
+//   (i)   prefer single-match vertices (ID(v) = const) as starting points,
+//   (ii)  prioritize heavily-filtered vertices in early stages,
+//   (iii) prefer edge matches (O(log d) adjacency probes) over neighbor
+//         expansion when both endpoints are already bound,
+//   (iv)  prefer RPQ matches over plain neighbor matches, running RPQs as
+//         early as possible because of their potential match explosion.
+//
+// The resulting plan is the stage/hop automaton of plan.h, with RPQ
+// segments compiled into a control stage + path-stage ring and all
+// filter/projection expressions compiled against the context-slot layout.
+#pragma once
+
+#include "graph/catalog.h"
+#include "pgql/ast.h"
+#include "plan/plan.h"
+
+namespace rpqd {
+
+/// Compiles a parsed query against a catalog. Throws QueryError for
+/// semantic errors and UnsupportedError for constructs outside the subset.
+ExecPlan plan_query(const pgql::Query& query, const Catalog& catalog);
+
+}  // namespace rpqd

@@ -1,0 +1,78 @@
+#include "rpq/reach_index.h"
+
+#include <optional>
+
+#include "common/error.h"
+
+namespace rpqd {
+
+ReachabilityIndex::ReachabilityIndex(std::size_t num_local_vertices,
+                                     bool preallocate)
+    : level1_(num_local_vertices) {
+  for (auto& slot : level1_) {
+    slot.store(preallocate ? new SecondLevel() : nullptr,
+               std::memory_order_relaxed);
+  }
+}
+
+ReachabilityIndex::~ReachabilityIndex() {
+  for (auto& slot : level1_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+ReachabilityIndex::SecondLevel* ReachabilityIndex::get_or_create(
+    LocalVertexId dst) {
+  engine_check(dst < level1_.size(), "reach index: vertex out of range");
+  std::atomic<SecondLevel*>& slot = level1_[dst];
+  SecondLevel* existing = slot.load(std::memory_order_acquire);
+  if (existing != nullptr) return existing;
+  auto fresh = std::make_unique<SecondLevel>();
+  SecondLevel* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh.get(),
+                                   std::memory_order_acq_rel)) {
+    return fresh.release();  // ownership transferred to the index
+  }
+  return expected;  // another worker won the race
+}
+
+ReachOutcome ReachabilityIndex::check_and_update(LocalVertexId dst,
+                                                 std::uint64_t src_rpid,
+                                                 Depth depth) {
+  SecondLevel* level2 = get_or_create(dst);
+  std::lock_guard lock(level2->mutex);
+  const auto [it, inserted] = level2->entries.try_emplace(src_rpid, depth);
+  if (inserted) {
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    return ReachOutcome::kNew;
+  }
+  if (it->second <= depth) {
+    eliminated_.fetch_add(1, std::memory_order_relaxed);
+    return ReachOutcome::kEliminated;
+  }
+  it->second = depth;
+  duplicated_.fetch_add(1, std::memory_order_relaxed);
+  return ReachOutcome::kDuplicated;
+}
+
+std::optional<Depth> ReachabilityIndex::lookup(LocalVertexId dst,
+                                               std::uint64_t src_rpid) const {
+  if (dst >= level1_.size()) return std::nullopt;
+  const SecondLevel* level2 = level1_[dst].load(std::memory_order_acquire);
+  if (level2 == nullptr) return std::nullopt;
+  std::lock_guard lock(level2->mutex);
+  const auto it = level2->entries.find(src_rpid);
+  if (it == level2->entries.end()) return std::nullopt;
+  return it->second;
+}
+
+ReachIndexStats ReachabilityIndex::stats() const {
+  ReachIndexStats s;
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.eliminated = eliminated_.load(std::memory_order_relaxed);
+  s.duplicated = duplicated_.load(std::memory_order_relaxed);
+  s.dynamic_bytes = s.entries * 12;  // 8B rpid + 4B depth, as in §4.4
+  return s;
+}
+
+}  // namespace rpqd

@@ -1,0 +1,80 @@
+// The dynamically-built distributed reachability index (§3.5).
+//
+// Partitioned by destination vertex: every machine holds the index slice
+// for its local vertices, so the atomic check-and-update at the RPQ
+// control stage is always a local operation (the control stage executes
+// at the destination vertex's owner).
+//
+// Two-level layout, as published:
+//   level 1: array of atomic pointers indexed by local destination vertex
+//            (vertex ids are dense, so an array beats a map),
+//   level 2: a mutex-protected map from 64-bit source path id -> depth,
+//            created on first touch via compare-and-swap.
+//
+// Each entry accounts for 12 bytes (8B source rpid + 4B depth), matching
+// the paper's size arithmetic (181MB for Q9, 4.4MB for Q10 on SF100).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rpqd {
+
+/// Result of the atomic check-and-update (§4.4 terminology).
+enum class ReachOutcome : std::uint8_t {
+  kNew,         // first visit: emit the match and keep exploring
+  kEliminated,  // already reached at a lower-or-equal depth: prune
+  kDuplicated,  // already reached at a greater depth: update, keep
+                // exploring, but do not emit again
+};
+
+struct ReachIndexStats {
+  std::uint64_t entries = 0;
+  std::uint64_t eliminated = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t dynamic_bytes = 0;  // 12 bytes per entry
+};
+
+class ReachabilityIndex {
+ public:
+  /// `preallocate` creates every second-level map eagerly — the §4.5
+  /// future-work idea of trading memory for allocation-free inserts.
+  explicit ReachabilityIndex(std::size_t num_local_vertices,
+                             bool preallocate = false);
+  ~ReachabilityIndex();
+
+  ReachabilityIndex(const ReachabilityIndex&) = delete;
+  ReachabilityIndex& operator=(const ReachabilityIndex&) = delete;
+
+  /// Atomic check-and-update for path (src_rpid -> dst) observed at
+  /// `depth`. Thread-safe; called concurrently by all local workers.
+  ReachOutcome check_and_update(LocalVertexId dst, std::uint64_t src_rpid,
+                                Depth depth);
+
+  /// Point lookup (tests / debugging).
+  std::optional<Depth> lookup(LocalVertexId dst, std::uint64_t src_rpid) const;
+
+  ReachIndexStats stats() const;
+
+ private:
+  struct SecondLevel {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Depth> entries;
+  };
+
+  SecondLevel* get_or_create(LocalVertexId dst);
+
+  std::vector<std::atomic<SecondLevel*>> level1_;
+  std::atomic<std::uint64_t> entries_{0};
+  std::atomic<std::uint64_t> eliminated_{0};
+  std::atomic<std::uint64_t> duplicated_{0};
+};
+
+}  // namespace rpqd

@@ -1,0 +1,135 @@
+#include "runtime/aggregate.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace rpqd {
+
+using pgql::AggKind;
+
+void AggState::consider_best(AggKind kind, const EvalValue& v,
+                             const Catalog& catalog) {
+  if (!has_best) {
+    has_best = true;
+    best_is_text = v.text != nullptr;
+    if (best_is_text) {
+      best_text = *v.text;
+    } else {
+      best_value = v.v;
+    }
+    return;
+  }
+  const std::string own_text = best_text;  // stable storage for the view
+  const EvalValue current =
+      best_is_text ? EvalValue::of_text(own_text) : EvalValue::of(best_value);
+  const auto cmp = compare_values(v, current, catalog);
+  if (!cmp) return;  // incomparable: keep the incumbent
+  const bool take = kind == AggKind::kMin ? *cmp < 0 : *cmp > 0;
+  if (take) {
+    best_is_text = v.text != nullptr;
+    if (best_is_text) {
+      best_text = *v.text;
+    } else {
+      best_value = v.v;
+    }
+  }
+}
+
+void AggState::update(AggKind kind, const EvalValue& v,
+                      const Catalog& catalog) {
+  switch (kind) {
+    case AggKind::kCount:
+      ++count;
+      return;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      if (v.is_null() || !is_numeric(v.v)) return;
+      ++count;
+      if (v.v.type == ValueType::kDouble) {
+        saw_double = true;
+        sum_double += as_double(v.v);
+      } else {
+        sum_int += as_int(v.v);
+      }
+      return;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (v.is_null()) return;
+      consider_best(kind, v, catalog);
+      return;
+    case AggKind::kNone:
+      throw EngineError("aggregate update on a non-aggregate item");
+  }
+}
+
+void AggState::merge(AggKind kind, const AggState& other,
+                     const Catalog& catalog) {
+  count += other.count;
+  saw_double |= other.saw_double;
+  sum_int += other.sum_int;
+  sum_double += other.sum_double;
+  if ((kind == AggKind::kMin || kind == AggKind::kMax) && other.has_best) {
+    const EvalValue v = other.best_is_text
+                            ? EvalValue::of_text(other.best_text)
+                            : EvalValue::of(other.best_value);
+    consider_best(kind, v, catalog);
+  }
+}
+
+std::string AggState::render(AggKind kind, const Catalog& catalog) const {
+  std::ostringstream out;
+  switch (kind) {
+    case AggKind::kCount:
+      out << count;
+      break;
+    case AggKind::kSum:
+      if (saw_double) {
+        out << (sum_double + static_cast<double>(sum_int));
+      } else {
+        out << sum_int;
+      }
+      break;
+    case AggKind::kAvg:
+      if (count == 0) {
+        out << "null";
+      } else {
+        out << (sum_double + static_cast<double>(sum_int)) /
+                   static_cast<double>(count);
+      }
+      break;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (!has_best) {
+        out << "null";
+      } else if (best_is_text) {
+        out << best_text;
+      } else {
+        out << catalog.render(best_value);
+      }
+      break;
+    case AggKind::kNone:
+      throw EngineError("aggregate render on a non-aggregate item");
+  }
+  return out.str();
+}
+
+void merge_agg_maps(AggMap& into, const AggMap& from,
+                    const std::vector<pgql::AggKind>& kinds,
+                    const Catalog& catalog) {
+  for (const auto& [key, row] : from) {
+    const auto it = into.find(key);
+    if (it == into.end()) {
+      into.emplace(key, row);
+      continue;
+    }
+    AggRow& target = it->second;
+    engine_check(target.states.size() == row.states.size(),
+                 "aggregate merge arity mismatch");
+    for (std::size_t i = 0; i < row.states.size(); ++i) {
+      target.states[i].merge(kinds[i], row.states[i], catalog);
+    }
+  }
+}
+
+}  // namespace rpqd

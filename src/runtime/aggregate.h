@@ -1,0 +1,60 @@
+// Distributed aggregation (GROUP BY) support.
+//
+// Each worker folds its output rows into a local hash of group-key ->
+// aggregate states; the engine merges the per-worker/per-machine partial
+// aggregates after termination. This mirrors how a distributed engine
+// avoids materializing the full match set for aggregate queries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/catalog.h"
+#include "pgql/ast.h"
+#include "plan/expr.h"
+
+namespace rpqd {
+
+/// Running state of one aggregate function within one group.
+struct AggState {
+  std::uint64_t count = 0;  // non-null operands seen (COUNT / AVG)
+  bool saw_double = false;
+  std::int64_t sum_int = 0;
+  double sum_double = 0.0;
+  // MIN/MAX candidate: either a Value or out-of-dictionary text.
+  bool has_best = false;
+  bool best_is_text = false;
+  Value best_value{};
+  std::string best_text;
+
+  /// Folds one evaluated operand into the state.
+  void update(pgql::AggKind kind, const EvalValue& v, const Catalog& catalog);
+
+  /// Merges another partial state (same aggregate, same group).
+  void merge(pgql::AggKind kind, const AggState& other,
+             const Catalog& catalog);
+
+  /// Renders the final aggregate result.
+  std::string render(pgql::AggKind kind, const Catalog& catalog) const;
+
+ private:
+  void consider_best(pgql::AggKind kind, const EvalValue& v,
+                     const Catalog& catalog);
+};
+
+struct AggRow {
+  std::vector<std::string> keys;  // rendered group-key values
+  std::vector<AggState> states;   // one per aggregate in the plan
+};
+
+/// Keyed by the concatenated rendered group keys (0x1f-separated).
+using AggMap = std::unordered_map<std::string, AggRow>;
+
+/// Merges `from` into `into` (pairwise state merge per group).
+void merge_agg_maps(AggMap& into, const AggMap& from,
+                    const std::vector<pgql::AggKind>& kinds,
+                    const Catalog& catalog);
+
+}  // namespace rpqd

@@ -1,0 +1,53 @@
+// Execution contexts and their wire encoding.
+//
+// A context is the intermediate state of one traversal: the vertex to
+// process, the target stage, the RPQ bookkeeping (rpid + depth, §3.5),
+// and the context slots materialized so far. Local work keeps contexts on
+// the worker's stack; remote hops serialize them into message payloads
+// batched per (destination machine, stage, depth) — §3.2 "Messaging".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/types.h"
+#include "graph/value.h"
+
+namespace rpqd {
+
+struct Context {
+  StageId stage = kInvalidStage;
+  VertexId vertex = kInvalidVertex;
+  Depth depth = 0;
+  std::uint64_t rpid = 0;
+  std::vector<Value> slots;
+};
+
+/// Appends one context (minus stage/depth, which live in the message
+/// header) to a payload under construction.
+inline void encode_context(BinaryWriter& w, VertexId vertex,
+                           std::uint64_t rpid,
+                           const std::vector<Value>& slots) {
+  w.write_varint(vertex);
+  w.write<std::uint64_t>(rpid);
+  for (const Value& v : slots) {
+    w.write<std::uint8_t>(static_cast<std::uint8_t>(v.type));
+    w.write<std::uint64_t>(v.bits);
+  }
+}
+
+/// Reads one context; `num_slots` comes from the execution plan.
+inline void decode_context(BinaryReader& r, unsigned num_slots,
+                           VertexId& vertex, std::uint64_t& rpid,
+                           std::vector<Value>& slots) {
+  vertex = r.read_varint();
+  rpid = r.read<std::uint64_t>();
+  slots.resize(num_slots);
+  for (unsigned i = 0; i < num_slots; ++i) {
+    slots[i].type = static_cast<ValueType>(r.read<std::uint8_t>());
+    slots[i].bits = r.read<std::uint64_t>();
+  }
+}
+
+}  // namespace rpqd

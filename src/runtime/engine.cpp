@@ -1,0 +1,145 @@
+#include "runtime/engine.h"
+
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "pgql/parser.h"
+#include "plan/planner.h"
+#include "runtime/aggregate.h"
+#include "runtime/machine.h"
+
+namespace rpqd {
+
+DistributedEngine::DistributedEngine(
+    std::shared_ptr<const PartitionedGraph> graph, EngineConfig config)
+    : graph_(std::move(graph)), config_(config) {
+  config_.num_machines = graph_->num_machines();
+}
+
+QueryResult DistributedEngine::execute(std::string_view pgql) {
+  const pgql::Query query = pgql::parse(pgql);
+  const ExecPlan plan = plan_query(query, graph_->catalog());
+  return execute_plan(plan);
+}
+
+std::string DistributedEngine::explain(std::string_view pgql) const {
+  const pgql::Query query = pgql::parse(pgql);
+  const ExecPlan plan = plan_query(query, graph_->catalog());
+  return plan.explain;
+}
+
+QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
+  const unsigned num_machines = graph_->num_machines();
+  Stopwatch timer;
+
+  Network net(num_machines);
+  std::vector<std::unique_ptr<MachineRuntime>> machines;
+  machines.reserve(num_machines);
+  for (unsigned m = 0; m < num_machines; ++m) {
+    machines.push_back(std::make_unique<MachineRuntime>(
+        static_cast<MachineId>(m), &graph_->partition(m), &plan, &config_,
+        &net));
+  }
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_machines) *
+                    config_.workers_per_machine);
+    for (unsigned m = 0; m < num_machines; ++m) {
+      for (unsigned w = 0; w < config_.workers_per_machine; ++w) {
+        threads.emplace_back(
+            [&machines, m, w] { machines[m]->worker_main(w); });
+      }
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  QueryResult result;
+  result.explain = plan.explain;
+  result.columns = plan.column_names;
+  for (auto& machine : machines) {
+    result.count += machine->row_count();
+    if (!plan.count_star && !plan.has_aggregates) {
+      auto rows = machine->take_rows();
+      for (auto& row : rows) result.rows.push_back(std::move(row));
+    }
+  }
+  if (plan.has_aggregates) {
+    // Merge the per-machine partial aggregates and render the final rows
+    // in SELECT order.
+    std::vector<pgql::AggKind> kinds;
+    for (const auto& spec : plan.aggregates) kinds.push_back(spec.kind);
+    AggMap merged;
+    for (auto& machine : machines) {
+      merge_agg_maps(merged, machine->merged_agg_rows(), kinds,
+                     graph_->catalog());
+    }
+    for (const auto& [key, row] : merged) {
+      (void)key;
+      std::vector<std::string> out_row;
+      out_row.reserve(plan.select_layout.size());
+      for (const auto& [is_agg, index] : plan.select_layout) {
+        if (is_agg) {
+          out_row.push_back(
+              row.states[index].render(kinds[index], graph_->catalog()));
+        } else {
+          out_row.push_back(row.keys[index]);
+        }
+      }
+      result.rows.push_back(std::move(out_row));
+    }
+    result.count = result.rows.size();
+  }
+
+  RuntimeStats& stats = result.stats;
+  stats.elapsed_ms = timer.elapsed_ms();
+  stats.output_rows = result.count;
+  stats.data_messages = net.stats().data_messages.load();
+  stats.done_messages = net.stats().done_messages.load();
+  stats.term_messages = net.stats().term_messages.load();
+  stats.bytes_sent = net.stats().bytes.load();
+  stats.contexts_sent = net.stats().contexts.load();
+  stats.peak_queued_bytes = net.stats().peak_queued_bytes.load();
+  for (auto& machine : machines) {
+    const FlowControlStats fc = machine->flow().stats();
+    stats.flow_blocked += fc.blocked;
+    stats.flow_shared_used += fc.shared_used;
+    stats.flow_overflow_used += fc.overflow_used;
+    stats.flow_emergency += fc.emergency_used;
+    stats.adfs_shared_tasks += machine->shared_task_count();
+  }
+  stats.rpq.resize(plan.num_rpq_indexes);
+  for (unsigned g = 0; g < plan.num_rpq_indexes; ++g) {
+    for (auto& machine : machines) {
+      stats.rpq[g].merge(machine->rpq_stats(g));
+    }
+    stats.rpq[g].consensus_max_depth =
+        machines[0]->termination().consensus_max_depth(g);
+  }
+  // EXPLAIN ANALYZE breakdown.
+  stats.stages.resize(plan.stages.size());
+  for (StageId s = 0; s < plan.num_stages(); ++s) {
+    StageBreakdown& row = stats.stages[s];
+    row.note = plan.stages[s].note;
+    for (auto& machine : machines) {
+      row.visits += machine->stage_visits(s);
+      const auto [sent, processed] = machine->termination().stage_totals(s);
+      row.remote_out += sent;
+      row.remote_in += processed;
+    }
+  }
+  return result;
+}
+
+PreparedQuery DistributedEngine::prepare(std::string_view pgql) {
+  const pgql::Query query = pgql::parse(pgql);
+  PreparedQuery prepared;
+  prepared.engine_ = this;
+  prepared.plan_ = std::make_shared<const ExecPlan>(
+      plan_query(query, graph_->catalog()));
+  return prepared;
+}
+
+QueryResult PreparedQuery::run() { return engine_->execute_plan(*plan_); }
+
+}  // namespace rpqd

@@ -1,0 +1,70 @@
+// The distributed query engine: compiles PGQL text and runs the execution
+// plan across the simulated cluster, one MachineRuntime (plus worker
+// threads) per machine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.h"
+#include "graph/partition.h"
+#include "plan/plan.h"
+#include "runtime/stats.h"
+
+namespace rpqd {
+
+struct QueryResult {
+  std::uint64_t count = 0;  // COUNT(*) value, or number of rows
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;  // rendered projections
+  RuntimeStats stats;
+  std::string explain;
+};
+
+class DistributedEngine;
+
+/// A parsed + planned query that can be executed repeatedly without
+/// re-compilation. Valid as long as the owning engine lives.
+class PreparedQuery {
+ public:
+  QueryResult run();
+  const ExecPlan& plan() const { return *plan_; }
+  const std::string& explain() const { return plan_->explain; }
+
+ private:
+  friend class DistributedEngine;
+  DistributedEngine* engine_ = nullptr;
+  std::shared_ptr<const ExecPlan> plan_;
+};
+
+class DistributedEngine {
+ public:
+  /// The machine count is taken from the partitioned graph; the config's
+  /// num_machines field is ignored here.
+  DistributedEngine(std::shared_ptr<const PartitionedGraph> graph,
+                    EngineConfig config);
+
+  /// Parses, plans, and executes a PGQL query.
+  QueryResult execute(std::string_view pgql);
+
+  /// Parses and plans once; the returned query executes repeatedly.
+  PreparedQuery prepare(std::string_view pgql);
+
+  /// Executes an already-compiled plan.
+  QueryResult execute_plan(const ExecPlan& plan);
+
+  /// Compiles a query and returns its EXPLAIN text without running it.
+  std::string explain(std::string_view pgql) const;
+
+  const EngineConfig& config() const { return config_; }
+  EngineConfig& mutable_config() { return config_; }
+  const PartitionedGraph& graph() const { return *graph_; }
+
+ private:
+  std::shared_ptr<const PartitionedGraph> graph_;
+  EngineConfig config_;
+};
+
+}  // namespace rpqd

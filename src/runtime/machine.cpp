@@ -1,0 +1,807 @@
+#include "runtime/machine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "rpq/rpid.h"
+
+namespace rpqd {
+
+namespace {
+
+Direction effective_dir(Direction hop_dir, std::uint8_t phase) {
+  if (hop_dir == Direction::kBoth) {
+    return phase == 0 ? Direction::kOut : Direction::kIn;
+  }
+  return hop_dir;
+}
+
+std::uint64_t buffer_key(MachineId dest, StageId stage, Depth depth) {
+  return (static_cast<std::uint64_t>(dest) << 56) |
+         (static_cast<std::uint64_t>(stage) << 40) |
+         static_cast<std::uint64_t>(depth);
+}
+
+void bump(std::vector<std::uint64_t>& v, Depth depth) {
+  if (depth >= v.size()) v.resize(depth + 1, 0);
+  ++v[depth];
+}
+
+}  // namespace
+
+MachineRuntime::MachineRuntime(MachineId id, const Partition* partition,
+                               const ExecPlan* plan,
+                               const EngineConfig* config, Network* network)
+    : id_(id),
+      part_(partition),
+      plan_(plan),
+      config_(config),
+      net_(network),
+      detector_(id, network->num_machines(),
+                static_cast<unsigned>(plan->stages.size()),
+                plan->num_rpq_indexes) {
+  std::vector<bool> is_rpq(plan->stages.size(), false);
+  stage_group_.assign(plan->stages.size(), -1);
+  for (const auto& sp : plan->stages) {
+    if (sp.kind == StageKind::kPath || sp.kind == StageKind::kRpqControl) {
+      is_rpq[sp.id] = true;
+      stage_group_[sp.id] =
+          static_cast<int>(plan->stages[sp.rpq_group].rpq.index_id);
+    }
+  }
+  flow_ = std::make_unique<FlowControl>(*config, network->num_machines(),
+                                        std::move(is_rpq));
+  net_->inbox(id_).attach_flow_control(flow_.get());
+  net_->inbox(id_).set_deep_priority(config->deep_message_priority);
+  for (unsigned g = 0; g < plan->num_rpq_indexes; ++g) {
+    indexes_.push_back(std::make_unique<ReachabilityIndex>(
+        part_->num_local(), config->reach_index_preallocate));
+  }
+  for (unsigned w = 0; w < config->workers_per_machine; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->id = static_cast<WorkerId>(w);
+    worker->matches.resize(plan->num_rpq_indexes);
+    worker->eliminated.resize(plan->num_rpq_indexes);
+    worker->duplicated.resize(plan->num_rpq_indexes);
+    worker->stage_visits.assign(plan->stages.size(), 0);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+// --------------------------------------------------------------- matching --
+
+bool MachineRuntime::vertex_matches(const StagePlan& sp, LocalVertexId lv,
+                                    const std::vector<Value>& slots) const {
+  if (!sp.vlabels.empty()) {
+    const LabelId label = part_->label(lv);
+    if (std::find(sp.vlabels.begin(), sp.vlabels.end(), label) ==
+        sp.vlabels.end()) {
+      return false;
+    }
+  }
+  if (!sp.filters.empty()) {
+    const EvalCtx ctx = eval_ctx(lv, slots);
+    for (const auto& filter : sp.filters) {
+      if (!filter.evaluate_bool(ctx)) return false;
+    }
+  }
+  return true;
+}
+
+void MachineRuntime::apply_actions(const StagePlan& sp, LocalVertexId lv,
+                                   std::vector<Value>& slots) const {
+  for (const auto& action : sp.actions) {
+    if (action.kind == SlotAction::Kind::kStoreVertex) {
+      slots[action.slot] = vertex_value(part_->to_global(lv));
+    } else {
+      slots[action.slot] = action.prop == kInvalidProp
+                               ? null_value()
+                               : part_->property(lv, action.prop);
+    }
+  }
+}
+
+// -------------------------------------------------------------- execution --
+
+void MachineRuntime::run_context(Worker& w, StageId stage, VertexId vertex,
+                                 Depth depth, std::uint64_t rpid,
+                                 std::vector<Value> slots) {
+  const LocalVertexId lv = part_->require_local(vertex);
+  RunState rs;
+  rs.stack.reserve(plan_->stages.size() +
+                   config_->context_preallocated_depth + 16);
+  rs.slots = std::move(slots);
+  rs.saved.reserve(32);
+  enter_stage(w, rs, stage, lv, depth, rpid, false);
+  while (!rs.stack.empty()) {
+    step(w, rs);
+  }
+}
+
+bool MachineRuntime::enter_stage(Worker& w, RunState& rs, StageId stage,
+                                 LocalVertexId lv, Depth depth,
+                                 std::uint64_t rpid, bool from_increment) {
+  std::vector<Frame>& stack = rs.stack;
+  std::vector<Value>& slots = rs.slots;
+  const StagePlan& sp = plan_->stages[stage];
+  if (sp.kind == StageKind::kRpqControl) {
+    const int group = group_of(stage);
+    if (from_increment) {
+      ++depth;
+    } else {
+      // Entering the RPQ from outside: mint the rpid, start at depth 0
+      // (0-hop matching is possible via the transition hop — §3.1).
+      rpid = make_rpid_source(id_, w.id, ++w.rpid_seq);
+      depth = 0;
+    }
+    const RpqControlPlan& rpq = sp.rpq;
+    engine_check(rpq.max_hop == kUnboundedDepth || depth <= rpq.max_hop,
+                 "RPQ exploration beyond max_hop");
+    bump(w.matches[static_cast<unsigned>(group)], depth);
+    bool emit = false;
+    bool explore = false;
+    const bool below_max =
+        rpq.max_hop == kUnboundedDepth || depth < rpq.max_hop;
+    if (depth < rpq.min_hop) {
+      // Below the window: no index entry is created (§4.5), keep going.
+      explore = below_max;
+    } else {
+      ReachOutcome outcome = ReachOutcome::kNew;
+      if (config_->use_reachability_index) {
+        outcome = indexes_[static_cast<unsigned>(group)]->check_and_update(
+            lv, rpid, depth);
+      } else if (config_->max_exploration_depth != kUnboundedDepth &&
+                 depth >= config_->max_exploration_depth) {
+        outcome = ReachOutcome::kEliminated;  // safety cap without index
+      }
+      switch (outcome) {
+        case ReachOutcome::kNew:
+          emit = true;
+          explore = below_max;
+          break;
+        case ReachOutcome::kDuplicated:
+          bump(w.duplicated[static_cast<unsigned>(group)], depth);
+          explore = below_max;
+          break;
+        case ReachOutcome::kEliminated:
+          bump(w.eliminated[static_cast<unsigned>(group)], depth);
+          break;
+      }
+    }
+    if (emit) {
+      // Destination gating: label/filter constraints of the RPQ target
+      // vertex, plus the bound-destination equality for cycle-closing
+      // RPQs. Failing the gate suppresses emission but not exploration.
+      if (!rpq.dest_labels.empty()) {
+        const LabelId label = part_->label(lv);
+        if (std::find(rpq.dest_labels.begin(), rpq.dest_labels.end(), label) ==
+            rpq.dest_labels.end()) {
+          emit = false;
+        }
+      }
+      if (emit && !rpq.dest_filters.empty()) {
+        const EvalCtx ctx = eval_ctx(lv, slots);
+        for (const auto& filter : rpq.dest_filters) {
+          if (!filter.evaluate_bool(ctx)) {
+            emit = false;
+            break;
+          }
+        }
+      }
+      if (emit && rpq.bound_dest_slot != kInvalidSlot) {
+        const Value& bound = slots[rpq.bound_dest_slot];
+        if (bound.type != ValueType::kVertex ||
+            as_vertex(bound) != part_->to_global(lv)) {
+          emit = false;
+        }
+      }
+    }
+    if (!emit && !explore) return false;
+    Frame f;
+    f.stage = stage;
+    f.current = lv;
+    f.depth = depth;
+    f.rpid = rpid;
+    f.emit_pending = emit;
+    f.explore_pending = explore;
+    f.saved_base = static_cast<std::uint32_t>(rs.saved.size());
+    f.saved_count = 0;
+    ++w.stage_visits[stage];
+    detector_.frame_pushed(stage, group, depth);
+    stack.push_back(f);
+    return true;
+  }
+
+  if (!vertex_matches(sp, lv, slots)) return false;
+  Frame f;
+  f.stage = stage;
+  f.current = lv;
+  f.depth = depth;
+  f.rpid = rpid;
+  // Shadow the slots this stage's actions overwrite, so backtracking
+  // restores the ancestor iteration's values (path stages run once per
+  // RPQ depth along a single traversal).
+  f.saved_base = static_cast<std::uint32_t>(rs.saved.size());
+  for (const auto& action : sp.actions) {
+    rs.saved.emplace_back(action.slot, slots[action.slot]);
+  }
+  f.saved_count = static_cast<std::uint32_t>(sp.actions.size());
+  apply_actions(sp, lv, slots);
+  ++w.stage_visits[stage];
+  detector_.frame_pushed(stage, group_of(stage), depth);
+  stack.push_back(f);
+  return true;
+}
+
+void MachineRuntime::pop_frame(RunState& rs) {
+  const Frame& f = rs.stack.back();
+  engine_check(rs.saved.size() == f.saved_base + f.saved_count,
+               "slot save-stack out of sync with frame stack");
+  // Restore shadowed slots in reverse write order.
+  for (std::uint32_t i = f.saved_count; i > 0; --i) {
+    const auto& [slot, value] = rs.saved[f.saved_base + i - 1];
+    rs.slots[slot] = value;
+  }
+  rs.saved.resize(f.saved_base);
+  detector_.frame_popped(f.stage, group_of(f.stage), f.depth);
+  rs.stack.pop_back();
+}
+
+bool MachineRuntime::next_neighbor(Frame& f, const StagePlan& sp,
+                                   std::size_t& out_idx,
+                                   const Adjacency** out_adj) {
+  while (true) {
+    if (f.cursor < f.end) {
+      const Direction dir = effective_dir(sp.hop.dir, f.dir_phase);
+      const Adjacency& adj = part_->adjacency(dir);
+      const std::size_t idx = f.cursor++;
+      // An undirected hop visits out- then in-entries; a self-loop would
+      // appear in both, so skip it on the reverse leg.
+      if (sp.hop.dir == Direction::kBoth && f.dir_phase == 1 &&
+          adj.entry(idx).other == part_->to_global(f.current)) {
+        continue;
+      }
+      out_idx = idx;
+      *out_adj = &adj;
+      return true;
+    }
+    // Advance to the next (label, direction) range.
+    const Direction dir = effective_dir(sp.hop.dir, f.dir_phase);
+    const Adjacency& adj = part_->adjacency(dir);
+    const std::size_t nlabels = std::max<std::size_t>(1, sp.hop.elabels.size());
+    if (f.label_idx < nlabels) {
+      if (sp.hop.elabels.empty()) {
+        const auto [begin, end] = adj.range(f.current);
+        f.cursor = begin;
+        f.end = end;
+      } else {
+        const auto [begin, end] =
+            adj.label_range(f.current, sp.hop.elabels[f.label_idx]);
+        f.cursor = begin;
+        f.end = end;
+      }
+      ++f.label_idx;
+      continue;
+    }
+    if (sp.hop.dir == Direction::kBoth && f.dir_phase == 0) {
+      f.dir_phase = 1;
+      f.label_idx = 0;
+      continue;
+    }
+    return false;
+  }
+}
+
+std::size_t MachineRuntime::edge_multiplicity(
+    LocalVertexId lv, Direction dir, const std::vector<LabelId>& labels,
+    VertexId target) const {
+  const auto count_dir = [&](Direction d) -> std::size_t {
+    const Adjacency& adj = part_->adjacency(d);
+    if (labels.empty()) return adj.count_edges_to(lv, target, std::nullopt);
+    std::size_t count = 0;
+    for (const LabelId l : labels) {
+      count += adj.count_edges_to(lv, target, l);
+    }
+    return count;
+  };
+  if (dir == Direction::kBoth) {
+    // Out entries plus in entries; a self-loop appears in both, so count
+    // it once (mirrors the neighbor hop's reverse-leg self-loop skip).
+    std::size_t count = count_dir(Direction::kOut);
+    if (target != part_->to_global(lv)) count += count_dir(Direction::kIn);
+    return count;
+  }
+  return count_dir(dir);
+}
+
+void MachineRuntime::output_row(Worker& w, const Frame& f,
+                                const std::vector<Value>& slots) {
+  ++w.rows;
+  if (plan_->count_star) return;
+  EvalCtx ctx = eval_ctx(f.current, slots);
+  const auto render = [&](const EvalValue& v) {
+    return v.text != nullptr ? *v.text : part_->catalog().render(v.v);
+  };
+  if (plan_->has_aggregates) {
+    // Fold the match into the worker-local partial aggregates.
+    std::string map_key;
+    std::vector<std::string> keys;
+    keys.reserve(plan_->group_exprs.size());
+    for (const auto& key_expr : plan_->group_exprs) {
+      keys.push_back(render(key_expr.evaluate(ctx)));
+      map_key += keys.back();
+      map_key += '\x1f';
+    }
+    AggRow& row = w.agg_rows[map_key];
+    if (row.states.empty()) {
+      row.keys = std::move(keys);
+      row.states.resize(plan_->aggregates.size());
+    }
+    for (std::size_t i = 0; i < plan_->aggregates.size(); ++i) {
+      const AggSpec& spec = plan_->aggregates[i];
+      const EvalValue operand = spec.has_operand
+                                    ? spec.operand.evaluate(ctx)
+                                    : EvalValue::of(bool_value(true));
+      row.states[i].update(spec.kind, operand, part_->catalog());
+    }
+    return;
+  }
+  std::vector<std::string> row;
+  row.reserve(plan_->projections.size());
+  for (const auto& proj : plan_->projections) {
+    row.push_back(render(proj.evaluate(ctx)));
+  }
+  w.result_rows.push_back(std::move(row));
+}
+
+AggMap MachineRuntime::merged_agg_rows() const {
+  std::vector<pgql::AggKind> kinds;
+  kinds.reserve(plan_->aggregates.size());
+  for (const auto& spec : plan_->aggregates) kinds.push_back(spec.kind);
+  AggMap merged;
+  for (const auto& w : workers_) {
+    merge_agg_maps(merged, w->agg_rows, kinds, part_->catalog());
+  }
+  return merged;
+}
+
+void MachineRuntime::step(Worker& w, RunState& rs) {
+  std::vector<Frame>& stack = rs.stack;
+  std::vector<Value>& slots = rs.slots;
+  Frame& f = stack.back();
+  const StagePlan& sp = plan_->stages[f.stage];
+
+  // NOTE: a frame pops only after its whole subtree completed — children
+  // read slot values their ancestors wrote, and pop_frame restores the
+  // shadowed values, so popping a parent before running its child would
+  // hand the child stale slots.
+  if (sp.kind == StageKind::kRpqControl) {
+    // Deep-first: explore path stages before emitting, as the paper's
+    // engine favours deeper work (§4.4).
+    if (f.explore_pending) {
+      f.explore_pending = false;
+      enter_stage(w, rs, sp.rpq.path_entry, f.current, f.depth, f.rpid,
+                  false);
+      return;
+    }
+    if (f.emit_pending) {
+      f.emit_pending = false;
+      enter_stage(w, rs, sp.rpq.continuation, f.current, f.depth, f.rpid,
+                  false);
+      return;
+    }
+    pop_frame(rs);
+    return;
+  }
+
+  switch (sp.hop.kind) {
+    case HopKind::kNeighbor: {
+      std::size_t idx = 0;
+      const Adjacency* adj = nullptr;
+      if (!next_neighbor(f, sp, idx, &adj)) {
+        pop_frame(rs);
+        return;
+      }
+      if (!sp.hop.edge_filters.empty() || !sp.hop.eprop_stores.empty()) {
+        EvalCtx ctx = eval_ctx(f.current, slots);
+        ctx.adj = adj;
+        ctx.entry_idx = idx;
+        for (const auto& filter : sp.hop.edge_filters) {
+          if (!filter.evaluate_bool(ctx)) return;
+        }
+        for (const auto& store : sp.hop.eprop_stores) {
+          slots[store.slot] = store.prop == kInvalidProp
+                                  ? null_value()
+                                  : adj->edge_property(idx, store.prop);
+        }
+      }
+      const VertexId dst = adj->entry(idx).other;
+      const auto depth = f.depth;
+      const auto rpid = f.rpid;
+      if (part_->owns(dst)) {
+        if (!try_share_local(w, sp.hop.to, dst, depth, rpid, slots)) {
+          enter_stage(w, rs, sp.hop.to, part_->require_local(dst),
+                      depth, rpid, false);
+        }
+      } else {
+        send_remote(w, sp.hop.to, dst, depth, rpid, slots);
+      }
+      return;
+    }
+    case HopKind::kEdge: {
+      if (f.step != 0) {
+        pop_frame(rs);
+        return;
+      }
+      f.step = 1;
+      const Value target = slots[sp.hop.target_slot];
+      const std::size_t multiplicity =
+          target.type == ValueType::kVertex
+              ? edge_multiplicity(f.current, sp.hop.dir, sp.hop.elabels,
+                                  as_vertex(target))
+              : 0;
+      const auto current = f.current;
+      const auto depth = f.depth;
+      const auto rpid = f.rpid;
+      const StageId to = sp.hop.to;
+      // Homomorphic matching: each parallel edge is a distinct match.
+      for (std::size_t i = 0; i < multiplicity; ++i) {
+        enter_stage(w, rs, to, current, depth, rpid, false);
+      }
+      return;
+    }
+    case HopKind::kInspect: {
+      if (f.step != 0) {
+        pop_frame(rs);
+        return;
+      }
+      f.step = 1;
+      const Value target = slots[sp.hop.target_slot];
+      const auto depth = f.depth;
+      const auto rpid = f.rpid;
+      const StageId to = sp.hop.to;
+      if (target.type != ValueType::kVertex) return;
+      const VertexId dst = as_vertex(target);
+      if (part_->owns(dst)) {
+        enter_stage(w, rs, to, part_->require_local(dst), depth,
+                    rpid, false);
+      } else {
+        send_remote(w, to, dst, depth, rpid, slots);
+      }
+      return;
+    }
+    case HopKind::kTransition: {
+      if (f.step != 0) {
+        pop_frame(rs);
+        return;
+      }
+      f.step = 1;
+      enter_stage(w, rs, sp.hop.to, f.current, f.depth, f.rpid,
+                  sp.increments_depth);
+      return;
+    }
+    case HopKind::kOutput: {
+      output_row(w, f, slots);
+      pop_frame(rs);
+      return;
+    }
+  }
+}
+
+// -------------------------------------------------------------- messaging --
+
+void MachineRuntime::send_remote(Worker& w, StageId stage, VertexId vertex,
+                                 Depth depth, std::uint64_t rpid,
+                                 const std::vector<Value>& slots) {
+  const MachineId dest = Partition::owner(vertex, part_->num_machines());
+  const std::uint64_t key = buffer_key(dest, stage, depth);
+  auto it = w.out.find(key);
+  if (it == w.out.end()) {
+    const CreditClass credit = acquire_credit_blocking(w, dest, stage, depth);
+    OutBuffer buf;
+    buf.dest = dest;
+    buf.stage = stage;
+    buf.depth = depth;
+    buf.credit = credit;
+    buf.payload.reserve(config_->buffer_bytes);
+    it = w.out.emplace(key, std::move(buf)).first;
+  }
+  OutBuffer& buf = it->second;
+  BinaryWriter writer(buf.payload);
+  encode_context(writer, vertex, rpid, slots);
+  ++buf.count;
+  detector_.note_sent(stage, group_of(stage), depth, 1);
+  if (buf.payload.size() >= config_->buffer_bytes) {
+    OutBuffer full = std::move(buf);
+    w.out.erase(it);
+    flush_buffer(std::move(full));
+  }
+}
+
+bool MachineRuntime::try_share_local(Worker& w, StageId stage,
+                                     VertexId vertex, Depth depth,
+                                     std::uint64_t rpid,
+                                     const std::vector<Value>& slots) {
+  if (!config_->adfs_work_sharing || workers_.size() < 2) return false;
+  const auto queued = shared_queued_.load(std::memory_order_relaxed);
+  if (queued >= config_->adfs_queue_limit) return false;
+  // aDFS heuristic: offload when a peer is idle, and additionally keep a
+  // small buffet (one task per peer) queued so freshly-idle workers find
+  // work immediately instead of spinning.
+  if (queued + 1 >= workers_.size()) {
+    bool peer_idle = false;
+    for (const auto& peer : workers_) {
+      if (peer.get() != &w && !peer->busy.load(std::memory_order_relaxed)) {
+        peer_idle = true;
+        break;
+      }
+    }
+    if (!peer_idle) return false;
+  }
+  shared_queued_.fetch_add(1, std::memory_order_relaxed);
+  shared_total_.fetch_add(1, std::memory_order_relaxed);
+  Context ctx;
+  ctx.stage = stage;
+  ctx.vertex = vertex;
+  ctx.depth = depth;
+  ctx.rpid = rpid;
+  ctx.slots = slots;
+  // Keep the pending task visible to the termination detector.
+  detector_.frame_pushed(stage, group_of(stage), depth);
+  shared_tasks_.push(std::move(ctx));
+  return true;
+}
+
+void MachineRuntime::flush_buffer(OutBuffer&& buf) {
+  Message msg;
+  msg.header.type = MessageType::kData;
+  msg.header.src = id_;
+  msg.header.stage = buf.stage;
+  msg.header.depth = buf.depth;
+  msg.header.count = buf.count;
+  msg.header.credit = buf.credit;
+  msg.header.credit_depth = buf.depth;
+  msg.payload = std::move(buf.payload);
+  net_->send(buf.dest, std::move(msg));
+}
+
+void MachineRuntime::flush_all(Worker& w) {
+  if (w.out.empty()) return;
+  std::vector<OutBuffer> pending;
+  pending.reserve(w.out.size());
+  for (auto& [key, buf] : w.out) {
+    (void)key;
+    pending.push_back(std::move(buf));
+  }
+  w.out.clear();
+  for (auto& buf : pending) flush_buffer(std::move(buf));
+}
+
+CreditClass MachineRuntime::acquire_credit_blocking(Worker& w, MachineId dest,
+                                                    StageId stage,
+                                                    Depth depth) {
+  std::optional<Stopwatch> starved;
+  unsigned backoff = 0;
+  while (true) {
+    if (const auto credit = flow_->try_acquire(dest, stage, depth)) {
+      return *credit;
+    }
+    // Pickup rule (iii): when flow control prevents sending, process
+    // incoming messages (bounded nesting).
+    if (w.nesting < config_->max_pickup_nesting) {
+      if (auto msg = net_->inbox(id_).try_pop_data(net_->stats())) {
+        starved.reset();
+        backoff = 0;
+        process_message(w, std::move(*msg));
+        continue;
+      }
+    }
+    // Starved (no credit, nothing to process): ship every partial buffer
+    // before waiting. Each open buffer holds a credit and undelivered
+    // contexts; a cluster where all workers wait on each other's
+    // unflushed partials is a livelock (nested processing keeps creating
+    // new partials, so this must happen on every starved wait, not once).
+    flush_all(w);
+    // Backoff: a blocked worker with nothing to process must get off the
+    // core — on the shared-core simulation a bare yield storm starves the
+    // very workers whose progress would free the credit. The wait wakes
+    // immediately when any DONE returns a credit.
+    if (backoff < 4) {
+      ++backoff;
+      std::this_thread::yield();
+    } else {
+      ++backoff;
+      flow_->wait_for_release(std::chrono::microseconds(500));
+    }
+    // Last-resort valve: after several seconds with no credit, no
+    // processable inbox work, and no progress, take an (unbounded but
+    // counted) emergency credit rather than risk a pathological stall.
+    // Healthy runs never reach this; tests assert the counter stays 0.
+    if (!starved) {
+      starved.emplace();
+    } else if (starved->elapsed_seconds() > 5.0) {
+      RPQD_WARN << "machine " << static_cast<int>(id_)
+                << ": emergency flow-control credit for stage " << stage;
+      return flow_->acquire_emergency();
+    }
+  }
+}
+
+void MachineRuntime::process_message(Worker& w, Message msg) {
+  ++w.nesting;
+  const StageId stage = msg.header.stage;
+  const int group = group_of(stage);
+  // Drain the buffer into per-thread execution contexts first (§3.1's
+  // "preallocated intermediate result storage"), then release it: the
+  // DONE message returns the *buffer* credit (§3.3), it does not wait for
+  // the traversals the contexts seed — holding the credit through the
+  // whole downstream execution would serialize credit round-trips on
+  // entire dependency chains.
+  struct Decoded {
+    VertexId vertex;
+    std::uint64_t rpid;
+    std::vector<Value> slots;
+  };
+  std::vector<Decoded> contexts(msg.header.count);
+  BinaryReader reader(msg.payload);
+  for (auto& c : contexts) {
+    decode_context(reader, plan_->num_slots, c.vertex, c.rpid, c.slots);
+  }
+  // The contexts are pending local work until their runs complete: keep
+  // them visible to the termination detector as active frames.
+  for (std::uint32_t i = 0; i < msg.header.count; ++i) {
+    detector_.frame_pushed(stage, group, msg.header.depth);
+  }
+  Message done;
+  done.header.type = MessageType::kDone;
+  done.header.src = id_;
+  done.header.stage = stage;
+  done.header.credit = msg.header.credit;
+  done.header.credit_depth = msg.header.credit_depth;
+  net_->send(msg.header.src, std::move(done));
+  msg.payload.clear();
+  msg.payload.shrink_to_fit();  // the "buffer" really is free now
+
+  for (auto& c : contexts) {
+    run_context(w, stage, c.vertex, msg.header.depth, c.rpid,
+                std::move(c.slots));
+    detector_.frame_popped(stage, group, msg.header.depth);
+  }
+  detector_.note_processed(stage, group, msg.header.depth, msg.header.count);
+  --w.nesting;
+}
+
+// ------------------------------------------------------- worker main loop --
+
+bool MachineRuntime::machine_idle() const {
+  for (const auto& w : workers_) {
+    if (w->busy.load(std::memory_order_seq_cst) || !w->bootstrap_done) {
+      return false;
+    }
+  }
+  return !net_->inbox(id_).has_data() && shared_tasks_.empty();
+}
+
+void MachineRuntime::worker_main(unsigned worker_index) {
+  Worker& w = *workers_[worker_index];
+  Inbox& inbox = net_->inbox(id_);
+  const unsigned stride = static_cast<unsigned>(workers_.size());
+  w.bootstrap_cursor = worker_index;
+  if (plan_->single_start) {
+    // Heuristic (i): a single-match start skips the scan entirely; only
+    // the owner machine's worker 0 seeds the traversal.
+    w.bootstrap_done = true;
+    if (worker_index == 0 && plan_->start_vertex != kInvalidVertex &&
+        part_->owns(plan_->start_vertex)) {
+      run_context(w, 0, plan_->start_vertex, 0, 0,
+                  std::vector<Value>(plan_->num_slots));
+    }
+  }
+
+  unsigned idle_iterations = 0;
+  while (!done_.load(std::memory_order_acquire)) {
+    // (i) Eagerly pick up received messages first.
+    if (auto msg = inbox.try_pop_data(net_->stats())) {
+      w.busy.store(true, std::memory_order_seq_cst);
+      process_message(w, std::move(*msg));
+      idle_iterations = 0;
+      continue;
+    }
+    // (i-b) aDFS: adopt a shared local traversal from a busy peer.
+    if (auto task = shared_tasks_.try_pop()) {
+      w.busy.store(true, std::memory_order_seq_cst);
+      shared_queued_.fetch_sub(1, std::memory_order_relaxed);
+      run_context(w, task->stage, task->vertex, task->depth, task->rpid,
+                  std::move(task->slots));
+      detector_.frame_popped(task->stage, group_of(task->stage), task->depth);
+      idle_iterations = 0;
+      continue;
+    }
+    // (ii) Bootstrap the next local vertex.
+    if (!w.bootstrap_done) {
+      w.busy.store(true, std::memory_order_seq_cst);
+      if (w.bootstrap_cursor < part_->num_local()) {
+        const LocalVertexId lv =
+            static_cast<LocalVertexId>(w.bootstrap_cursor);
+        w.bootstrap_cursor += stride;
+        run_context(w, 0, part_->to_global(lv), 0, 0,
+                    std::vector<Value>(plan_->num_slots));
+      } else {
+        w.bootstrap_done = true;
+      }
+      idle_iterations = 0;
+      continue;
+    }
+    // (iii) Idle: flush partial buffers, drive the termination protocol.
+    flush_all(w);
+    w.busy.store(false, std::memory_order_seq_cst);
+    ++idle_iterations;
+    if (worker_index == 0) {
+      while (auto status = inbox.try_pop_term()) {
+        detector_.on_status(*status);
+      }
+      const bool idle = machine_idle();
+      detector_.set_idle(idle);
+      // Re-broadcast periodically while idle: the repeated identical
+      // status is the protocol's second confirmation wave.
+      detector_.maybe_broadcast(*net_, idle && idle_iterations % 4 == 0);
+      if (idle && detector_.globally_terminated()) {
+        done_.store(true, std::memory_order_release);
+        break;
+      }
+    }
+    // Idle backoff: keep the core available for busy workers, but stay
+    // responsive enough for the termination protocol's rounds.
+    if (idle_iterations < 8) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          std::min<unsigned>(50u * (idle_iterations - 7), 500u)));
+    }
+  }
+}
+
+// ------------------------------------------------------------------ stats --
+
+std::uint64_t MachineRuntime::row_count() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->rows;
+  return total;
+}
+
+std::vector<std::vector<std::string>> MachineRuntime::take_rows() {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& w : workers_) {
+    for (auto& row : w->result_rows) rows.push_back(std::move(row));
+    w->result_rows.clear();
+  }
+  return rows;
+}
+
+std::uint64_t MachineRuntime::stage_visits(StageId stage) const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->stage_visits[stage];
+  return total;
+}
+
+RpqStageStats MachineRuntime::rpq_stats(unsigned group) const {
+  RpqStageStats stats;
+  for (const auto& w : workers_) {
+    RpqStageStats partial;
+    partial.matches_per_depth = w->matches[group];
+    partial.eliminated_per_depth = w->eliminated[group];
+    partial.duplicated_per_depth = w->duplicated[group];
+    stats.merge(partial);
+  }
+  const ReachIndexStats idx = indexes_[group]->stats();
+  stats.index_entries = idx.entries;
+  stats.index_bytes = idx.dynamic_bytes;
+  stats.max_depth_observed = detector_.local_max_depth(group);
+  return stats;
+}
+
+}  // namespace rpqd

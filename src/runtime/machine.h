@@ -1,0 +1,192 @@
+// One simulated machine of the RPQd cluster (§3.2).
+//
+// A MachineRuntime owns: its graph partition, the flow-control state, the
+// reachability-index slices of every RPQ control stage, the termination
+// detector, and per-worker execution state. The engine spawns
+// `workers_per_machine` threads per machine, each running worker_main():
+//
+//   1. eagerly pick up received messages (deepest depth / latest stage
+//      first — §3.2 messaging priority),
+//   2. otherwise bootstrap the next local vertex into stage 0,
+//   3. otherwise flush partial buffers, participate in the termination
+//      protocol, and exit once the detector reports global termination.
+//
+// Traversals are run-to-completion depth-first walks over the plan's
+// stage/hop automaton, using an explicit frame stack (no native
+// recursion). Remote hops serialize the context into the per-(machine,
+// stage, depth) output buffer, acquiring flow-control credits; when
+// blocked, the worker processes incoming messages instead (pickup rule
+// iii), nested up to a configured depth.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "graph/partition.h"
+#include "net/network.h"
+#include "plan/plan.h"
+#include "rpq/reach_index.h"
+#include "runtime/aggregate.h"
+#include "runtime/context.h"
+#include "runtime/stats.h"
+#include "runtime/termination.h"
+
+namespace rpqd {
+
+class MachineRuntime {
+ public:
+  MachineRuntime(MachineId id, const Partition* partition,
+                 const ExecPlan* plan, const EngineConfig* config,
+                 Network* network);
+
+  /// Body of one worker thread. Returns when the query has globally
+  /// terminated.
+  void worker_main(unsigned worker_index);
+
+  // ---- post-run accessors ----
+  std::uint64_t row_count() const;
+  std::vector<std::vector<std::string>> take_rows();
+  /// Partial GROUP BY aggregates, merged across this machine's workers.
+  AggMap merged_agg_rows() const;
+  RpqStageStats rpq_stats(unsigned group) const;
+  /// Frames entered at `stage` across this machine's workers.
+  std::uint64_t stage_visits(StageId stage) const;
+  const FlowControl& flow() const { return *flow_; }
+  FlowControl& flow() { return *flow_; }
+  const TerminationDetector& termination() const { return detector_; }
+  TerminationDetector& termination() { return detector_; }
+  const ReachabilityIndex& index(unsigned group) const {
+    return *indexes_[group];
+  }
+
+ private:
+  struct Frame {
+    StageId stage = kInvalidStage;
+    LocalVertexId current = kInvalidLocalVertex;
+    Depth depth = 0;
+    std::uint64_t rpid = 0;
+    std::uint8_t step = 0;       // kEdge/kInspect/kTransition/kOutput
+    std::uint8_t dir_phase = 0;  // neighbor hop: 0 = primary, 1 = reverse
+    std::uint32_t label_idx = 0;
+    std::size_t cursor = 0;
+    std::size_t end = 0;
+    bool emit_pending = false;     // control stage
+    bool explore_pending = false;  // control stage
+    // Slot save/restore window (see RunState::saved): RPQ path stages
+    // execute once per depth along a traversal, so a deeper iteration's
+    // slot actions must not clobber an ancestor's values after backtrack.
+    std::uint32_t saved_base = 0;
+    std::uint32_t saved_count = 0;
+  };
+
+  /// Per-traversal execution state (the paper's "RPQ context": slots plus
+  /// the per-depth frame stack, preallocated and grown on demand).
+  struct RunState {
+    std::vector<Frame> stack;
+    std::vector<Value> slots;
+    std::vector<std::pair<SlotId, Value>> saved;  // shadowed slot values
+  };
+
+  struct OutBuffer {
+    MachineId dest = 0;
+    StageId stage = kInvalidStage;
+    Depth depth = 0;
+    CreditClass credit = CreditClass::kFixed;
+    std::uint32_t count = 0;
+    std::vector<std::byte> payload;
+  };
+
+  struct Worker {
+    WorkerId id = 0;
+    std::uint64_t rpid_seq = 0;
+    unsigned nesting = 0;
+    std::atomic<bool> busy{true};
+    bool bootstrap_done = false;
+    std::size_t bootstrap_cursor = 0;
+    std::unordered_map<std::uint64_t, OutBuffer> out;
+    // Worker-local statistics (merged after the run; lock-free).
+    std::vector<std::vector<std::uint64_t>> matches;     // [group][depth]
+    std::vector<std::vector<std::uint64_t>> eliminated;  // [group][depth]
+    std::vector<std::vector<std::uint64_t>> duplicated;  // [group][depth]
+    std::uint64_t rows = 0;
+    std::vector<std::vector<std::string>> result_rows;
+    std::vector<std::uint64_t> stage_visits;  // frames entered per stage
+    AggMap agg_rows;  // partial GROUP BY aggregates
+  };
+
+  // ---- execution ----
+  void run_context(Worker& w, StageId stage, VertexId vertex, Depth depth,
+                   std::uint64_t rpid, std::vector<Value> slots);
+  bool enter_stage(Worker& w, RunState& rs, StageId stage, LocalVertexId lv,
+                   Depth depth, std::uint64_t rpid, bool from_increment);
+  void step(Worker& w, RunState& rs);
+  bool next_neighbor(Frame& f, const StagePlan& sp, std::size_t& out_idx,
+                     const Adjacency** out_adj);
+  std::size_t edge_multiplicity(LocalVertexId lv, Direction dir,
+                                const std::vector<LabelId>& labels,
+                                VertexId target) const;
+  void output_row(Worker& w, const Frame& f, const std::vector<Value>& slots);
+  void pop_frame(RunState& rs);
+
+  // ---- messaging ----
+  void send_remote(Worker& w, StageId stage, VertexId vertex, Depth depth,
+                   std::uint64_t rpid, const std::vector<Value>& slots);
+  void flush_buffer(OutBuffer&& buf);
+  void flush_all(Worker& w);
+  CreditClass acquire_credit_blocking(Worker& w, MachineId dest, StageId stage,
+                                      Depth depth);
+  void process_message(Worker& w, Message msg);
+
+  // ---- idle / termination driving ----
+  bool machine_idle() const;
+
+  bool vertex_matches(const StagePlan& sp, LocalVertexId lv,
+                      const std::vector<Value>& slots) const;
+  void apply_actions(const StagePlan& sp, LocalVertexId lv,
+                     std::vector<Value>& slots) const;
+  int group_of(StageId stage) const { return stage_group_[stage]; }
+
+  EvalCtx eval_ctx(LocalVertexId lv, const std::vector<Value>& slots) const {
+    EvalCtx ctx;
+    ctx.part = part_;
+    ctx.catalog = &part_->catalog();
+    ctx.current = lv;
+    ctx.slots = slots.data();
+    return ctx;
+  }
+
+  // ---- aDFS work sharing (§5 extension) ----
+  /// Tries to offload a local child traversal to an idle peer worker.
+  /// Returns false when sharing is off, no peer is idle, or the queue is
+  /// full — the caller then recurses as usual.
+  bool try_share_local(Worker& w, StageId stage, VertexId vertex, Depth depth,
+                       std::uint64_t rpid, const std::vector<Value>& slots);
+
+  MachineId id_;
+  const Partition* part_;
+  const ExecPlan* plan_;
+  const EngineConfig* config_;
+  Network* net_;
+  std::unique_ptr<FlowControl> flow_;
+  TerminationDetector detector_;
+  std::vector<std::unique_ptr<ReachabilityIndex>> indexes_;
+  std::vector<int> stage_group_;  // stage -> rpq index_id, or -1
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> done_{false};
+  // aDFS: machine-local shared task queue + statistics.
+  MpmcQueue<Context> shared_tasks_;
+  std::atomic<std::uint32_t> shared_queued_{0};
+  std::atomic<std::uint64_t> shared_total_{0};
+
+ public:
+  /// Number of traversals offloaded via aDFS work sharing (stats).
+  std::uint64_t shared_task_count() const {
+    return shared_total_.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace rpqd

@@ -1,0 +1,82 @@
+// Per-query runtime statistics: everything the paper's evaluation section
+// reports — per-depth RPQ control-stage matches (Table 2), eliminations
+// and duplications (Table 3), reachability-index size (§4.4), flow-control
+// block counts (§4.2), message/byte counters, and peak buffered bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rpqd {
+
+/// Statistics of one RPQ control stage (index_id-indexed).
+struct RpqStageStats {
+  std::vector<std::uint64_t> matches_per_depth;
+  std::vector<std::uint64_t> eliminated_per_depth;
+  std::vector<std::uint64_t> duplicated_per_depth;
+  std::uint64_t index_entries = 0;
+  std::uint64_t index_bytes = 0;
+  Depth max_depth_observed = 0;
+  /// The §3.4 consensus value for unbounded RPQs (set when reached).
+  std::optional<Depth> consensus_max_depth;
+
+  std::uint64_t total_matches() const {
+    std::uint64_t sum = 0;
+    for (const auto v : matches_per_depth) sum += v;
+    return sum;
+  }
+  std::uint64_t total_eliminated() const {
+    std::uint64_t sum = 0;
+    for (const auto v : eliminated_per_depth) sum += v;
+    return sum;
+  }
+  std::uint64_t total_duplicated() const {
+    std::uint64_t sum = 0;
+    for (const auto v : duplicated_per_depth) sum += v;
+    return sum;
+  }
+
+  void merge(const RpqStageStats& other);
+};
+
+/// EXPLAIN ANALYZE row: per-stage execution counts.
+struct StageBreakdown {
+  std::string note;              // the planner's stage annotation
+  std::uint64_t visits = 0;      // frames entered (local + remote work)
+  std::uint64_t remote_in = 0;   // contexts received via messages
+  std::uint64_t remote_out = 0;  // contexts sent via messages
+};
+
+struct RuntimeStats {
+  // Messaging.
+  std::uint64_t data_messages = 0;
+  std::uint64_t done_messages = 0;
+  std::uint64_t term_messages = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t contexts_sent = 0;
+  std::uint64_t peak_queued_bytes = 0;
+  // Flow control (§3.3 / §4.2).
+  std::uint64_t flow_blocked = 0;
+  std::uint64_t flow_shared_used = 0;
+  std::uint64_t flow_overflow_used = 0;
+  std::uint64_t flow_emergency = 0;  // should stay 0; safety valve
+  // aDFS work sharing (when enabled).
+  std::uint64_t adfs_shared_tasks = 0;
+  // RPQ stages.
+  std::vector<RpqStageStats> rpq;
+  // Per-stage breakdown (EXPLAIN ANALYZE).
+  std::vector<StageBreakdown> stages;
+  // Output.
+  std::uint64_t output_rows = 0;
+  double elapsed_ms = 0.0;
+
+  std::string summary() const;
+  /// Renders the per-stage breakdown as an EXPLAIN ANALYZE style table.
+  std::string stage_table() const;
+};
+
+}  // namespace rpqd

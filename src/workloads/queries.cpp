@@ -1,0 +1,88 @@
+#include "workloads/queries.h"
+
+#include <sstream>
+
+namespace rpqd::workloads {
+
+std::vector<WorkloadQuery> benchmark_queries() {
+  std::vector<WorkloadQuery> queries;
+  // Q3: forums moderated by persons in Burma; all messages in the reply
+  // trees of their posts. Narrow single-vertex start (country filter).
+  queries.push_back(
+      {"Q03*",
+       "SELECT COUNT(*) FROM MATCH (country:Country) <-[:isPartOf]- "
+       "(city:City) <-[:isLocatedIn]- (p:Person) <-[:hasModerator]- "
+       "(f:Forum) -[:containerOf]-> (post:Post) <-/:replyOf*/- (msg) "
+       "WHERE country.name = 'Burma'",
+       true});
+  // Q3 adaptation: the same reachability part without the narrow country
+  // start (wide exploration over every forum).
+  queries.push_back(
+      {"Q03a",
+       "SELECT COUNT(*) FROM MATCH (f:Forum) -[:containerOf]-> (post:Post) "
+       "<-/:replyOf*/- (msg)",
+       false});
+  // Q9: recursively all replies to posts in a creation-date window.
+  queries.push_back(
+      {"Q09*",
+       "SELECT COUNT(*) FROM MATCH (post:Post) <-/:replyOf+/- (c:Comment) "
+       "WHERE post.creationDate >= 400 AND post.creationDate <= 2900",
+       true});
+  // Q9 adaptation: 0-hop variant over all messages.
+  queries.push_back(
+      {"Q09a",
+       "SELECT COUNT(*) FROM MATCH (post:Post) <-/:replyOf*/- (m)",
+       false});
+  // Q9 adaptation: bounded reply depth.
+  queries.push_back(
+      {"Q09b",
+       "SELECT COUNT(*) FROM MATCH (post:Post) <-/:replyOf{1,3}/- "
+       "(c:Comment)",
+       false});
+  // Q10: persons within two or three Knows hops of one person; the
+  // reachability index is heavily exercised (Table 3).
+  queries.push_back(
+      {"Q10*",
+       "SELECT COUNT(*) FROM MATCH (p1:Person) -/:knows{2,3}/- (p2:Person) "
+       "WHERE p1.id = 7",
+       true});
+  // Q10 adaptation: shallower neighbourhood, different start.
+  queries.push_back(
+      {"Q10a",
+       "SELECT COUNT(*) FROM MATCH (p1:Person) -/:knows{1,2}/- (p2:Person) "
+       "WHERE p1.id = 23",
+       false});
+  // Q10 adaptation: unbounded directed Knows reachability (exercises the
+  // §3.4 max-depth consensus). Directed, because an undirected unbounded
+  // single-source walk on a dense component is the DFT worst case the
+  // paper's §5 explicitly cedes to BFT engines.
+  queries.push_back(
+      {"Q10b",
+       "SELECT COUNT(*) FROM MATCH (p1:Person) -/:knows+/-> (p2:Person) "
+       "WHERE p1.id = 42",
+       false});
+  // The intro's cross-filter query: ascending-age chains of Knows.
+  queries.push_back({"QXfil", cross_filter_query(), false});
+  return queries;
+}
+
+std::string reply_depth_query(Depth min_hop, Depth max_hop) {
+  std::ostringstream out;
+  out << "SELECT COUNT(*) FROM MATCH (m:Post|Comment) -/:replyOf{" << min_hop;
+  if (max_hop == kUnboundedDepth) {
+    out << ",";
+  } else {
+    out << "," << max_hop;
+  }
+  out << "}/-> (n)";
+  return out.str();
+}
+
+std::string cross_filter_query() {
+  return "PATH p AS (pa:Person) -[:knows]- (pb:Person) "
+         "WHERE pa.age <= pb.age "
+         "SELECT COUNT(*) FROM MATCH (p1:Person) -/:p*/-> (p2:Person) "
+         "WHERE p1.id = 11 AND p1.age <= p2.age";
+}
+
+}  // namespace rpqd::workloads

@@ -1,0 +1,34 @@
+// The benchmark workload: nine LDBC-BI-derived reachability queries
+// (§4.1 — three original-style queries Q3/Q9/Q10 plus six adaptations)
+// and the artificial Reply-depth queries of Figure 3.
+//
+// The queries are expressed against the synthetic LDBC-like schema of
+// ldbc/schema.h. As in the paper, the adaptations strip constructs the
+// engine does not support (correlated subqueries, ORDER BY) and keep the
+// reachability-matching part.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rpqd::workloads {
+
+struct WorkloadQuery {
+  std::string id;     // "Q03*", "Q09a", ...
+  std::string pgql;
+  bool original;      // true for the three original-style BI queries
+};
+
+/// The nine benchmark queries (Figure 2's x-axis).
+std::vector<WorkloadQuery> benchmark_queries();
+
+/// The Figure 3 artificial query: a Reply RPQ with explicit min/max
+/// exploration depth over all messages.
+std::string reply_depth_query(Depth min_hop, Depth max_hop);
+
+/// The intro's cross-filter example: ascending-age Knows chains.
+std::string cross_filter_query();
+
+}  // namespace rpqd::workloads

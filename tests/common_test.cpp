@@ -1,0 +1,209 @@
+// Unit tests for src/common: RNG determinism, zipf sampling,
+// serialization round-trips, queues, hashing, logging plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/queue.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace rpqd {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Zipf, SkewPrefersSmallIndices) {
+  ZipfSampler sampler(100, 1.0);
+  Rng rng(3);
+  std::size_t first_decile = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.sample(rng) < 10) ++first_decile;
+  }
+  // With skew 1.0, the first 10% of ranks draw a large share (~44%).
+  EXPECT_GT(first_decile, static_cast<std::size_t>(n) * 30 / 100);
+}
+
+TEST(Zipf, UniformWhenSkewZero) {
+  ZipfSampler sampler(10, 0.0);
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[sampler.sample(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 5000, 400);
+  }
+}
+
+TEST(Mix64, InjectiveOnSmallRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second);
+  }
+}
+
+TEST(Serialize, PodRoundTrip) {
+  std::vector<std::byte> buf;
+  BinaryWriter w(buf);
+  w.write<std::uint32_t>(0xdeadbeef);
+  w.write<std::int64_t>(-42);
+  w.write<double>(3.25);
+  BinaryReader r(buf);
+  EXPECT_EQ(r.read<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(r.read<std::int64_t>(), -42);
+  EXPECT_EQ(r.read<double>(), 3.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VarintRoundTrip) {
+  std::vector<std::byte> buf;
+  BinaryWriter w(buf);
+  const std::uint64_t values[] = {0,    1,          127,        128,
+                                  300,  1u << 20,   1ull << 40, ~0ull};
+  for (const auto v : values) w.write_varint(v);
+  BinaryReader r(buf);
+  for (const auto v : values) EXPECT_EQ(r.read_varint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VarintCompact) {
+  std::vector<std::byte> buf;
+  BinaryWriter w(buf);
+  w.write_varint(5);
+  EXPECT_EQ(buf.size(), 1u);
+  w.write_varint(300);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  std::vector<std::byte> buf;
+  BinaryWriter w(buf);
+  w.write_string("hello");
+  w.write_string("");
+  w.write_string(std::string(1000, 'x'));
+  BinaryReader r(buf);
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), std::string(1000, 'x'));
+}
+
+TEST(Serialize, ReadOverflowThrows) {
+  std::vector<std::byte> buf;
+  BinaryWriter w(buf);
+  w.write<std::uint16_t>(7);
+  BinaryReader r(buf);
+  EXPECT_EQ(r.read<std::uint16_t>(), 7);
+  EXPECT_THROW(r.read<std::uint32_t>(), EngineError);
+}
+
+TEST(Serialize, TruncatedVarintThrows) {
+  std::vector<std::byte> buf{std::byte{0x80}};  // continuation, no end
+  BinaryReader r(buf);
+  EXPECT_THROW(r.read_varint(), EngineError);
+}
+
+TEST(MpmcQueue, FifoOrder) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) {
+    const auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumers) {
+  MpmcQueue<int> q;
+  constexpr int kPerProducer = 2000;
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < 2 * kPerProducer) {
+        if (auto v = q.try_pop()) {
+          sum += *v;
+          ++consumed;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const long long expect =
+      (2LL * kPerProducer - 1) * (2LL * kPerProducer) / 2;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(MpmcQueue, CloseWakesWaiters) {
+  MpmcQueue<int> q;
+  std::thread waiter([&q] {
+    const auto v = q.pop_or_wait();
+    EXPECT_FALSE(v.has_value());
+  });
+  q.close();
+  waiter.join();
+}
+
+}  // namespace
+}  // namespace rpqd

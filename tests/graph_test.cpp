@@ -1,0 +1,186 @@
+// Unit tests for the property-graph model: builder, CSR invariants,
+// label ranges, edge probes, properties, and the catalog.
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace rpqd {
+namespace {
+
+Graph diamond() {
+  // 0 -a-> 1 -b-> 3, 0 -a-> 2 -b-> 3, plus parallel 0 -a-> 1.
+  GraphBuilder b;
+  const LabelId node = b.catalog().vertex_label("Node");
+  for (int i = 0; i < 4; ++i) b.add_vertex(node);
+  const LabelId la = b.catalog().edge_label("a");
+  const LabelId lb = b.catalog().edge_label("b");
+  b.add_edge(0, 1, la);
+  b.add_edge(0, 2, la);
+  b.add_edge(1, 3, lb);
+  b.add_edge(2, 3, lb);
+  b.add_edge(0, 1, la);  // parallel edge
+  b.set_property(0, b.catalog().property("x", ValueType::kInt), int_value(10));
+  b.set_property(3, b.catalog().property("x", ValueType::kInt), int_value(30));
+  return std::move(b).build();
+}
+
+TEST(Graph, Counts) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.out().num_entries(), 5u);
+  EXPECT_EQ(g.in().num_entries(), 5u);
+}
+
+TEST(Graph, OutDegrees) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.out().degree(0), 3u);
+  EXPECT_EQ(g.out().degree(1), 1u);
+  EXPECT_EQ(g.out().degree(3), 0u);
+  EXPECT_EQ(g.in().degree(3), 2u);
+  EXPECT_EQ(g.in().degree(0), 0u);
+}
+
+TEST(Graph, EntriesSortedByLabelThenDst) {
+  const Graph g = diamond();
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    const auto [begin, end] = g.out().range(v);
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+      const auto& a = g.out().entry(i);
+      const auto& b = g.out().entry(i + 1);
+      EXPECT_LE(std::tie(a.elabel, a.other), std::tie(b.elabel, b.other));
+    }
+  }
+}
+
+TEST(Graph, LabelRange) {
+  const Graph g = diamond();
+  const auto la = *g.catalog().find_edge_label("a");
+  const auto lb = *g.catalog().find_edge_label("b");
+  const auto [ab, ae] = g.out().label_range(0, la);
+  EXPECT_EQ(ae - ab, 3u);
+  const auto [bb, be] = g.out().label_range(0, lb);
+  EXPECT_EQ(be - bb, 0u);
+  const auto [ib, ie] = g.in().label_range(3, lb);
+  EXPECT_EQ(ie - ib, 2u);
+}
+
+TEST(Graph, HasEdgeTo) {
+  const Graph g = diamond();
+  const auto la = *g.catalog().find_edge_label("a");
+  const auto lb = *g.catalog().find_edge_label("b");
+  EXPECT_TRUE(g.out().has_edge_to(0, 1, la));
+  EXPECT_TRUE(g.out().has_edge_to(0, 1, std::nullopt));
+  EXPECT_FALSE(g.out().has_edge_to(0, 1, lb));
+  EXPECT_FALSE(g.out().has_edge_to(0, 3, std::nullopt));
+  EXPECT_TRUE(g.in().has_edge_to(3, 1, lb));
+}
+
+TEST(Graph, CountEdgesToCountsParallel) {
+  const Graph g = diamond();
+  const auto la = *g.catalog().find_edge_label("a");
+  EXPECT_EQ(g.out().count_edges_to(0, 1, la), 2u);
+  EXPECT_EQ(g.out().count_edges_to(0, 1, std::nullopt), 2u);
+  EXPECT_EQ(g.out().count_edges_to(0, 2, la), 1u);
+  EXPECT_EQ(g.out().count_edges_to(0, 3, std::nullopt), 0u);
+}
+
+TEST(Graph, Properties) {
+  const Graph g = diamond();
+  const auto x = *g.catalog().find_property("x");
+  EXPECT_EQ(as_int(g.property(0, x)), 10);
+  EXPECT_EQ(as_int(g.property(3, x)), 30);
+  EXPECT_TRUE(is_null(g.property(1, x)));
+  EXPECT_TRUE(is_null(g.property(0, static_cast<PropId>(99))));
+}
+
+TEST(Graph, EdgeProperties) {
+  GraphBuilder b;
+  b.add_vertex("N");
+  b.add_vertex("N");
+  const EdgeId e0 = b.add_edge(0, 1, "e");
+  const EdgeId e1 = b.add_edge(0, 1, "e");
+  const PropId w = b.catalog().property("w", ValueType::kInt);
+  b.set_edge_property(e0, w, int_value(5));
+  b.set_edge_property(e1, w, int_value(7));
+  const Graph g = std::move(b).build();
+  const auto [begin, end] = g.out().range(0);
+  ASSERT_EQ(end - begin, 2u);
+  std::int64_t sum = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    sum += as_int(g.out().edge_property(i, w));
+  }
+  EXPECT_EQ(sum, 12);
+  // The in-CSR carries the same edge property values.
+  const auto [ib, ie] = g.in().range(1);
+  sum = 0;
+  for (std::size_t i = ib; i < ie; ++i) {
+    sum += as_int(g.in().edge_property(i, w));
+  }
+  EXPECT_EQ(sum, 12);
+}
+
+TEST(Catalog, DictionariesAreStable) {
+  Catalog c;
+  const LabelId p1 = c.vertex_label("Person");
+  const LabelId p2 = c.vertex_label("Person");
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(c.vertex_label_name(p1), "Person");
+  EXPECT_FALSE(c.find_vertex_label("Nope").has_value());
+}
+
+TEST(Catalog, PropertyTypeConflictThrows) {
+  Catalog c;
+  c.property("age", ValueType::kInt);
+  EXPECT_THROW(c.property("age", ValueType::kString), EngineError);
+}
+
+TEST(Catalog, CompareNumericPromotion) {
+  Catalog c;
+  EXPECT_EQ(c.compare(int_value(2), double_value(2.0)), 0);
+  EXPECT_EQ(c.compare(int_value(2), double_value(2.5)), -1);
+  EXPECT_EQ(c.compare(double_value(3.0), int_value(2)), 1);
+}
+
+TEST(Catalog, CompareStringsViaDictionary) {
+  Catalog c;
+  const auto apple = c.string_id("apple");
+  const auto banana = c.string_id("banana");
+  EXPECT_EQ(c.compare(string_value(apple), string_value(banana)), -1);
+  EXPECT_EQ(c.compare(string_value(apple), string_value(apple)), 0);
+}
+
+TEST(Catalog, CompareNullIsUnknown) {
+  Catalog c;
+  EXPECT_FALSE(c.compare(null_value(), int_value(1)).has_value());
+  EXPECT_FALSE(c.compare(int_value(1), null_value()).has_value());
+}
+
+TEST(Catalog, CompareVertexWithInt) {
+  Catalog c;
+  EXPECT_EQ(c.compare(vertex_value(5), int_value(5)), 0);
+  EXPECT_EQ(c.compare(vertex_value(4), int_value(5)), -1);
+}
+
+TEST(Catalog, Render) {
+  Catalog c;
+  EXPECT_EQ(c.render(int_value(42)), "42");
+  EXPECT_EQ(c.render(bool_value(true)), "true");
+  EXPECT_EQ(c.render(null_value()), "null");
+  const auto s = c.string_id("hi");
+  EXPECT_EQ(c.render(string_value(s)), "\"hi\"");
+  EXPECT_EQ(c.render(vertex_value(3)), "3");
+}
+
+TEST(GraphBuilder, BadVertexThrows) {
+  GraphBuilder b;
+  b.add_vertex("N");
+  EXPECT_THROW(b.add_edge(0, 5, "e"), EngineError);
+  EXPECT_THROW(
+      b.set_property(9, b.catalog().property("p", ValueType::kInt),
+                     int_value(1)),
+      EngineError);
+}
+
+}  // namespace
+}  // namespace rpqd

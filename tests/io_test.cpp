@@ -1,0 +1,177 @@
+// Tests for graph import/export: CSV and binary snapshot round-trips,
+// malformed-input handling, and cross-format equivalence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baseline/reference.h"
+#include "io/binary.h"
+#include "io/csv.h"
+#include "ldbc/generator.h"
+#include "ldbc/synthetic.h"
+
+namespace rpqd::io {
+namespace {
+
+Graph sample_graph() {
+  GraphBuilder b;
+  const VertexId alice = b.add_vertex("Person");
+  b.set_string_property(alice, "name", "alice");
+  b.set_property(alice, b.catalog().property("age", ValueType::kInt),
+                 int_value(34));
+  const VertexId bob = b.add_vertex("Person");
+  b.set_string_property(bob, "name", "bob");
+  const VertexId post = b.add_vertex("Post");
+  b.set_property(post, b.catalog().property("score", ValueType::kDouble),
+                 double_value(4.5));
+  const EdgeId knows = b.add_edge(alice, bob, "knows");
+  b.set_edge_property(knows, b.catalog().property("since", ValueType::kInt),
+                      int_value(2012));
+  b.add_edge(bob, post, "wrote");
+  b.set_property(post, b.catalog().property("hot", ValueType::kBool),
+                 bool_value(true));
+  return std::move(b).build();
+}
+
+void expect_equivalent(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.catalog().vertex_label_name(a.label(v)),
+              b.catalog().vertex_label_name(b.label(v)));
+    EXPECT_EQ(a.out().degree(v), b.out().degree(v));
+    EXPECT_EQ(a.in().degree(v), b.in().degree(v));
+    for (PropId p = 0; p < a.catalog().num_properties(); ++p) {
+      const Value va = a.property(v, p);
+      const auto pb = b.catalog().find_property(a.catalog().property_name(p));
+      ASSERT_TRUE(is_null(va) || pb.has_value());
+      if (!pb) continue;
+      const Value vb = b.property(v, *pb);
+      EXPECT_EQ(a.catalog().render(va), b.catalog().render(vb))
+          << "vertex " << v << " prop " << a.catalog().property_name(p);
+    }
+  }
+}
+
+TEST(Csv, RoundTrip) {
+  const Graph g = sample_graph();
+  std::ostringstream vout, eout;
+  save_csv(g, vout, eout);
+  std::istringstream vin(vout.str()), ein(eout.str());
+  const Graph loaded = load_csv(vin, ein);
+  expect_equivalent(g, loaded);
+}
+
+TEST(Csv, ParsesHandWrittenInput) {
+  std::istringstream vertices(
+      "# comment line\n"
+      "0|Person|name:string=ada|age:int=36\n"
+      "1|Person|name:string=grace\n"
+      "2|City|name:string=london\n");
+  std::istringstream edges(
+      "0|1|knows|since:int=1843\n"
+      "0|2|livesIn\n");
+  const Graph g = load_csv(vertices, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  const auto age = *g.catalog().find_property("age");
+  EXPECT_EQ(as_int(g.property(0, age)), 36);
+  EXPECT_TRUE(is_null(g.property(1, age)));
+  const auto since = *g.catalog().find_property("since");
+  const auto [b0, e0] = g.out().label_range(0, *g.catalog().find_edge_label("knows"));
+  ASSERT_EQ(e0 - b0, 1u);
+  EXPECT_EQ(as_int(g.out().edge_property(b0, since)), 1843);
+}
+
+TEST(Csv, LoadedGraphAnswersQueries) {
+  std::istringstream vertices(
+      "0|N\n1|N\n2|N\n3|N\n");
+  std::istringstream edges(
+      "0|1|next\n1|2|next\n2|3|next\n");
+  const Graph g = load_csv(vertices, edges);
+  EXPECT_EQ(baseline::reference_evaluate(
+                "SELECT COUNT(*) FROM MATCH (a) -/:next+/-> (b)", g)
+                .count,
+            6u);
+}
+
+TEST(Csv, MalformedInputsThrowWithLineNumbers) {
+  const auto expect_fail = [](const char* vtext, const char* etext,
+                              const char* needle) {
+    std::istringstream v(vtext), e(etext);
+    try {
+      load_csv(v, e);
+      FAIL() << "expected QueryError for " << needle;
+    } catch (const QueryError& err) {
+      EXPECT_NE(std::string(err.what()).find(needle), std::string::npos)
+          << err.what();
+    }
+  };
+  expect_fail("5|Person\n", "", "dense");               // non-dense ids
+  expect_fail("0|Person|age=3\n", "", "key:type=value");  // missing type
+  expect_fail("0|Person|age:int=x\n", "", "integer");
+  expect_fail("0|Person|age:blob=3\n", "", "unknown property type");
+  expect_fail("0|Person\n", "0|9|knows\n", "out of range");
+  expect_fail("0|Person\n", "0|knows\n", "src|dst|label");
+}
+
+TEST(Csv, CustomSeparator) {
+  CsvOptions opts;
+  opts.separator = ',';
+  std::istringstream vertices("0,N\n1,N\n");
+  std::istringstream edges("0,1,e\n");
+  const Graph g = load_csv(vertices, edges, opts);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Binary, RoundTrip) {
+  const Graph g = sample_graph();
+  std::stringstream buf;
+  save_binary(g, buf);
+  const Graph loaded = load_binary(buf);
+  expect_equivalent(g, loaded);
+}
+
+TEST(Binary, RoundTripLdbcAndQueriesAgree) {
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = 0.05;
+  const Graph g = ldbc::generate_ldbc(cfg);
+  std::stringstream buf;
+  save_binary(g, buf);
+  const Graph loaded = load_binary(buf);
+  const char* q =
+      "SELECT COUNT(*) FROM MATCH (post:Post) <-/:replyOf*/- (m)";
+  EXPECT_EQ(baseline::reference_evaluate(q, g).count,
+            baseline::reference_evaluate(q, loaded).count);
+}
+
+TEST(Binary, RejectsCorruptedInput) {
+  std::stringstream buf;
+  save_binary(sample_graph(), buf);
+  std::string bytes = buf.str();
+  {
+    std::istringstream bad(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(load_binary(bad), QueryError);
+  }
+  {
+    std::string magic_broken = bytes;
+    magic_broken[0] = 'X';
+    std::istringstream bad(magic_broken);
+    EXPECT_THROW(load_binary(bad), QueryError);
+  }
+}
+
+TEST(CrossFormat, CsvAndBinaryAgree) {
+  const Graph g = sample_graph();
+  std::ostringstream vout, eout;
+  save_csv(g, vout, eout);
+  std::istringstream vin(vout.str()), ein(eout.str());
+  const Graph from_csv = load_csv(vin, ein);
+  std::stringstream buf;
+  save_binary(g, buf);
+  const Graph from_binary = load_binary(buf);
+  expect_equivalent(from_csv, from_binary);
+}
+
+}  // namespace
+}  // namespace rpqd::io

@@ -1,0 +1,165 @@
+// Tests for the synthetic LDBC-like generator and the small synthetic
+// test graphs: determinism, schema coverage, and topological shape
+// (reply trees explode-then-decay, Knows graph has communities).
+#include <gtest/gtest.h>
+
+#include "ldbc/generator.h"
+#include "ldbc/schema.h"
+#include "ldbc/synthetic.h"
+
+namespace rpqd {
+namespace {
+
+TEST(Ldbc, DeterministicForSameSeed) {
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = 0.05;
+  ldbc::LdbcStats s1, s2;
+  const Graph g1 = ldbc::generate_ldbc(cfg, &s1);
+  const Graph g2 = ldbc::generate_ldbc(cfg, &s2);
+  EXPECT_EQ(g1.num_vertices(), g2.num_vertices());
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_EQ(s1.comments, s2.comments);
+  EXPECT_EQ(s1.knows_edges, s2.knows_edges);
+  // Spot-check structural equality.
+  for (VertexId v = 0; v < g1.num_vertices(); v += 7) {
+    EXPECT_EQ(g1.label(v), g2.label(v));
+    EXPECT_EQ(g1.out().degree(v), g2.out().degree(v));
+  }
+}
+
+TEST(Ldbc, DifferentSeedsDiffer) {
+  ldbc::LdbcConfig a;
+  a.scale_factor = 0.05;
+  ldbc::LdbcConfig b = a;
+  b.seed = a.seed + 1;
+  ldbc::LdbcStats sa, sb;
+  ldbc::generate_ldbc(a, &sa);
+  ldbc::generate_ldbc(b, &sb);
+  EXPECT_NE(sa.total_edges, sb.total_edges);
+}
+
+TEST(Ldbc, SchemaPresent) {
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = 0.05;
+  const Graph g = ldbc::generate_ldbc(cfg);
+  const Catalog& cat = g.catalog();
+  for (const char* label : {ldbc::kCountry, ldbc::kCity, ldbc::kPerson,
+                            ldbc::kForum, ldbc::kPost, ldbc::kComment,
+                            ldbc::kTag}) {
+    EXPECT_TRUE(cat.find_vertex_label(label).has_value()) << label;
+  }
+  for (const char* label :
+       {ldbc::kIsPartOf, ldbc::kIsLocatedIn, ldbc::kKnows,
+        ldbc::kHasModerator, ldbc::kContainerOf, ldbc::kHasCreator,
+        ldbc::kReplyOf, ldbc::kHasTag}) {
+    EXPECT_TRUE(cat.find_edge_label(label).has_value()) << label;
+  }
+  EXPECT_TRUE(cat.find_property(ldbc::kAge).has_value());
+  EXPECT_TRUE(cat.find_string("Burma").has_value());
+}
+
+TEST(Ldbc, ScaleGrowsWithScaleFactor) {
+  ldbc::LdbcConfig small;
+  small.scale_factor = 0.05;
+  ldbc::LdbcConfig big;
+  big.scale_factor = 0.4;
+  ldbc::LdbcStats ss, sb;
+  ldbc::generate_ldbc(small, &ss);
+  ldbc::generate_ldbc(big, &sb);
+  EXPECT_GT(sb.persons, ss.persons * 4);
+  EXPECT_GT(sb.comments, ss.comments);
+}
+
+TEST(Ldbc, ReplyTreesAreTrees) {
+  // Every comment has exactly one replyOf out-edge (to post or comment).
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = 0.1;
+  const Graph g = ldbc::generate_ldbc(cfg);
+  const auto comment = *g.catalog().find_vertex_label(ldbc::kComment);
+  const auto reply_of = *g.catalog().find_edge_label(ldbc::kReplyOf);
+  std::size_t comments = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.label(v) != comment) continue;
+    ++comments;
+    const auto [b, e] = g.out().label_range(v, reply_of);
+    ASSERT_EQ(e - b, 1u);
+  }
+  EXPECT_GT(comments, 0u);
+}
+
+TEST(Ldbc, PersonPropertiesInRange) {
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = 0.05;
+  const Graph g = ldbc::generate_ldbc(cfg);
+  const auto person = *g.catalog().find_vertex_label(ldbc::kPerson);
+  const auto age = *g.catalog().find_property(ldbc::kAge);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.label(v) != person) continue;
+    const auto a = as_int(g.property(v, age));
+    EXPECT_GE(a, 18);
+    EXPECT_LE(a, 80);
+  }
+}
+
+TEST(Ldbc, BurmaIsCountryZero) {
+  EXPECT_STREQ(ldbc::country_name(0), "Burma");
+}
+
+TEST(Synthetic, Chain) {
+  const Graph g = synthetic::make_chain(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out().degree(0), 1u);
+  EXPECT_EQ(g.out().degree(4), 0u);
+}
+
+TEST(Synthetic, Cycle) {
+  const Graph g = synthetic::make_cycle(5);
+  EXPECT_EQ(g.num_edges(), 5u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.out().degree(v), 1u);
+    EXPECT_EQ(g.in().degree(v), 1u);
+  }
+}
+
+TEST(Synthetic, TreeShape) {
+  const Graph g = synthetic::make_tree(2, 3);
+  EXPECT_EQ(g.num_vertices(), 15u);  // 1+2+4+8
+  EXPECT_EQ(g.num_edges(), 14u);
+  // Edges point child -> parent; the root has in-degree 2, out-degree 0.
+  EXPECT_EQ(g.out().degree(0), 0u);
+  EXPECT_EQ(g.in().degree(0), 2u);
+}
+
+TEST(Synthetic, Complete) {
+  const Graph g = synthetic::make_complete(4);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g.out().degree(v), 3u);
+    EXPECT_EQ(g.in().degree(v), 3u);
+  }
+}
+
+TEST(Synthetic, RandomDeterministic) {
+  synthetic::RandomGraphConfig cfg;
+  cfg.seed = 77;
+  const Graph a = synthetic::make_random(cfg);
+  const Graph b = synthetic::make_random(cfg);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.out().degree(v), b.out().degree(v));
+  }
+}
+
+TEST(Synthetic, RandomNoSelfLoopsByDefault) {
+  synthetic::RandomGraphConfig cfg;
+  cfg.num_vertices = 30;
+  cfg.num_edges = 300;
+  const Graph g = synthetic::make_random(cfg);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_FALSE(g.out().has_edge_to(v, v, std::nullopt));
+  }
+}
+
+}  // namespace
+}  // namespace rpqd

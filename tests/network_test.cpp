@@ -1,0 +1,120 @@
+// Tests for the simulated fabric: inbox priority (§3.2 — deeper depth
+// first, later stage first), DONE credit return at delivery time,
+// termination-message routing, and statistics.
+#include "common/error.h"
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace rpqd {
+namespace {
+
+Message data_message(MachineId src, StageId stage, Depth depth,
+                     std::uint32_t count = 1, std::size_t bytes = 8) {
+  Message m;
+  m.header.type = MessageType::kData;
+  m.header.src = src;
+  m.header.stage = stage;
+  m.header.depth = depth;
+  m.header.count = count;
+  m.payload.resize(bytes);
+  return m;
+}
+
+TEST(Inbox, PriorityDeeperDepthFirst) {
+  Network net(1);
+  net.send(0, data_message(0, 2, 1));
+  net.send(0, data_message(0, 2, 5));
+  net.send(0, data_message(0, 2, 3));
+  auto& inbox = net.inbox(0);
+  EXPECT_EQ(inbox.try_pop_data(net.stats())->header.depth, 5u);
+  EXPECT_EQ(inbox.try_pop_data(net.stats())->header.depth, 3u);
+  EXPECT_EQ(inbox.try_pop_data(net.stats())->header.depth, 1u);
+  EXPECT_FALSE(inbox.try_pop_data(net.stats()).has_value());
+}
+
+TEST(Inbox, PriorityLaterStageFirstAtSameDepth) {
+  Network net(1);
+  net.send(0, data_message(0, 1, 2));
+  net.send(0, data_message(0, 4, 2));
+  net.send(0, data_message(0, 3, 2));
+  auto& inbox = net.inbox(0);
+  EXPECT_EQ(inbox.try_pop_data(net.stats())->header.stage, 4u);
+  EXPECT_EQ(inbox.try_pop_data(net.stats())->header.stage, 3u);
+  EXPECT_EQ(inbox.try_pop_data(net.stats())->header.stage, 1u);
+}
+
+TEST(Inbox, DepthDominatesStage) {
+  Network net(1);
+  net.send(0, data_message(0, 9, 0));
+  net.send(0, data_message(0, 1, 4));
+  EXPECT_EQ(net.inbox(0).try_pop_data(net.stats())->header.depth, 4u);
+}
+
+TEST(Inbox, DoneMessagesReleaseCreditsImmediately) {
+  EngineConfig cfg;
+  cfg.buffers_per_machine = 4;
+  FlowControl fc(cfg, 2, {false});
+  Network net(2);
+  net.inbox(0).attach_flow_control(&fc);
+
+  // Exhaust machine 0's credits towards machine 1.
+  std::vector<CreditClass> held;
+  while (const auto c = fc.try_acquire(1, 0, 0)) held.push_back(*c);
+  ASSERT_FALSE(held.empty());
+  EXPECT_FALSE(fc.try_acquire(1, 0, 0).has_value());
+
+  // Machine 1 sends a DONE back: credit must be usable without any
+  // worker popping anything.
+  Message done;
+  done.header.type = MessageType::kDone;
+  done.header.src = 1;
+  done.header.stage = 0;
+  done.header.credit = held[0];
+  done.header.credit_depth = 0;
+  net.send(0, std::move(done));
+  EXPECT_TRUE(fc.try_acquire(1, 0, 0).has_value());
+  EXPECT_EQ(net.stats().done_messages.load(), 1u);
+  EXPECT_FALSE(net.inbox(0).has_data());  // DONEs never queue as data
+}
+
+TEST(Inbox, TerminationMessagesQueueSeparately) {
+  Network net(1);
+  Message term;
+  term.header.type = MessageType::kTermination;
+  term.header.src = 0;
+  net.send(0, std::move(term));
+  EXPECT_FALSE(net.inbox(0).has_data());
+  EXPECT_TRUE(net.inbox(0).try_pop_term().has_value());
+  EXPECT_FALSE(net.inbox(0).try_pop_term().has_value());
+  EXPECT_EQ(net.stats().term_messages.load(), 1u);
+}
+
+TEST(Network, StatsCountDataBytesAndContexts) {
+  Network net(2);
+  net.send(1, data_message(0, 1, 0, 3, 100));
+  net.send(1, data_message(0, 1, 0, 2, 50));
+  EXPECT_EQ(net.stats().data_messages.load(), 2u);
+  EXPECT_EQ(net.stats().contexts.load(), 5u);
+  EXPECT_EQ(net.stats().bytes.load(), 150u);
+}
+
+TEST(Network, PeakQueuedBytesHighWaterMark) {
+  Network net(1);
+  net.send(0, data_message(0, 1, 0, 1, 100));
+  net.send(0, data_message(0, 1, 0, 1, 200));
+  EXPECT_EQ(net.stats().queued_bytes.load(), 300u);
+  EXPECT_EQ(net.stats().peak_queued_bytes.load(), 300u);
+  net.inbox(0).try_pop_data(net.stats());
+  net.inbox(0).try_pop_data(net.stats());
+  EXPECT_EQ(net.stats().queued_bytes.load(), 0u);
+  EXPECT_EQ(net.stats().peak_queued_bytes.load(), 300u);  // peak sticks
+}
+
+TEST(Network, SendToUnknownMachineThrows) {
+  Network net(2);
+  EXPECT_THROW(net.send(5, data_message(0, 0, 0)), EngineError);
+}
+
+}  // namespace
+}  // namespace rpqd

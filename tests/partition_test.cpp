@@ -1,0 +1,136 @@
+// Tests for hash partitioning: ownership, local/global id mapping, and
+// parity of the sliced adjacency/property data with the global graph.
+#include <gtest/gtest.h>
+
+#include "graph/partition.h"
+#include "ldbc/synthetic.h"
+
+namespace rpqd {
+namespace {
+
+std::shared_ptr<const Graph> random_graph(std::uint64_t seed) {
+  synthetic::RandomGraphConfig cfg;
+  cfg.num_vertices = 120;
+  cfg.num_edges = 400;
+  cfg.seed = seed;
+  return std::make_shared<const Graph>(synthetic::make_random(cfg));
+}
+
+TEST(Partition, EveryVertexOwnedExactlyOnce) {
+  const auto g = random_graph(1);
+  const PartitionedGraph pg(g, 5);
+  std::vector<int> owners(g->num_vertices(), 0);
+  for (unsigned m = 0; m < pg.num_machines(); ++m) {
+    const Partition& p = pg.partition(m);
+    for (std::size_t i = 0; i < p.num_local(); ++i) {
+      ++owners[p.to_global(static_cast<LocalVertexId>(i))];
+    }
+  }
+  for (const int c : owners) EXPECT_EQ(c, 1);
+}
+
+TEST(Partition, OwnerFunctionMatchesAssignment) {
+  const auto g = random_graph(2);
+  const PartitionedGraph pg(g, 4);
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    const MachineId owner = pg.owner(v);
+    EXPECT_TRUE(pg.partition(owner).owns(v));
+    EXPECT_TRUE(pg.partition(owner).to_local(v).has_value());
+    for (unsigned m = 0; m < 4; ++m) {
+      if (m != owner) {
+        EXPECT_FALSE(pg.partition(m).to_local(v).has_value());
+      }
+    }
+  }
+}
+
+TEST(Partition, LocalGlobalRoundTrip) {
+  const auto g = random_graph(3);
+  const PartitionedGraph pg(g, 3);
+  for (unsigned m = 0; m < 3; ++m) {
+    const Partition& p = pg.partition(m);
+    for (std::size_t i = 0; i < p.num_local(); ++i) {
+      const VertexId global = p.to_global(static_cast<LocalVertexId>(i));
+      EXPECT_EQ(*p.to_local(global), static_cast<LocalVertexId>(i));
+    }
+  }
+}
+
+TEST(Partition, AdjacencyMatchesGlobal) {
+  const auto g = random_graph(4);
+  const PartitionedGraph pg(g, 4);
+  for (unsigned m = 0; m < 4; ++m) {
+    const Partition& p = pg.partition(m);
+    for (std::size_t i = 0; i < p.num_local(); ++i) {
+      const VertexId global = p.to_global(static_cast<LocalVertexId>(i));
+      for (const Direction dir : {Direction::kOut, Direction::kIn}) {
+        const Adjacency& local_adj = p.adjacency(dir);
+        const Adjacency& global_adj = g->adjacency(dir);
+        ASSERT_EQ(local_adj.degree(i), global_adj.degree(global));
+        const auto [lb, le] = local_adj.range(i);
+        const auto [gb, ge] = global_adj.range(global);
+        (void)ge;
+        for (std::size_t k = 0; k < le - lb; ++k) {
+          EXPECT_EQ(local_adj.entry(lb + k).other,
+                    global_adj.entry(gb + k).other);
+          EXPECT_EQ(local_adj.entry(lb + k).elabel,
+                    global_adj.entry(gb + k).elabel);
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, PropertiesMatchGlobal) {
+  const auto g = random_graph(5);
+  const PartitionedGraph pg(g, 6);
+  const auto weight = *g->catalog().find_property("weight");
+  for (unsigned m = 0; m < 6; ++m) {
+    const Partition& p = pg.partition(m);
+    for (std::size_t i = 0; i < p.num_local(); ++i) {
+      const VertexId global = p.to_global(static_cast<LocalVertexId>(i));
+      EXPECT_EQ(p.property(static_cast<LocalVertexId>(i), weight),
+                g->property(global, weight));
+      EXPECT_EQ(p.label(static_cast<LocalVertexId>(i)), g->label(global));
+    }
+  }
+}
+
+TEST(Partition, SingleMachineOwnsEverything) {
+  const auto g = random_graph(6);
+  const PartitionedGraph pg(g, 1);
+  EXPECT_EQ(pg.partition(0).num_local(), g->num_vertices());
+}
+
+TEST(Partition, BalancedAcrossMachines) {
+  const auto g = random_graph(7);
+  const PartitionedGraph pg(g, 4);
+  const std::size_t expected = g->num_vertices() / 4;
+  for (unsigned m = 0; m < 4; ++m) {
+    const std::size_t n = pg.partition(m).num_local();
+    EXPECT_GT(n, expected / 2);
+    EXPECT_LT(n, expected * 2);
+  }
+}
+
+TEST(Partition, RequireLocalThrowsForRemote) {
+  const auto g = random_graph(8);
+  const PartitionedGraph pg(g, 2);
+  const Partition& p0 = pg.partition(0);
+  // Find a vertex owned by machine 1.
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    if (pg.owner(v) == 1) {
+      EXPECT_THROW(p0.require_local(v), EngineError);
+      break;
+    }
+  }
+}
+
+TEST(Partition, TooManyMachinesRejected) {
+  const auto g = random_graph(9);
+  EXPECT_THROW(PartitionedGraph(g, 0), EngineError);
+  EXPECT_THROW(PartitionedGraph(g, 300), EngineError);
+}
+
+}  // namespace
+}  // namespace rpqd

@@ -1,0 +1,245 @@
+// Tests for the PGQL-subset lexer and parser.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "pgql/lexer.h"
+#include "pgql/parser.h"
+
+namespace rpqd::pgql {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  const auto tokens = tokenize("SELECT COUNT(*) FROM MATCH (a)->(b)");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, NumbersAndStrings) {
+  const auto tokens = tokenize("42 3.5 'hello world'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "hello world");
+}
+
+TEST(Lexer, ComparisonOperators) {
+  const auto tokens = tokenize("<= >= <> != < > =");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kLt);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kGt);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kEq);
+}
+
+TEST(Lexer, ArrowsAreNotFused) {
+  // `a.x < -5` must lex as LT MINUS INT, not as an arrow.
+  const auto tokens = tokenize("a.x < -5");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kLt);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kMinus);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kInt);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("'oops"), QueryError);
+}
+
+TEST(Lexer, UnknownCharacterThrows) {
+  EXPECT_THROW(tokenize("a # b"), QueryError);
+}
+
+TEST(Parser, CountStar) {
+  const Query q = parse("SELECT COUNT(*) FROM MATCH (a)");
+  EXPECT_TRUE(q.count_star);
+  ASSERT_EQ(q.match.size(), 1u);
+  EXPECT_EQ(q.match[0].src.var, "a");
+  EXPECT_TRUE(q.match[0].hops.empty());
+}
+
+TEST(Parser, Projections) {
+  const Query q = parse("SELECT a.name, id(b) AS bid FROM MATCH (a)->(b)");
+  EXPECT_FALSE(q.count_star);
+  ASSERT_EQ(q.select.size(), 2u);
+  EXPECT_EQ(q.select[0].expr->kind, ExprKind::kPropRef);
+  EXPECT_EQ(q.select[1].alias, "bid");
+}
+
+TEST(Parser, VertexLabels) {
+  const Query q =
+      parse("SELECT COUNT(*) FROM MATCH (a:Person) -> (b:Post|Comment)");
+  EXPECT_EQ(q.match[0].src.labels, std::vector<std::string>{"Person"});
+  const auto& dst = q.match[0].hops[0].dst;
+  EXPECT_EQ(dst.labels, (std::vector<std::string>{"Post", "Comment"}));
+}
+
+TEST(Parser, EdgeDirections) {
+  const Query q = parse(
+      "SELECT COUNT(*) FROM MATCH "
+      "(a) -[:x]-> (b) <-[:y]- (c) -[:z]- (d) -> (e) <- (f) - (g)");
+  const auto& hops = q.match[0].hops;
+  ASSERT_EQ(hops.size(), 6u);
+  EXPECT_EQ(hops[0].edge.dir, Direction::kOut);
+  EXPECT_EQ(hops[1].edge.dir, Direction::kIn);
+  EXPECT_EQ(hops[2].edge.dir, Direction::kBoth);
+  EXPECT_EQ(hops[3].edge.dir, Direction::kOut);
+  EXPECT_EQ(hops[4].edge.dir, Direction::kIn);
+  EXPECT_EQ(hops[5].edge.dir, Direction::kBoth);
+  EXPECT_EQ(hops[0].edge.labels, std::vector<std::string>{"x"});
+  EXPECT_TRUE(hops[3].edge.labels.empty());
+}
+
+TEST(Parser, EdgeVariable) {
+  const Query q = parse(
+      "SELECT COUNT(*) FROM MATCH (a) -[e:knows]-> (b) WHERE e.weight > 2");
+  EXPECT_EQ(q.match[0].hops[0].edge.var, "e");
+}
+
+TEST(Parser, RpqForms) {
+  const Query q = parse(
+      "SELECT COUNT(*) FROM MATCH (a) -/:knows+/-> (b) <-/:replyOf*/- (c) "
+      "-/:p{2,5}/- (d)");
+  const auto& hops = q.match[0].hops;
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_TRUE(hops[0].edge.is_rpq);
+  EXPECT_EQ(hops[0].edge.path_name, "knows");
+  EXPECT_EQ(hops[0].edge.quantifier.min, 1u);
+  EXPECT_EQ(hops[0].edge.quantifier.max, kUnboundedDepth);
+  EXPECT_EQ(hops[0].edge.dir, Direction::kOut);
+  EXPECT_EQ(hops[1].edge.dir, Direction::kIn);
+  EXPECT_EQ(hops[1].edge.quantifier.min, 0u);
+  EXPECT_EQ(hops[2].edge.dir, Direction::kBoth);
+  EXPECT_EQ(hops[2].edge.quantifier.min, 2u);
+  EXPECT_EQ(hops[2].edge.quantifier.max, 5u);
+}
+
+TEST(Parser, RpqQuantifiers) {
+  const auto quant = [](const std::string& q) {
+    const Query query =
+        parse("SELECT COUNT(*) FROM MATCH (a) -/:e" + q + "/-> (b)");
+    return query.match[0].hops[0].edge.quantifier;
+  };
+  EXPECT_EQ(quant("*").min, 0u);
+  EXPECT_EQ(quant("*").max, kUnboundedDepth);
+  EXPECT_EQ(quant("+").min, 1u);
+  EXPECT_EQ(quant("?").min, 0u);
+  EXPECT_EQ(quant("?").max, 1u);
+  EXPECT_EQ(quant("{3}").min, 3u);
+  EXPECT_EQ(quant("{3}").max, 3u);
+  EXPECT_EQ(quant("{2,}").min, 2u);
+  EXPECT_EQ(quant("{2,}").max, kUnboundedDepth);
+  EXPECT_EQ(quant("{1,4}").max, 4u);
+  EXPECT_EQ(quant("").min, 1u);  // no quantifier: exactly once
+  EXPECT_EQ(quant("").max, 1u);
+}
+
+TEST(Parser, RpqLabelAlternation) {
+  const Query q =
+      parse("SELECT COUNT(*) FROM MATCH (a) -/:x|y+/-> (b)");
+  EXPECT_EQ(q.match[0].hops[0].edge.labels,
+            (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(q.match[0].hops[0].edge.path_name.empty());
+}
+
+TEST(Parser, BadQuantifierThrows) {
+  EXPECT_THROW(parse("SELECT COUNT(*) FROM MATCH (a) -/:e{3,1}/-> (b)"),
+               QueryError);
+}
+
+TEST(Parser, PathMacro) {
+  const Query q = parse(
+      "PATH two AS (x) -[:e]-> (mid) -[:e]-> (y) WHERE mid.v > 0 "
+      "SELECT COUNT(*) FROM MATCH (a) -/:two*/-> (b)");
+  ASSERT_EQ(q.path_macros.size(), 1u);
+  EXPECT_EQ(q.path_macros[0].name, "two");
+  EXPECT_EQ(q.path_macros[0].pattern.hops.size(), 2u);
+  EXPECT_NE(q.path_macros[0].where, nullptr);
+  EXPECT_EQ(q.match[0].hops[0].edge.path_name, "two");
+}
+
+TEST(Parser, MultipleChains) {
+  const Query q = parse(
+      "SELECT COUNT(*) FROM MATCH (a)->(b)->(c), (a)->(c)");
+  EXPECT_EQ(q.match.size(), 2u);
+}
+
+TEST(Parser, AnonymousVerticesGetFreshNames) {
+  const Query q = parse("SELECT COUNT(*) FROM MATCH () -> () -> ()");
+  const auto& chain = q.match[0];
+  EXPECT_NE(chain.src.var, chain.hops[0].dst.var);
+  EXPECT_NE(chain.hops[0].dst.var, chain.hops[1].dst.var);
+}
+
+TEST(Parser, WherePrecedence) {
+  const Query q = parse(
+      "SELECT COUNT(*) FROM MATCH (a) WHERE a.x = 1 OR a.y = 2 AND a.z = 3");
+  // AND binds tighter than OR.
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->bin_op, BinOp::kOr);
+  EXPECT_EQ(q.where->rhs->bin_op, BinOp::kAnd);
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  const auto e = parse_expression("1 + 2 * 3");
+  EXPECT_EQ(e->bin_op, BinOp::kAdd);
+  EXPECT_EQ(e->rhs->bin_op, BinOp::kMul);
+}
+
+TEST(Parser, UnaryMinusAndNot) {
+  const auto e = parse_expression("NOT -1 > 2");
+  EXPECT_EQ(e->kind, ExprKind::kUnary);
+  EXPECT_EQ(e->un_op, UnOp::kNot);
+}
+
+TEST(Parser, KeywordsCaseInsensitive) {
+  EXPECT_NO_THROW(parse("select count(*) from match (a)"));
+  EXPECT_NO_THROW(parse("SeLeCt CoUnT(*) FrOm MaTcH (a) WhErE a.x = 1"));
+}
+
+TEST(Parser, ExprToTextRoundTripParses) {
+  const auto e = parse_expression("(a.x + 1) * 2 <= id(b) AND NOT a.f = 3");
+  const std::string text = to_text(*e);
+  EXPECT_NO_THROW(parse_expression(text));
+}
+
+TEST(Parser, CollectVars) {
+  const auto e = parse_expression("a.x < b.y AND id(c) = 3 AND a.z = 1");
+  std::vector<std::string> vars;
+  collect_vars(*e, vars);
+  EXPECT_EQ(vars, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Parser, CloneIsDeep) {
+  const auto e = parse_expression("a.x + b.y");
+  const auto copy = clone(*e);
+  EXPECT_EQ(to_text(*e), to_text(*copy));
+  EXPECT_NE(e->lhs.get(), copy->lhs.get());
+}
+
+TEST(Parser, ErrorsCarryOffsets) {
+  try {
+    parse("SELECT COUNT(*) FROM MATCH (a) ->");
+    FAIL() << "expected QueryError";
+  } catch (const QueryError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Parser, MissingMatchThrows) {
+  EXPECT_THROW(parse("SELECT COUNT(*) FROM (a)"), QueryError);
+}
+
+TEST(Parser, BareVariableInExprThrows) {
+  EXPECT_THROW(parse("SELECT COUNT(*) FROM MATCH (a) WHERE a"), QueryError);
+}
+
+TEST(Parser, TrailingGarbageThrows) {
+  EXPECT_THROW(parse("SELECT COUNT(*) FROM MATCH (a) xyz zzz"), QueryError);
+}
+
+}  // namespace
+}  // namespace rpqd::pgql

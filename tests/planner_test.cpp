@@ -1,0 +1,249 @@
+// Tests for the cost-based planner: the paper's four ordering heuristics,
+// stage/hop shapes, slot allocation, and error handling.
+#include <gtest/gtest.h>
+
+#include "ldbc/generator.h"
+#include "pgql/parser.h"
+#include "plan/planner.h"
+
+namespace rpqd {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() {
+    ldbc::LdbcConfig cfg;
+    cfg.scale_factor = 0.03;
+    graph_ = ldbc::generate_ldbc(cfg);
+  }
+
+  ExecPlan plan(const std::string& text) const {
+    return plan_query(pgql::parse(text), graph_.catalog());
+  }
+
+  Graph graph_;
+};
+
+TEST_F(PlannerTest, SingleVertexPlan) {
+  const ExecPlan p = plan("SELECT COUNT(*) FROM MATCH (a:Person)");
+  ASSERT_EQ(p.stages.size(), 1u);
+  EXPECT_EQ(p.stages[0].hop.kind, HopKind::kOutput);
+  EXPECT_EQ(p.stages[0].vlabels.size(), 1u);
+  EXPECT_TRUE(p.count_star);
+}
+
+TEST_F(PlannerTest, HeuristicSingleMatchStart) {
+  // ID(b) = const must make b the start vertex (heuristic i), even though
+  // the pattern is written starting from a.
+  const ExecPlan p = plan(
+      "SELECT COUNT(*) FROM MATCH (a:Person) -[:knows]-> (b:Person) "
+      "WHERE ID(b) = 5");
+  EXPECT_TRUE(p.single_start);
+  EXPECT_EQ(p.start_vertex, 5u);
+  EXPECT_NE(p.stages[0].note.find("start(b)"), std::string::npos);
+  // Traversal then goes backwards over the knows edge.
+  EXPECT_EQ(p.stages[0].hop.kind, HopKind::kNeighbor);
+  EXPECT_EQ(p.stages[0].hop.dir, Direction::kIn);
+}
+
+TEST_F(PlannerTest, HeuristicHeavyFilterStart) {
+  // The country equality filter outweighs the unfiltered forum side
+  // (heuristic ii).
+  const ExecPlan p = plan(
+      "SELECT COUNT(*) FROM MATCH (f:Forum) -[:hasModerator]-> (p:Person) "
+      "-[:isLocatedIn]-> (c:City) WHERE c.name = 'Burma-City-0'");
+  EXPECT_NE(p.stages[0].note.find("start(c)"), std::string::npos);
+}
+
+TEST_F(PlannerTest, HeuristicEdgeMatchOverNeighbor) {
+  // The cycle-closing edge (a)->(c) must compile to an edge hop
+  // (heuristic iii), not a third neighbor expansion.
+  const ExecPlan p = plan(
+      "SELECT COUNT(*) FROM MATCH (a:Person) -[:knows]-> (b:Person) "
+      "-[:knows]-> (c:Person), (a) -[:knows]-> (c)");
+  bool has_edge_hop = false;
+  for (const auto& s : p.stages) {
+    if (s.hop.kind == HopKind::kEdge) has_edge_hop = true;
+  }
+  EXPECT_TRUE(has_edge_hop);
+}
+
+TEST_F(PlannerTest, HeuristicRpqBeforeNeighbor) {
+  // From the start vertex, the RPQ segment must be scheduled before the
+  // plain neighbor expansion (heuristic iv).
+  const ExecPlan p = plan(
+      "SELECT COUNT(*) FROM MATCH (b:Person) -[:isLocatedIn]-> (c:City), "
+      "(a:Person) -/:knows{1,2}/- (b) WHERE ID(b) = 3");
+  // Stage order: start(b), then RPQ stages, then the city expansion.
+  StageId control = kInvalidStage;
+  StageId city_match = kInvalidStage;
+  for (const auto& s : p.stages) {
+    if (s.kind == StageKind::kRpqControl) control = s.id;
+    if (s.note.find("match(c)") != std::string::npos) city_match = s.id;
+  }
+  ASSERT_NE(control, kInvalidStage);
+  ASSERT_NE(city_match, kInvalidStage);
+  EXPECT_LT(control, city_match);
+}
+
+TEST_F(PlannerTest, RpqStageShape) {
+  const ExecPlan p = plan(
+      "SELECT COUNT(*) FROM MATCH (a:Post) <-/:replyOf+/- (b:Comment)");
+  // start, control, path x2, continuation.
+  ASSERT_EQ(p.stages.size(), 5u);
+  const StagePlan* control = nullptr;
+  unsigned path_stages = 0;
+  for (const auto& s : p.stages) {
+    if (s.kind == StageKind::kRpqControl) control = &s;
+    if (s.kind == StageKind::kPath) ++path_stages;
+  }
+  ASSERT_NE(control, nullptr);
+  EXPECT_EQ(path_stages, 2u);
+  EXPECT_EQ(control->rpq.min_hop, 1u);
+  EXPECT_EQ(control->rpq.max_hop, kUnboundedDepth);
+  // The last path stage transitions back with a depth increment.
+  const StagePlan& last_path = p.stages[control->rpq.last_path_stage];
+  EXPECT_EQ(last_path.hop.kind, HopKind::kTransition);
+  EXPECT_EQ(last_path.hop.to, control->id);
+  EXPECT_TRUE(last_path.increments_depth);
+  EXPECT_EQ(p.num_rpq_indexes, 1u);
+}
+
+TEST_F(PlannerTest, RpqReversedWhenDestBoundFirst) {
+  // Start bound at p1 (single match); the RPQ is written with p1 as the
+  // right-hand endpoint of an incoming arrow, so the inner hop reverses.
+  const ExecPlan p = plan(
+      "SELECT COUNT(*) FROM MATCH (c:Comment) -/:replyOf+/-> (post:Post) "
+      "WHERE ID(post) = 2");
+  const StagePlan* path0 = nullptr;
+  for (const auto& s : p.stages) {
+    if (s.kind == StageKind::kPath && s.hop.kind == HopKind::kNeighbor) {
+      path0 = &s;
+    }
+  }
+  ASSERT_NE(path0, nullptr);
+  // replyOf is traversed from the post side, so direction must be kIn.
+  EXPECT_EQ(path0->hop.dir, Direction::kIn);
+}
+
+TEST_F(PlannerTest, MacroCompilesToMultiplePathStages) {
+  const ExecPlan p = plan(
+      "PATH two AS (x:Person) -[:knows]- (m:Person) -[:knows]- (y:Person) "
+      "SELECT COUNT(*) FROM MATCH (a:Person) -/:two{1,2}/-> (b:Person)");
+  unsigned path_stages = 0;
+  for (const auto& s : p.stages) {
+    if (s.kind == StageKind::kPath) ++path_stages;
+  }
+  EXPECT_EQ(path_stages, 3u);  // x, m, y
+}
+
+TEST_F(PlannerTest, InspectionHopForNonLinearPattern) {
+  // Expanding from b a second time after moving on to c requires an
+  // inspection hop back to b.
+  const ExecPlan p = plan(
+      "SELECT COUNT(*) FROM MATCH (a:Forum) -[:containerOf]-> (b:Post) "
+      "-[:hasCreator]-> (c:Person), (b) -[:hasTag]-> (d:Tag) "
+      "WHERE ID(a) = 1");
+  bool has_inspect = false;
+  for (const auto& s : p.stages) {
+    if (s.hop.kind == HopKind::kInspect) has_inspect = true;
+  }
+  EXPECT_TRUE(has_inspect);
+}
+
+TEST_F(PlannerTest, FiltersPlacedEarly) {
+  // A filter on the start vertex must live in stage 0, not at the end.
+  const ExecPlan p = plan(
+      "SELECT COUNT(*) FROM MATCH (a:Person) -[:knows]-> (b:Person) "
+      "WHERE a.age > 40");
+  EXPECT_FALSE(p.stages[0].filters.empty());
+}
+
+TEST_F(PlannerTest, UnknownLabelYieldsImpossibleStage) {
+  const ExecPlan p =
+      plan("SELECT COUNT(*) FROM MATCH (a:NoSuchLabel)");
+  // Unknown label can never match: the stage gets a constant-false
+  // filter (labels list resolves empty).
+  EXPECT_FALSE(p.stages[0].filters.empty());
+}
+
+TEST_F(PlannerTest, ProjectionsCompiled) {
+  const ExecPlan p = plan(
+      "SELECT a.name AS n, id(b) FROM MATCH (a:Person) -[:knows]- "
+      "(b:Person)");
+  EXPECT_FALSE(p.count_star);
+  ASSERT_EQ(p.projections.size(), 2u);
+  EXPECT_EQ(p.column_names[0], "n");
+}
+
+TEST_F(PlannerTest, UnknownVariableThrows) {
+  EXPECT_THROW(
+      plan("SELECT COUNT(*) FROM MATCH (a:Person) WHERE zz.age > 3"),
+      QueryError);
+  EXPECT_THROW(plan("SELECT zz.age FROM MATCH (a:Person)"), QueryError);
+}
+
+TEST_F(PlannerTest, DisconnectedPatternThrows) {
+  EXPECT_THROW(
+      plan("SELECT COUNT(*) FROM MATCH (a:Person), (b:Forum)"),
+      UnsupportedError);
+}
+
+TEST_F(PlannerTest, NestedRpqInMacroThrows) {
+  EXPECT_THROW(
+      plan("PATH p AS (x) -/:knows+/-> (y) "
+           "SELECT COUNT(*) FROM MATCH (a) -/:p*/-> (b)"),
+      UnsupportedError);
+}
+
+TEST_F(PlannerTest, DuplicateMacroThrows) {
+  EXPECT_THROW(
+      plan("PATH p AS (x)-[:knows]-(y) PATH p AS (x)-[:knows]-(y) "
+           "SELECT COUNT(*) FROM MATCH (a) -/:p*/-> (b)"),
+      QueryError);
+}
+
+TEST_F(PlannerTest, EmptyMacroThrows) {
+  EXPECT_THROW(plan("PATH p AS (x) "
+                    "SELECT COUNT(*) FROM MATCH (a) -/:p*/-> (b)"),
+               UnsupportedError);
+}
+
+TEST_F(PlannerTest, ExplainMentionsEveryStage) {
+  const ExecPlan p = plan(
+      "SELECT COUNT(*) FROM MATCH (a:Post) <-/:replyOf{0,3}/- (b)");
+  for (const auto& s : p.stages) {
+    EXPECT_NE(p.explain.find("S" + std::to_string(s.id)), std::string::npos);
+  }
+  EXPECT_NE(p.explain.find("min=0"), std::string::npos);
+  EXPECT_NE(p.explain.find("max=3"), std::string::npos);
+}
+
+TEST_F(PlannerTest, SecondRpqBetweenSameEndpointsBindsDestCheck) {
+  // The paper's (a)*bb(a)+ translation composes two variable-length
+  // patterns between the same endpoints: the second RPQ runs with its
+  // destination already bound, so emission carries an equality check.
+  const ExecPlan p = plan(
+      "SELECT COUNT(*) FROM MATCH (a:Person) -/:knows{1,2}/-> (b:Person), "
+      "(a) -/:knows{2,3}/-> (b)");
+  std::vector<const StagePlan*> controls;
+  for (const auto& s : p.stages) {
+    if (s.kind == StageKind::kRpqControl) controls.push_back(&s);
+  }
+  ASSERT_EQ(controls.size(), 2u);
+  EXPECT_EQ(controls[0]->rpq.bound_dest_slot, kInvalidSlot);
+  EXPECT_NE(controls[1]->rpq.bound_dest_slot, kInvalidSlot);
+  EXPECT_EQ(p.num_rpq_indexes, 2u);
+}
+
+TEST_F(PlannerTest, EdgeVarSenderSideFilter) {
+  const ExecPlan p = plan(
+      "SELECT COUNT(*) FROM MATCH (a:Person) -[e:knows]-> (b:Person) "
+      "WHERE a.age > 10");
+  // No crash; the filter on `a` lands in stage 0 and the hop has no
+  // leftover edge filters.
+  EXPECT_FALSE(p.stages[0].filters.empty());
+}
+
+}  // namespace
+}  // namespace rpqd

@@ -1,0 +1,128 @@
+// Tests for the reachability index (§3.5): outcome semantics, statistics
+// arithmetic, rpid encoding, and concurrent check-and-update.
+#include "common/error.h"
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rpq/reach_index.h"
+#include "rpq/rpid.h"
+
+namespace rpqd {
+namespace {
+
+TEST(Rpid, EncodingRoundTrip) {
+  const auto rpid = make_rpid_source(7, 3, 123456789);
+  EXPECT_EQ(rpid_machine(rpid), 7);
+  EXPECT_EQ(rpid_worker(rpid), 3);
+  EXPECT_EQ(rpid_seq(rpid), 123456789u);
+}
+
+TEST(Rpid, SeqWraps48Bits) {
+  const auto rpid = make_rpid_source(255, 255, ~0ull);
+  EXPECT_EQ(rpid_machine(rpid), 255);
+  EXPECT_EQ(rpid_worker(rpid), 255);
+  EXPECT_EQ(rpid_seq(rpid), kRpidSeqMask);
+}
+
+TEST(Rpid, DistinctWorkersDistinctIds) {
+  EXPECT_NE(make_rpid_source(0, 1, 5), make_rpid_source(1, 0, 5));
+  EXPECT_NE(make_rpid_source(0, 0, 5), make_rpid_source(0, 0, 6));
+}
+
+TEST(ReachIndex, FirstVisitIsNew) {
+  ReachabilityIndex idx(10);
+  EXPECT_EQ(idx.check_and_update(3, 111, 2), ReachOutcome::kNew);
+  EXPECT_EQ(idx.stats().entries, 1u);
+  EXPECT_EQ(*idx.lookup(3, 111), 2u);
+}
+
+TEST(ReachIndex, SameOrLowerDepthEliminates) {
+  ReachabilityIndex idx(10);
+  idx.check_and_update(3, 111, 2);
+  EXPECT_EQ(idx.check_and_update(3, 111, 2), ReachOutcome::kEliminated);
+  EXPECT_EQ(idx.check_and_update(3, 111, 5), ReachOutcome::kEliminated);
+  EXPECT_EQ(idx.stats().eliminated, 2u);
+  EXPECT_EQ(*idx.lookup(3, 111), 2u);  // unchanged
+}
+
+TEST(ReachIndex, GreaterStoredDepthDuplicates) {
+  ReachabilityIndex idx(10);
+  idx.check_and_update(3, 111, 5);
+  EXPECT_EQ(idx.check_and_update(3, 111, 2), ReachOutcome::kDuplicated);
+  EXPECT_EQ(idx.stats().duplicated, 1u);
+  EXPECT_EQ(*idx.lookup(3, 111), 2u);  // updated downwards
+}
+
+TEST(ReachIndex, DistinctSourcesIndependent) {
+  ReachabilityIndex idx(10);
+  EXPECT_EQ(idx.check_and_update(3, 1, 0), ReachOutcome::kNew);
+  EXPECT_EQ(idx.check_and_update(3, 2, 0), ReachOutcome::kNew);
+  EXPECT_EQ(idx.check_and_update(4, 1, 0), ReachOutcome::kNew);
+  EXPECT_EQ(idx.stats().entries, 3u);
+}
+
+TEST(ReachIndex, TwelveBytesPerEntry) {
+  ReachabilityIndex idx(100);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    idx.check_and_update(static_cast<LocalVertexId>(i % 100), i * 7, 1);
+  }
+  EXPECT_EQ(idx.stats().dynamic_bytes, idx.stats().entries * 12);
+}
+
+TEST(ReachIndex, LookupMissing) {
+  ReachabilityIndex idx(10);
+  EXPECT_FALSE(idx.lookup(3, 42).has_value());
+  idx.check_and_update(3, 42, 1);
+  EXPECT_FALSE(idx.lookup(4, 42).has_value());
+  EXPECT_FALSE(idx.lookup(3, 43).has_value());
+}
+
+TEST(ReachIndex, OutOfRangeVertexThrows) {
+  ReachabilityIndex idx(5);
+  EXPECT_THROW(idx.check_and_update(9, 1, 0), EngineError);
+}
+
+TEST(ReachIndex, ConcurrentInsertsAreExact) {
+  // N threads insert overlapping (vertex, rpid) pairs; the totals must be
+  // exact: one kNew per distinct pair, everything else accounted as
+  // eliminated (same depth everywhere).
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kVertices = 64;
+  constexpr unsigned kRpids = 64;
+  ReachabilityIndex idx(kVertices);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&idx] {
+      for (unsigned v = 0; v < kVertices; ++v) {
+        for (unsigned r = 0; r < kRpids; ++r) {
+          idx.check_and_update(v, r, 3);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto stats = idx.stats();
+  EXPECT_EQ(stats.entries, static_cast<std::uint64_t>(kVertices) * kRpids);
+  EXPECT_EQ(stats.eliminated,
+            static_cast<std::uint64_t>(kVertices) * kRpids * (kThreads - 1));
+  EXPECT_EQ(stats.duplicated, 0u);
+}
+
+TEST(ReachIndex, ConcurrentDepthRace) {
+  // Concurrent different-depth updates must settle on the minimum depth.
+  ReachabilityIndex idx(1);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&idx, t] {
+      for (Depth d = 10 + t; d > 0; --d) {
+        idx.check_and_update(0, 7, d);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(*idx.lookup(0, 7), 1u);
+}
+
+}  // namespace
+}  // namespace rpqd

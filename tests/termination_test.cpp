@@ -1,0 +1,187 @@
+// Tests for the incremental termination protocol (§3.4): stability-based
+// global termination, per-stage prefixes, per-depth RPQ termination, and
+// the max-observed-depth consensus for unbounded RPQs.
+#include <gtest/gtest.h>
+
+#include "runtime/termination.h"
+
+namespace rpqd {
+namespace {
+
+// Delivers every queued termination message on `net` into the detectors.
+void pump(Network& net, std::vector<TerminationDetector*> detectors) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (unsigned m = 0; m < detectors.size(); ++m) {
+      while (auto msg = net.inbox(static_cast<MachineId>(m)).try_pop_term()) {
+        detectors[m]->on_status(*msg);
+        progress = true;
+      }
+    }
+  }
+}
+
+TEST(Termination, SingleMachineTerminatesAfterTwoStableBroadcasts) {
+  Network net(1);
+  TerminationDetector d(0, 1, 2, 0);
+  d.set_idle(true);
+  EXPECT_FALSE(d.globally_terminated());
+  d.maybe_broadcast(net, true);
+  EXPECT_FALSE(d.globally_terminated());  // only one wave
+  d.maybe_broadcast(net, true);
+  EXPECT_TRUE(d.globally_terminated());
+}
+
+TEST(Termination, NotTerminatedWhileBusy) {
+  Network net(1);
+  TerminationDetector d(0, 1, 1, 0);
+  d.set_idle(false);
+  d.maybe_broadcast(net, true);
+  d.maybe_broadcast(net, true);
+  EXPECT_FALSE(d.globally_terminated());
+}
+
+TEST(Termination, InFlightMessageBlocksTermination) {
+  Network net(2);
+  TerminationDetector d0(0, 2, 1, 0);
+  TerminationDetector d1(1, 2, 1, 0);
+  d0.note_sent(0, -1, 0, 3);  // 3 contexts sent, never processed
+  d0.set_idle(true);
+  d1.set_idle(true);
+  for (int i = 0; i < 3; ++i) {
+    d0.maybe_broadcast(net, true);
+    d1.maybe_broadcast(net, true);
+    pump(net, {&d0, &d1});
+  }
+  EXPECT_FALSE(d0.globally_terminated());
+  EXPECT_FALSE(d1.globally_terminated());
+  // The receiver processes them: now both must converge.
+  d1.note_processed(0, -1, 0, 3);
+  for (int i = 0; i < 3; ++i) {
+    d0.maybe_broadcast(net, true);
+    d1.maybe_broadcast(net, true);
+    pump(net, {&d0, &d1});
+  }
+  EXPECT_TRUE(d0.globally_terminated());
+  EXPECT_TRUE(d1.globally_terminated());
+}
+
+TEST(Termination, ActiveFramesBlockTermination) {
+  Network net(1);
+  TerminationDetector d(0, 1, 2, 0);
+  d.frame_pushed(1, -1, 0);
+  d.set_idle(true);  // (idle flag lies; frames are authoritative too)
+  d.maybe_broadcast(net, true);
+  d.maybe_broadcast(net, true);
+  EXPECT_FALSE(d.globally_terminated());
+  d.frame_popped(1, -1, 0);
+  d.maybe_broadcast(net, true);
+  d.maybe_broadcast(net, true);
+  EXPECT_TRUE(d.globally_terminated());
+}
+
+TEST(Termination, CounterChangeResetsStability) {
+  Network net(1);
+  TerminationDetector d(0, 1, 1, 0);
+  d.set_idle(true);
+  d.maybe_broadcast(net, true);
+  // Activity between waves: counters change, stability must restart.
+  d.note_sent(0, -1, 0, 1);
+  d.note_processed(0, -1, 0, 1);
+  d.maybe_broadcast(net, true);
+  EXPECT_FALSE(d.globally_terminated());
+  d.maybe_broadcast(net, true);
+  EXPECT_TRUE(d.globally_terminated());
+}
+
+TEST(Termination, StagePrefixAdvancesIncrementally) {
+  Network net(1);
+  TerminationDetector d(0, 1, 3, 0);
+  // Stage 2 still has an active frame; stages 0-1 are quiet.
+  d.frame_pushed(2, -1, 0);
+  d.set_idle(false);
+  d.maybe_broadcast(net, true);
+  d.maybe_broadcast(net, true);
+  EXPECT_EQ(d.terminated_stage_prefix(), 2u);
+  EXPECT_FALSE(d.globally_terminated());
+  d.frame_popped(2, -1, 0);
+  d.set_idle(true);
+  d.maybe_broadcast(net, true);
+  d.maybe_broadcast(net, true);
+  EXPECT_EQ(d.terminated_stage_prefix(), 3u);
+}
+
+TEST(Termination, DepthTerminationRequiresAllShallowerDepths) {
+  Network net(1);
+  TerminationDetector d(0, 1, 3, 1);
+  // Depth 2 quiet, depth 1 has an unprocessed send.
+  d.note_sent(1, 0, 1, 2);
+  d.note_sent(1, 0, 2, 1);
+  d.note_processed(1, 0, 2, 1);
+  d.maybe_broadcast(net, true);
+  d.maybe_broadcast(net, true);
+  EXPECT_TRUE(d.depth_terminated(0, 0));
+  EXPECT_FALSE(d.depth_terminated(0, 1));
+  EXPECT_FALSE(d.depth_terminated(0, 2));  // blocked by depth 1
+  d.note_processed(1, 0, 1, 2);
+  d.maybe_broadcast(net, true);
+  d.maybe_broadcast(net, true);
+  EXPECT_TRUE(d.depth_terminated(0, 2));
+}
+
+TEST(Termination, ConsensusMaxDepthAcrossMachines) {
+  Network net(2);
+  TerminationDetector d0(0, 2, 2, 1);
+  TerminationDetector d1(1, 2, 2, 1);
+  // Machine 0 saw depth 3, machine 1 saw depth 5 (all work processed).
+  d0.note_sent(1, 0, 3, 1);
+  d0.note_processed(1, 0, 3, 1);
+  d1.note_sent(1, 0, 5, 1);
+  d1.note_processed(1, 0, 5, 1);
+  d0.set_idle(true);
+  d1.set_idle(true);
+  EXPECT_FALSE(d0.consensus_max_depth(0).has_value());
+  for (int i = 0; i < 3; ++i) {
+    d0.maybe_broadcast(net, true);
+    d1.maybe_broadcast(net, true);
+    pump(net, {&d0, &d1});
+  }
+  ASSERT_TRUE(d0.consensus_max_depth(0).has_value());
+  EXPECT_EQ(*d0.consensus_max_depth(0), 5u);
+  ASSERT_TRUE(d1.consensus_max_depth(0).has_value());
+  EXPECT_EQ(*d1.consensus_max_depth(0), 5u);
+  EXPECT_EQ(d0.local_max_depth(0), 3u);
+  EXPECT_EQ(d1.local_max_depth(0), 5u);
+}
+
+TEST(Termination, StaleStatusesIgnored) {
+  Network net(2);
+  TerminationDetector d0(0, 2, 1, 0);
+  TerminationDetector d1(1, 2, 1, 0);
+  d0.set_idle(true);
+  d1.set_idle(true);
+  d0.maybe_broadcast(net, true);
+  d1.maybe_broadcast(net, true);
+  pump(net, {&d0, &d1});
+  // Replay d1's first status at d0 (duplicate / reordered delivery): it
+  // must not corrupt the prev/last pair.
+  d0.maybe_broadcast(net, true);
+  d1.maybe_broadcast(net, true);
+  pump(net, {&d0, &d1});
+  EXPECT_TRUE(d0.globally_terminated());
+}
+
+TEST(Termination, BroadcastSkippedWhenUnchangedAndNotForced) {
+  Network net(2);
+  TerminationDetector d0(0, 2, 1, 0);
+  d0.set_idle(true);
+  d0.maybe_broadcast(net, false);  // first: always sends (state change)
+  d0.maybe_broadcast(net, false);  // unchanged, not forced: skipped
+  EXPECT_EQ(net.stats().term_messages.load(), 1u);
+  d0.maybe_broadcast(net, true);  // forced: second wave
+  EXPECT_EQ(net.stats().term_messages.load(), 2u);
+}
+
+}  // namespace
+}  // namespace rpqd

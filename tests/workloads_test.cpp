@@ -1,0 +1,117 @@
+// Tests the nine benchmark queries (§4.1) end-to-end on a small
+// LDBC-like graph: every query must parse, plan, run on the distributed
+// engine, and agree with the reference oracle.
+#include <gtest/gtest.h>
+
+#include "api/rpqd.h"
+#include "baseline/reference.h"
+#include "ldbc/generator.h"
+#include "workloads/queries.h"
+
+namespace rpqd {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ldbc::LdbcConfig cfg;
+    cfg.scale_factor = 0.06;
+    oracle_graph_ = new Graph(ldbc::generate_ldbc(cfg));
+    EngineConfig ec;
+    ec.workers_per_machine = 2;
+    db_ = new Database(ldbc::generate_ldbc(cfg), 4, ec);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete oracle_graph_;
+    db_ = nullptr;
+    oracle_graph_ = nullptr;
+  }
+
+  static Graph* oracle_graph_;
+  static Database* db_;
+};
+
+Graph* WorkloadTest::oracle_graph_ = nullptr;
+Database* WorkloadTest::db_ = nullptr;
+
+TEST_F(WorkloadTest, NineQueriesDefined) {
+  const auto queries = workloads::benchmark_queries();
+  EXPECT_EQ(queries.size(), 9u);
+  unsigned originals = 0;
+  for (const auto& q : queries) {
+    if (q.original) ++originals;
+  }
+  EXPECT_EQ(originals, 3u);  // Q3*, Q9*, Q10*
+}
+
+TEST_F(WorkloadTest, AllQueriesAgreeWithOracle) {
+  for (const auto& wq : workloads::benchmark_queries()) {
+    SCOPED_TRACE(wq.id);
+    const auto result = db_->query(wq.pgql);
+    const auto expected =
+        baseline::reference_evaluate(wq.pgql, *oracle_graph_).count;
+    EXPECT_EQ(result.count, expected) << wq.pgql;
+  }
+}
+
+TEST_F(WorkloadTest, Q9HasExplodingThenDecayingDepthProfile) {
+  const auto queries = workloads::benchmark_queries();
+  const auto& q9 = queries[3];  // Q09a: all messages, replyOf*
+  ASSERT_EQ(q9.id, "Q09a");
+  const auto r = db_->query(q9.pgql);
+  ASSERT_FALSE(r.stats.rpq.empty());
+  const auto& depths = r.stats.rpq[0].matches_per_depth;
+  ASSERT_GE(depths.size(), 3u);
+  // Table 2 shape: the tail decays (deepest < depth-1 matches).
+  EXPECT_LT(depths.back(), depths[1]);
+}
+
+TEST_F(WorkloadTest, Q10UsesReachabilityIndexHeavily) {
+  const auto queries = workloads::benchmark_queries();
+  const auto& q10 = queries[5];
+  ASSERT_EQ(q10.id, "Q10*");
+  const auto r = db_->query(q10.pgql);
+  ASSERT_FALSE(r.stats.rpq.empty());
+  // Table 3 shape: undirected Knows exploration revisits vertices.
+  EXPECT_GT(r.stats.rpq[0].total_eliminated() +
+                r.stats.rpq[0].total_duplicated(),
+            0u);
+}
+
+TEST_F(WorkloadTest, UnboundedQ10ReachesConsensus) {
+  const auto queries = workloads::benchmark_queries();
+  const auto& q10b = queries[7];
+  ASSERT_EQ(q10b.id, "Q10b");
+  const auto r = db_->query(q10b.pgql);
+  ASSERT_FALSE(r.stats.rpq.empty());
+  EXPECT_TRUE(r.stats.rpq[0].consensus_max_depth.has_value());
+}
+
+TEST_F(WorkloadTest, ReplyDepthQueryTemplates) {
+  EXPECT_EQ(workloads::reply_depth_query(0, 0),
+            "SELECT COUNT(*) FROM MATCH (m:Post|Comment) -/:replyOf{0,0}/-> "
+            "(n)");
+  EXPECT_EQ(workloads::reply_depth_query(1, kUnboundedDepth),
+            "SELECT COUNT(*) FROM MATCH (m:Post|Comment) -/:replyOf{1,}/-> "
+            "(n)");
+  // The generated queries must run.
+  for (const auto& spec :
+       {workloads::reply_depth_query(0, 0), workloads::reply_depth_query(0, 2),
+        workloads::reply_depth_query(2, 3)}) {
+    const auto result = db_->query(spec);
+    EXPECT_EQ(result.count,
+              baseline::reference_evaluate(spec, *oracle_graph_).count)
+        << spec;
+  }
+}
+
+TEST_F(WorkloadTest, ZeroHopInsertsEntryPerMessage) {
+  // Figure 3's {0,0} point: one {v,v} index entry per message vertex.
+  const auto r = db_->query(workloads::reply_depth_query(0, 0));
+  ASSERT_FALSE(r.stats.rpq.empty());
+  EXPECT_EQ(r.stats.rpq[0].index_entries, r.count);
+}
+
+}  // namespace
+}  // namespace rpqd
