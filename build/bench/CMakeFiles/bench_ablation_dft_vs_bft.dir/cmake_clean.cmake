@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dft_vs_bft.dir/bench_ablation_dft_vs_bft.cpp.o"
+  "CMakeFiles/bench_ablation_dft_vs_bft.dir/bench_ablation_dft_vs_bft.cpp.o.d"
+  "bench_ablation_dft_vs_bft"
+  "bench_ablation_dft_vs_bft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dft_vs_bft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

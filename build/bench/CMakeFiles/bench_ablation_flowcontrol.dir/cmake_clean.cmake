@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flowcontrol.dir/bench_ablation_flowcontrol.cpp.o"
+  "CMakeFiles/bench_ablation_flowcontrol.dir/bench_ablation_flowcontrol.cpp.o.d"
+  "bench_ablation_flowcontrol"
+  "bench_ablation_flowcontrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flowcontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_messaging.dir/bench_ablation_messaging.cpp.o"
+  "CMakeFiles/bench_ablation_messaging.dir/bench_ablation_messaging.cpp.o.d"
+  "bench_ablation_messaging"
+  "bench_ablation_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_reach_index.dir/bench_fig3_reach_index.cpp.o"
+  "CMakeFiles/bench_fig3_reach_index.dir/bench_fig3_reach_index.cpp.o.d"
+  "bench_fig3_reach_index"
+  "bench_fig3_reach_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_reach_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

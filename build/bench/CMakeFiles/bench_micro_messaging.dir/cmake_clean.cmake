@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_messaging.dir/bench_micro_messaging.cpp.o"
+  "CMakeFiles/bench_micro_messaging.dir/bench_micro_messaging.cpp.o.d"
+  "bench_micro_messaging"
+  "bench_micro_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

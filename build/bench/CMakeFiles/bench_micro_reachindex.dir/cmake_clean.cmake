@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_reachindex.dir/bench_micro_reachindex.cpp.o"
+  "CMakeFiles/bench_micro_reachindex.dir/bench_micro_reachindex.cpp.o.d"
+  "bench_micro_reachindex"
+  "bench_micro_reachindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_reachindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_q9.dir/bench_table2_q9.cpp.o"
+  "CMakeFiles/bench_table2_q9.dir/bench_table2_q9.cpp.o.d"
+  "bench_table2_q9"
+  "bench_table2_q9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_q9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

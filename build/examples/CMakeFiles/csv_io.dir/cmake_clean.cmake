@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_io.dir/csv_io.cpp.o"
+  "CMakeFiles/csv_io.dir/csv_io.cpp.o.d"
+  "csv_io"
+  "csv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fraud_detection.cpp" "examples/CMakeFiles/fraud_detection.dir/fraud_detection.cpp.o" "gcc" "examples/CMakeFiles/fraud_detection.dir/fraud_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/rpqd_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldbc/CMakeFiles/rpqd_ldbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rpqd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rpqd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/rpqd_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpqd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpq/CMakeFiles/rpqd_rpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgql/CMakeFiles/rpqd_pgql.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rpqd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rpqd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgql_shell.dir/pgql_shell.cpp.o"
+  "CMakeFiles/pgql_shell.dir/pgql_shell.cpp.o.d"
+  "pgql_shell"
+  "pgql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

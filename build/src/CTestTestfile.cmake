@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("graph")
+subdirs("io")
+subdirs("ldbc")
+subdirs("pgql")
+subdirs("plan")
+subdirs("net")
+subdirs("rpq")
+subdirs("runtime")
+subdirs("baseline")
+subdirs("workloads")
+subdirs("api")

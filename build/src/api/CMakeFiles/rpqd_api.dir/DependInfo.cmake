@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/reach_graph.cpp" "src/api/CMakeFiles/rpqd_api.dir/reach_graph.cpp.o" "gcc" "src/api/CMakeFiles/rpqd_api.dir/reach_graph.cpp.o.d"
+  "/root/repo/src/api/rpqd.cpp" "src/api/CMakeFiles/rpqd_api.dir/rpqd.cpp.o" "gcc" "src/api/CMakeFiles/rpqd_api.dir/rpqd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/rpqd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/rpqd_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpqd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpq/CMakeFiles/rpqd_rpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rpqd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgql/CMakeFiles/rpqd_pgql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rpqd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_api.dir/reach_graph.cpp.o"
+  "CMakeFiles/rpqd_api.dir/reach_graph.cpp.o.d"
+  "CMakeFiles/rpqd_api.dir/rpqd.cpp.o"
+  "CMakeFiles/rpqd_api.dir/rpqd.cpp.o.d"
+  "librpqd_api.a"
+  "librpqd_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bft.cpp" "src/baseline/CMakeFiles/rpqd_baseline.dir/bft.cpp.o" "gcc" "src/baseline/CMakeFiles/rpqd_baseline.dir/bft.cpp.o.d"
+  "/root/repo/src/baseline/eval_util.cpp" "src/baseline/CMakeFiles/rpqd_baseline.dir/eval_util.cpp.o" "gcc" "src/baseline/CMakeFiles/rpqd_baseline.dir/eval_util.cpp.o.d"
+  "/root/repo/src/baseline/neo4j_like.cpp" "src/baseline/CMakeFiles/rpqd_baseline.dir/neo4j_like.cpp.o" "gcc" "src/baseline/CMakeFiles/rpqd_baseline.dir/neo4j_like.cpp.o.d"
+  "/root/repo/src/baseline/reference.cpp" "src/baseline/CMakeFiles/rpqd_baseline.dir/reference.cpp.o" "gcc" "src/baseline/CMakeFiles/rpqd_baseline.dir/reference.cpp.o.d"
+  "/root/repo/src/baseline/relational.cpp" "src/baseline/CMakeFiles/rpqd_baseline.dir/relational.cpp.o" "gcc" "src/baseline/CMakeFiles/rpqd_baseline.dir/relational.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rpqd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgql/CMakeFiles/rpqd_pgql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rpqd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

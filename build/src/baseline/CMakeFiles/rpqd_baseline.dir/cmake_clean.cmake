@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_baseline.dir/bft.cpp.o"
+  "CMakeFiles/rpqd_baseline.dir/bft.cpp.o.d"
+  "CMakeFiles/rpqd_baseline.dir/eval_util.cpp.o"
+  "CMakeFiles/rpqd_baseline.dir/eval_util.cpp.o.d"
+  "CMakeFiles/rpqd_baseline.dir/neo4j_like.cpp.o"
+  "CMakeFiles/rpqd_baseline.dir/neo4j_like.cpp.o.d"
+  "CMakeFiles/rpqd_baseline.dir/reference.cpp.o"
+  "CMakeFiles/rpqd_baseline.dir/reference.cpp.o.d"
+  "CMakeFiles/rpqd_baseline.dir/relational.cpp.o"
+  "CMakeFiles/rpqd_baseline.dir/relational.cpp.o.d"
+  "librpqd_baseline.a"
+  "librpqd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_common.dir/logging.cpp.o"
+  "CMakeFiles/rpqd_common.dir/logging.cpp.o.d"
+  "CMakeFiles/rpqd_common.dir/rng.cpp.o"
+  "CMakeFiles/rpqd_common.dir/rng.cpp.o.d"
+  "librpqd_common.a"
+  "librpqd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

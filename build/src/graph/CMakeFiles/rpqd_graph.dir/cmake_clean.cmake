@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_graph.dir/catalog.cpp.o"
+  "CMakeFiles/rpqd_graph.dir/catalog.cpp.o.d"
+  "CMakeFiles/rpqd_graph.dir/graph.cpp.o"
+  "CMakeFiles/rpqd_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/rpqd_graph.dir/partition.cpp.o"
+  "CMakeFiles/rpqd_graph.dir/partition.cpp.o.d"
+  "librpqd_graph.a"
+  "librpqd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

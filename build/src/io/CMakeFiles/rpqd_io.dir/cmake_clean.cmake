@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_io.dir/binary.cpp.o"
+  "CMakeFiles/rpqd_io.dir/binary.cpp.o.d"
+  "CMakeFiles/rpqd_io.dir/csv.cpp.o"
+  "CMakeFiles/rpqd_io.dir/csv.cpp.o.d"
+  "librpqd_io.a"
+  "librpqd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

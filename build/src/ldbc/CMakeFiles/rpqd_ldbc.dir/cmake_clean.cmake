@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_ldbc.dir/generator.cpp.o"
+  "CMakeFiles/rpqd_ldbc.dir/generator.cpp.o.d"
+  "CMakeFiles/rpqd_ldbc.dir/synthetic.cpp.o"
+  "CMakeFiles/rpqd_ldbc.dir/synthetic.cpp.o.d"
+  "librpqd_ldbc.a"
+  "librpqd_ldbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_ldbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rpqd_ldbc.
+# This may be replaced when dependencies are built.

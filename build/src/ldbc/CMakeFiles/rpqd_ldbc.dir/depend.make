@@ -1,0 +1,2 @@
+# Empty dependencies file for rpqd_ldbc.
+# This may be replaced when dependencies are built.

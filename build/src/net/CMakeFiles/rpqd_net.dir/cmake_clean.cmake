@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_net.dir/flow_control.cpp.o"
+  "CMakeFiles/rpqd_net.dir/flow_control.cpp.o.d"
+  "CMakeFiles/rpqd_net.dir/network.cpp.o"
+  "CMakeFiles/rpqd_net.dir/network.cpp.o.d"
+  "librpqd_net.a"
+  "librpqd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

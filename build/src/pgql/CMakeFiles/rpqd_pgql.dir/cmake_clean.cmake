@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_pgql.dir/ast.cpp.o"
+  "CMakeFiles/rpqd_pgql.dir/ast.cpp.o.d"
+  "CMakeFiles/rpqd_pgql.dir/lexer.cpp.o"
+  "CMakeFiles/rpqd_pgql.dir/lexer.cpp.o.d"
+  "CMakeFiles/rpqd_pgql.dir/parser.cpp.o"
+  "CMakeFiles/rpqd_pgql.dir/parser.cpp.o.d"
+  "librpqd_pgql.a"
+  "librpqd_pgql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_pgql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpqd_pgql.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/expr.cpp" "src/plan/CMakeFiles/rpqd_plan.dir/expr.cpp.o" "gcc" "src/plan/CMakeFiles/rpqd_plan.dir/expr.cpp.o.d"
+  "/root/repo/src/plan/plan.cpp" "src/plan/CMakeFiles/rpqd_plan.dir/plan.cpp.o" "gcc" "src/plan/CMakeFiles/rpqd_plan.dir/plan.cpp.o.d"
+  "/root/repo/src/plan/planner.cpp" "src/plan/CMakeFiles/rpqd_plan.dir/planner.cpp.o" "gcc" "src/plan/CMakeFiles/rpqd_plan.dir/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rpqd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgql/CMakeFiles/rpqd_pgql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rpqd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_plan.dir/expr.cpp.o"
+  "CMakeFiles/rpqd_plan.dir/expr.cpp.o.d"
+  "CMakeFiles/rpqd_plan.dir/plan.cpp.o"
+  "CMakeFiles/rpqd_plan.dir/plan.cpp.o.d"
+  "CMakeFiles/rpqd_plan.dir/planner.cpp.o"
+  "CMakeFiles/rpqd_plan.dir/planner.cpp.o.d"
+  "librpqd_plan.a"
+  "librpqd_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

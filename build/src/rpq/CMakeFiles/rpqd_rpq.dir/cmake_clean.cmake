@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_rpq.dir/reach_index.cpp.o"
+  "CMakeFiles/rpqd_rpq.dir/reach_index.cpp.o.d"
+  "librpqd_rpq.a"
+  "librpqd_rpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_rpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

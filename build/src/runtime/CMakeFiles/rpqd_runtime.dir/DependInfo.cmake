@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/aggregate.cpp" "src/runtime/CMakeFiles/rpqd_runtime.dir/aggregate.cpp.o" "gcc" "src/runtime/CMakeFiles/rpqd_runtime.dir/aggregate.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/runtime/CMakeFiles/rpqd_runtime.dir/engine.cpp.o" "gcc" "src/runtime/CMakeFiles/rpqd_runtime.dir/engine.cpp.o.d"
+  "/root/repo/src/runtime/machine.cpp" "src/runtime/CMakeFiles/rpqd_runtime.dir/machine.cpp.o" "gcc" "src/runtime/CMakeFiles/rpqd_runtime.dir/machine.cpp.o.d"
+  "/root/repo/src/runtime/stats.cpp" "src/runtime/CMakeFiles/rpqd_runtime.dir/stats.cpp.o" "gcc" "src/runtime/CMakeFiles/rpqd_runtime.dir/stats.cpp.o.d"
+  "/root/repo/src/runtime/termination.cpp" "src/runtime/CMakeFiles/rpqd_runtime.dir/termination.cpp.o" "gcc" "src/runtime/CMakeFiles/rpqd_runtime.dir/termination.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/rpqd_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpqd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpq/CMakeFiles/rpqd_rpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rpqd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgql/CMakeFiles/rpqd_pgql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rpqd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

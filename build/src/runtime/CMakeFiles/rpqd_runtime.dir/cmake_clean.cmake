@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_runtime.dir/aggregate.cpp.o"
+  "CMakeFiles/rpqd_runtime.dir/aggregate.cpp.o.d"
+  "CMakeFiles/rpqd_runtime.dir/engine.cpp.o"
+  "CMakeFiles/rpqd_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/rpqd_runtime.dir/machine.cpp.o"
+  "CMakeFiles/rpqd_runtime.dir/machine.cpp.o.d"
+  "CMakeFiles/rpqd_runtime.dir/stats.cpp.o"
+  "CMakeFiles/rpqd_runtime.dir/stats.cpp.o.d"
+  "CMakeFiles/rpqd_runtime.dir/termination.cpp.o"
+  "CMakeFiles/rpqd_runtime.dir/termination.cpp.o.d"
+  "librpqd_runtime.a"
+  "librpqd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_workloads.dir/queries.cpp.o"
+  "CMakeFiles/rpqd_workloads.dir/queries.cpp.o.d"
+  "librpqd_workloads.a"
+  "librpqd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

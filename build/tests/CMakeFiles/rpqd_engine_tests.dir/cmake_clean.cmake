@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_engine_tests.dir/aggregate_test.cpp.o"
+  "CMakeFiles/rpqd_engine_tests.dir/aggregate_test.cpp.o.d"
+  "CMakeFiles/rpqd_engine_tests.dir/baseline_test.cpp.o"
+  "CMakeFiles/rpqd_engine_tests.dir/baseline_test.cpp.o.d"
+  "CMakeFiles/rpqd_engine_tests.dir/engine_test.cpp.o"
+  "CMakeFiles/rpqd_engine_tests.dir/engine_test.cpp.o.d"
+  "CMakeFiles/rpqd_engine_tests.dir/features_test.cpp.o"
+  "CMakeFiles/rpqd_engine_tests.dir/features_test.cpp.o.d"
+  "CMakeFiles/rpqd_engine_tests.dir/semantics_test.cpp.o"
+  "CMakeFiles/rpqd_engine_tests.dir/semantics_test.cpp.o.d"
+  "CMakeFiles/rpqd_engine_tests.dir/stress_test.cpp.o"
+  "CMakeFiles/rpqd_engine_tests.dir/stress_test.cpp.o.d"
+  "CMakeFiles/rpqd_engine_tests.dir/workloads_test.cpp.o"
+  "CMakeFiles/rpqd_engine_tests.dir/workloads_test.cpp.o.d"
+  "rpqd_engine_tests"
+  "rpqd_engine_tests.pdb"
+  "rpqd_engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

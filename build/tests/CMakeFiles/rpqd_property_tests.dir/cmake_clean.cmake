@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_property_tests.dir/fuzz_test.cpp.o"
+  "CMakeFiles/rpqd_property_tests.dir/fuzz_test.cpp.o.d"
+  "CMakeFiles/rpqd_property_tests.dir/property_test.cpp.o"
+  "CMakeFiles/rpqd_property_tests.dir/property_test.cpp.o.d"
+  "rpqd_property_tests"
+  "rpqd_property_tests.pdb"
+  "rpqd_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

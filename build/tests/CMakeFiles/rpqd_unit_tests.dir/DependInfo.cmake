@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/expr_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/expr_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/expr_test.cpp.o.d"
+  "/root/repo/tests/flow_control_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/flow_control_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/flow_control_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/ldbc_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/ldbc_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/ldbc_test.cpp.o.d"
+  "/root/repo/tests/network_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/network_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/network_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/pgql_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/pgql_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/pgql_test.cpp.o.d"
+  "/root/repo/tests/planner_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/planner_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/planner_test.cpp.o.d"
+  "/root/repo/tests/reach_index_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/reach_index_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/reach_index_test.cpp.o.d"
+  "/root/repo/tests/termination_test.cpp" "tests/CMakeFiles/rpqd_unit_tests.dir/termination_test.cpp.o" "gcc" "tests/CMakeFiles/rpqd_unit_tests.dir/termination_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/rpqd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldbc/CMakeFiles/rpqd_ldbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rpqd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rpqd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/rpqd_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rpqd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/rpqd_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpqd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpq/CMakeFiles/rpqd_rpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgql/CMakeFiles/rpqd_pgql.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rpqd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rpqd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

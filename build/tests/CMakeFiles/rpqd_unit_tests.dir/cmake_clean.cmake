@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqd_unit_tests.dir/common_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/common_test.cpp.o.d"
+  "CMakeFiles/rpqd_unit_tests.dir/expr_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/expr_test.cpp.o.d"
+  "CMakeFiles/rpqd_unit_tests.dir/flow_control_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/flow_control_test.cpp.o.d"
+  "CMakeFiles/rpqd_unit_tests.dir/graph_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/graph_test.cpp.o.d"
+  "CMakeFiles/rpqd_unit_tests.dir/io_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/io_test.cpp.o.d"
+  "CMakeFiles/rpqd_unit_tests.dir/ldbc_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/ldbc_test.cpp.o.d"
+  "CMakeFiles/rpqd_unit_tests.dir/network_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/network_test.cpp.o.d"
+  "CMakeFiles/rpqd_unit_tests.dir/partition_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/partition_test.cpp.o.d"
+  "CMakeFiles/rpqd_unit_tests.dir/pgql_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/pgql_test.cpp.o.d"
+  "CMakeFiles/rpqd_unit_tests.dir/planner_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/planner_test.cpp.o.d"
+  "CMakeFiles/rpqd_unit_tests.dir/reach_index_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/reach_index_test.cpp.o.d"
+  "CMakeFiles/rpqd_unit_tests.dir/termination_test.cpp.o"
+  "CMakeFiles/rpqd_unit_tests.dir/termination_test.cpp.o.d"
+  "rpqd_unit_tests"
+  "rpqd_unit_tests.pdb"
+  "rpqd_unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqd_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
