@@ -27,6 +27,24 @@ void BM_InsertNew(benchmark::State& state) {
 }
 BENCHMARK(BM_InsertNew);
 
+void BM_InsertNewPreallocated(benchmark::State& state) {
+  // The §4.5 configuration: the bump-arena absorbs all segment growth,
+  // so inserts never reach the heap (hot_allocations stays 0).
+  ReachabilityIndex index(kVertices, /*preallocate=*/true);
+  std::uint64_t seq = 0;
+  rpqd::Rng rng(1);
+  for (auto _ : state) {
+    const auto v =
+        static_cast<rpqd::LocalVertexId>(rng.next_below(kVertices));
+    benchmark::DoNotOptimize(
+        index.check_and_update(v, rpqd::make_rpid_source(0, 0, ++seq), 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hot_allocs"] =
+      benchmark::Counter(static_cast<double>(index.stats().hot_allocations));
+}
+BENCHMARK(BM_InsertNewPreallocated);
+
 void BM_EliminateExisting(benchmark::State& state) {
   ReachabilityIndex index(kVertices);
   const auto rpid = rpqd::make_rpid_source(0, 0, 1);

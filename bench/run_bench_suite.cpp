@@ -1,0 +1,122 @@
+// The perf-trajectory suite: runs the fig2 workload (nine LDBC-BI
+// queries, 4 machines), the table2 query (Q9, 8 machines), and the
+// table3 query (Q10, 8 machines) at a small scale factor and emits
+// BENCH_RPQD.json with median latencies — one comparable artifact per
+// commit, consumed by tooling that tracks the repo's perf over time.
+//
+// Environment knobs (on top of bench_util.h's RPQD_BENCH_*):
+//   RPQD_BENCH_OUT   output path (default BENCH_RPQD.json in the cwd)
+//
+// The default scale factor here is deliberately small (0.25) so the
+// suite finishes in seconds; override with RPQD_BENCH_SF.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/queries.h"
+
+namespace {
+
+struct SuiteRow {
+  std::string id;        // "fig2/Q03*", "table2/Q9", ...
+  unsigned machines;
+  double median_ms;
+  std::uint64_t count;   // result count, as a correctness fingerprint
+};
+
+void append_json_row(std::string& out, const SuiteRow& row, bool last) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "    {\"id\": \"%s\", \"machines\": %u, "
+                "\"median_ms\": %.3f, \"count\": %llu}%s\n",
+                row.id.c_str(), row.machines, row.median_ms,
+                static_cast<unsigned long long>(row.count), last ? "" : ",");
+  out += buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rpqd;
+  using namespace rpqd::bench;
+
+  // Small default so the suite is cheap; RPQD_BENCH_SF still wins.
+  if (std::getenv("RPQD_BENCH_SF") == nullptr) {
+    ::setenv("RPQD_BENCH_SF", "0.25", /*overwrite=*/0);
+  }
+  const auto cfg = bench_ldbc_config();
+  const int repeats = bench_repeats();
+  print_header("RPQd bench suite (fig2 + table2 + table3)");
+  std::printf("sf=%.2f repeats=%d\n", cfg.scale_factor, repeats);
+
+  std::vector<SuiteRow> rows;
+
+  // Fig 2 workload: the nine queries on four machines, round-robin.
+  {
+    Database db(ldbc::generate_ldbc(cfg), 4);
+    const auto workload = workloads::benchmark_queries();
+    std::vector<std::string> texts;
+    for (const auto& wq : workload) texts.push_back(wq.pgql);
+    const auto rr = round_robin(db, texts, repeats);
+    for (std::size_t q = 0; q < workload.size(); ++q) {
+      rows.push_back({"fig2/" + workload[q].id, 4, rr.median_latency_ms[q],
+                      rr.last_result[q].count});
+      std::printf("  %-12s %10.2f ms  (count=%llu)\n",
+                  workload[q].id.c_str(), rr.median_latency_ms[q],
+                  static_cast<unsigned long long>(rr.last_result[q].count));
+    }
+  }
+
+  // Table 2: Q9 on eight machines.
+  {
+    Database db(ldbc::generate_ldbc(cfg), 8);
+    const std::string q9 =
+        "SELECT COUNT(*) FROM MATCH (post:Post) <-/:replyOf*/- (m)";
+    QueryResult result;
+    const double ms = median_ms([&] { result = db.query(q9); }, repeats);
+    rows.push_back({"table2/Q9", 8, ms, result.count});
+    std::printf("  %-12s %10.2f ms  (count=%llu)\n", "table2/Q9", ms,
+                static_cast<unsigned long long>(result.count));
+  }
+
+  // Table 3: Q10 on eight machines.
+  {
+    Database db(ldbc::generate_ldbc(cfg), 8);
+    const std::string q10 =
+        "SELECT COUNT(*) FROM MATCH (p1:Person) -/:knows{2,3}/- (p2:Person) "
+        "WHERE p1.id = 7";
+    QueryResult result;
+    const double ms = median_ms([&] { result = db.query(q10); }, repeats);
+    rows.push_back({"table3/Q10", 8, ms, result.count});
+    std::printf("  %-12s %10.2f ms  (count=%llu)\n", "table3/Q10", ms,
+                static_cast<unsigned long long>(result.count));
+  }
+
+  std::string json = "{\n";
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "  \"scale_factor\": %.3f,\n  \"repeats\": %d,\n",
+                  cfg.scale_factor, repeats);
+    json += buf;
+  }
+  json += "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    append_json_row(json, rows[i], i + 1 == rows.size());
+  }
+  json += "  ]\n}\n";
+
+  const char* out_env = std::getenv("RPQD_BENCH_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_RPQD.json";
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu benchmarks)\n", out_path.c_str(), rows.size());
+  return 0;
+}

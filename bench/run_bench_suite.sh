@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Builds (if needed) and runs the perf-trajectory suite, leaving
+# BENCH_RPQD.json in the repo root. Usage:
+#
+#   bench/run_bench_suite.sh [build-dir]
+#
+# Knobs: RPQD_BENCH_SF (default 0.25), RPQD_BENCH_REPEATS (default 3),
+# RPQD_BENCH_OUT (default <repo>/BENCH_RPQD.json).
+set -e
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$build_dir" --target run_bench_suite -j
+
+RPQD_BENCH_OUT=${RPQD_BENCH_OUT:-"$repo_root/BENCH_RPQD.json"} \
+  "$build_dir/bench/run_bench_suite"

@@ -20,6 +20,18 @@
 
 namespace rpqd {
 
+/// ZigZag maps small-magnitude signed values (delta encoding produces
+/// them in both directions) to small unsigned ones so they varint well.
+constexpr std::uint64_t zigzag_encode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+constexpr std::int64_t zigzag_decode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
 /// Appends binary data to a caller-provided byte vector.
 class BinaryWriter {
  public:
@@ -40,6 +52,11 @@ class BinaryWriter {
       value >>= 7;
     }
     out_.push_back(static_cast<std::byte>(value));
+  }
+
+  /// ZigZag signed varint.
+  void write_varint_signed(std::int64_t value) {
+    write_varint(zigzag_encode(value));
   }
 
   void write_string(std::string_view s) {
@@ -90,6 +107,8 @@ class BinaryReader {
     }
     return value;
   }
+
+  std::int64_t read_varint_signed() { return zigzag_decode(read_varint()); }
 
   std::string read_string() {
     const auto n = read_varint();

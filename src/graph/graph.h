@@ -78,11 +78,12 @@ class Adjacency {
 
   const AdjEntry& entry(std::size_t idx) const { return entries_[idx]; }
 
+  /// O(1): edge filters evaluate this per adjacency entry, so the column
+  /// is found through a PropId-indexed slot table built in make().
   Value edge_property(std::size_t idx, PropId prop) const {
-    for (const auto& col : eprops_) {
-      if (col.prop() == prop) return col.get(idx);
-    }
-    return null_value();
+    if (prop >= eprop_slots_.size()) return null_value();
+    const std::uint32_t slot = eprop_slots_[prop];
+    return slot == 0 ? null_value() : eprops_[slot - 1].get(idx);
   }
 
   std::size_t num_entries() const { return entries_.size(); }
@@ -100,6 +101,14 @@ class Adjacency {
     adj.offsets_ = std::move(offsets);
     adj.entries_ = std::move(entries);
     adj.eprops_ = std::move(eprops);
+    for (std::size_t i = 0; i < adj.eprops_.size(); ++i) {
+      const PropId prop = adj.eprops_[i].prop();
+      if (prop == kInvalidProp) continue;
+      if (prop >= adj.eprop_slots_.size()) {
+        adj.eprop_slots_.resize(prop + 1, 0);
+      }
+      adj.eprop_slots_[prop] = static_cast<std::uint32_t>(i + 1);
+    }
     return adj;
   }
 
@@ -107,6 +116,7 @@ class Adjacency {
   std::vector<std::uint64_t> offsets_;  // size = #vertices + 1
   std::vector<AdjEntry> entries_;
   std::vector<PropertyColumn> eprops_;  // aligned to entries_
+  std::vector<std::uint32_t> eprop_slots_;  // PropId -> eprops_ index + 1
 };
 
 /// Immutable global property graph.

@@ -65,11 +65,7 @@ PartitionedGraph::PartitionedGraph(std::shared_ptr<const Graph> graph,
     p.num_machines_ = num_machines;
     p.catalog_ = &g.catalog();
     p.local_to_global_ = std::move(locals[m]);
-    p.global_to_local_.reserve(p.local_to_global_.size());
-    for (std::size_t i = 0; i < p.local_to_global_.size(); ++i) {
-      p.global_to_local_.emplace(p.local_to_global_[i],
-                                 static_cast<LocalVertexId>(i));
-    }
+    p.global_to_local_ = FlatVertexTable::build(p.local_to_global_);
     p.labels_.resize(p.local_to_global_.size());
     for (std::size_t i = 0; i < p.local_to_global_.size(); ++i) {
       p.labels_[i] = g.label(p.local_to_global_[i]);

@@ -11,12 +11,12 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/types.h"
 #include "graph/graph.h"
+#include "graph/vertex_table.h"
 
 namespace rpqd {
 
@@ -38,11 +38,10 @@ class Partition {
 
   VertexId to_global(LocalVertexId lv) const { return local_to_global_[lv]; }
 
-  /// Local index of an owned vertex; nullopt for remote vertices.
+  /// Local index of an owned vertex; nullopt for remote vertices. Runs
+  /// on every inbound message, hence a flat open-addressing probe.
   std::optional<LocalVertexId> to_local(VertexId v) const {
-    const auto it = global_to_local_.find(v);
-    if (it == global_to_local_.end()) return std::nullopt;
-    return it->second;
+    return global_to_local_.find(v);
   }
 
   LocalVertexId require_local(VertexId v) const {
@@ -69,7 +68,7 @@ class Partition {
   unsigned num_machines_ = 1;
   const Catalog* catalog_ = nullptr;
   std::vector<VertexId> local_to_global_;
-  std::unordered_map<VertexId, LocalVertexId> global_to_local_;
+  FlatVertexTable global_to_local_;
   std::vector<LabelId> labels_;
   std::vector<PropertyColumn> columns_;
   Adjacency out_;

@@ -1,0 +1,90 @@
+// Flat open-addressing map from global VertexId to LocalVertexId.
+//
+// Built once at partition-build time and read on every inbound message
+// (`Partition::require_local`), so lookups must be as close to a single
+// cache-line probe as possible: power-of-two capacity sized for a load
+// factor <= 0.5, splitmix64 start slot, linear probing. Keys use
+// kInvalidVertex as the empty sentinel, so that id cannot be stored
+// (GraphBuilder never produces it).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace rpqd {
+
+class FlatVertexTable {
+ public:
+  FlatVertexTable() = default;
+
+  /// Empty table with room for `min_capacity` slots (rounded up to a
+  /// power of two, minimum 2). Mostly for tests; prefer build().
+  explicit FlatVertexTable(std::size_t min_capacity) {
+    const std::size_t cap = std::bit_ceil(std::max<std::size_t>(2, min_capacity));
+    keys_.assign(cap, kInvalidVertex);
+    values_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Maps vertices[i] -> i for all i. Capacity is 2x the key count so
+  /// probe chains stay short (expected O(1), load factor <= 0.5).
+  static FlatVertexTable build(const std::vector<VertexId>& vertices) {
+    FlatVertexTable table(std::max<std::size_t>(2, vertices.size() * 2));
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      const bool inserted =
+          table.insert(vertices[i], static_cast<LocalVertexId>(i));
+      engine_check(inserted, "vertex table: duplicate or invalid vertex id");
+    }
+    return table;
+  }
+
+  /// Inserts key -> value. Returns false when the table is full or the
+  /// key is already present (callers that need growth rebuild instead:
+  /// partition contents are immutable after build).
+  bool insert(VertexId key, LocalVertexId value) {
+    if (key == kInvalidVertex) return false;
+    std::size_t slot = mix64(key) & mask_;
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      if (keys_[slot] == kInvalidVertex) {
+        keys_[slot] = key;
+        values_[slot] = value;
+        ++size_;
+        return true;
+      }
+      if (keys_[slot] == key) return false;
+      slot = (slot + 1) & mask_;
+    }
+    return false;  // full
+  }
+
+  std::optional<LocalVertexId> find(VertexId key) const {
+    if (keys_.empty() || key == kInvalidVertex) return std::nullopt;
+    std::size_t slot = mix64(key) & mask_;
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      if (keys_[slot] == key) return values_[slot];
+      if (keys_[slot] == kInvalidVertex) return std::nullopt;
+      slot = (slot + 1) & mask_;
+    }
+    return std::nullopt;  // full table, key absent
+  }
+
+  bool contains(VertexId key) const { return find(key).has_value(); }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return keys_.size(); }
+
+ private:
+  std::vector<VertexId> keys_;         // kInvalidVertex == empty slot
+  std::vector<LocalVertexId> values_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rpqd

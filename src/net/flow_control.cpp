@@ -30,120 +30,175 @@ FlowControl::FlowControl(const EngineConfig& config, unsigned num_machines,
   per_slot_credits_ =
       std::max(2u, config.buffers_per_machine / std::max(1u, slots));
 
-  pools_.resize(num_stages);
+  pools_ = std::vector<StagePool>(num_stages);
   for (unsigned s = 0; s < num_stages; ++s) {
     StagePool& pool = pools_[s];
     pool.is_rpq = is_rpq_stage[s];
-    pool.dedicated.resize(num_machines);
-    pool.shared.assign(num_machines, 0);
     pool.overflow_out.resize(num_machines);
-    for (unsigned m = 0; m < num_machines; ++m) {
-      if (pool.is_rpq) {
-        // Per-depth dedicated credits up to D; the same per-slot
-        // allowance is spread over the depth window.
-        const unsigned window = std::max(1u, config.rpq_preallocated_depth);
-        const unsigned per_depth =
-            std::max(1u, per_slot_credits_ / window);
-        pool.dedicated[m].assign(window, per_depth);
-        pool.shared[m] = config.rpq_shared_credits_per_stage;
-      } else {
-        pool.dedicated[m].assign(1, per_slot_credits_);
-      }
+    if (pool.is_rpq) {
+      // Per-depth dedicated credits up to D; the same per-slot allowance
+      // is spread over the depth window.
+      pool.window = std::max(1u, config.rpq_preallocated_depth);
+      pool.dedicated_init =
+          static_cast<int>(std::max(1u, per_slot_credits_ / pool.window));
+      pool.shared_init =
+          static_cast<int>(config.rpq_shared_credits_per_stage);
+      pool.dedicated = std::vector<std::atomic<int>>(
+          std::size_t{num_machines} * pool.window);
+      for (auto& c : pool.dedicated)
+        c.store(pool.dedicated_init, std::memory_order_relaxed);
+      pool.shared = std::vector<std::atomic<int>>(num_machines);
+      for (auto& c : pool.shared)
+        c.store(pool.shared_init, std::memory_order_relaxed);
+    } else {
+      pool.window = 1;
+      pool.dedicated_init = static_cast<int>(per_slot_credits_);
+      pool.dedicated = std::vector<std::atomic<int>>(num_machines);
+      for (auto& c : pool.dedicated)
+        c.store(pool.dedicated_init, std::memory_order_relaxed);
     }
+  }
+}
+
+bool FlowControl::take(std::atomic<int>& credits) {
+  // Speculative decrement: one RMW on success. A transiently negative
+  // counter (until the repair below) can only make a concurrent take
+  // fail spuriously, which try_acquire treats as back-pressure anyway.
+  if (credits.fetch_sub(1, std::memory_order_acquire) > 0) return true;
+  credits.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void FlowControl::put(std::atomic<int>& credits, int init) {
+  // Overfilling a slot beyond its initial allowance means a release
+  // without a matching acquire; repair and report instead of leaking.
+  const int prev = credits.fetch_add(1, std::memory_order_release);
+  if (prev >= init) {
+    credits.fetch_sub(1, std::memory_order_relaxed);
+    engine_check(false, "flow control: release without acquire");
   }
 }
 
 std::optional<CreditClass> FlowControl::try_acquire(MachineId dest,
                                                     StageId stage,
                                                     Depth depth) {
-  std::lock_guard lock(mutex_);
   engine_check(stage < pools_.size(), "flow control: stage out of range");
   StagePool& pool = pools_[stage];
-  auto grant = [&](CreditClass c) {
-    ++stats_.acquired;
-    ++outstanding_;
-    return std::optional<CreditClass>(c);
-  };
   if (!pool.is_rpq) {
-    unsigned& credits = pool.dedicated[dest][0];
-    if (credits > 0) {
-      --credits;
-      return grant(CreditClass::kFixed);
+    if (take(pool.dedicated[dest])) {
+      fast_grants_.fetch_add(1, std::memory_order_relaxed);
+      return CreditClass::kFixed;
     }
-    ++stats_.blocked;
+    blocked_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  // RPQ stage: dedicated window first, then the shared pool, then one
-  // overflow credit per depth.
-  auto& window = pool.dedicated[dest];
-  if (depth < window.size() && window[depth] > 0) {
-    --window[depth];
-    return grant(CreditClass::kRpqDedicated);
+  // RPQ stage: dedicated window first, then the shared pool — both
+  // lock-free — then (slow path) one overflow credit per depth.
+  if (depth < pool.window &&
+      take(pool.dedicated[std::size_t{dest} * pool.window + depth])) {
+    fast_grants_.fetch_add(1, std::memory_order_relaxed);
+    return CreditClass::kRpqDedicated;
   }
-  if (pool.shared[dest] > 0) {
-    --pool.shared[dest];
-    ++stats_.shared_used;
-    return grant(CreditClass::kRpqShared);
+  if (take(pool.shared[dest])) {
+    shared_used_.fetch_add(1, std::memory_order_relaxed);
+    fast_grants_.fetch_add(1, std::memory_order_relaxed);
+    return CreditClass::kRpqShared;
   }
-  auto& overflow = pool.overflow_out[dest];
-  if (config_.rpq_overflow_credits_per_depth > 0 &&
-      overflow.count(depth) == 0) {
-    overflow.insert(depth);
-    ++stats_.overflow_used;
-    return grant(CreditClass::kRpqOverflow);
+  if (config_.rpq_overflow_credits_per_depth > 0) {
+    std::lock_guard lock(mutex_);
+    auto& overflow = pool.overflow_out[dest];
+    if (overflow.count(depth) == 0) {
+      overflow.insert(depth);
+      overflow_used_.fetch_add(1, std::memory_order_relaxed);
+      return CreditClass::kRpqOverflow;
+    }
   }
-  ++stats_.blocked;
+  blocked_.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 
 void FlowControl::wait_for_release(std::chrono::microseconds max_wait) {
   std::unique_lock lock(mutex_);
+  waiters_.fetch_add(1, std::memory_order_relaxed);
   released_.wait_for(lock, max_wait);
+  waiters_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void FlowControl::release(MachineId dest, StageId stage, Depth depth,
                           CreditClass credit) {
-  std::lock_guard lock(mutex_);
-  released_.notify_all();
   engine_check(stage < pools_.size(), "flow control: stage out of range");
   StagePool& pool = pools_[stage];
-  engine_check(outstanding_ > 0, "flow control: release without acquire");
-  --outstanding_;
   switch (credit) {
     case CreditClass::kFixed:
-      ++pool.dedicated[dest][0];
-      return;
+      put(pool.dedicated[dest], pool.dedicated_init);
+      break;
     case CreditClass::kRpqDedicated:
-      engine_check(depth < pool.dedicated[dest].size(),
-                   "flow control: bad dedicated depth");
-      ++pool.dedicated[dest][depth];
-      return;
+      engine_check(depth < pool.window, "flow control: bad dedicated depth");
+      put(pool.dedicated[std::size_t{dest} * pool.window + depth],
+          pool.dedicated_init);
+      break;
     case CreditClass::kRpqShared:
-      ++pool.shared[dest];
-      return;
-    case CreditClass::kRpqOverflow:
-      pool.overflow_out[dest].erase(depth);
-      return;
-    case CreditClass::kEmergency:
-      return;  // unbounded; nothing to return to
+      put(pool.shared[dest], pool.shared_init);
+      break;
+    case CreditClass::kRpqOverflow: {
+      std::lock_guard lock(mutex_);
+      engine_check(pool.overflow_out[dest].erase(depth) == 1,
+                   "flow control: release without acquire");
+      break;
+    }
+    case CreditClass::kEmergency: {
+      const auto prev = emergency_out_.fetch_sub(1, std::memory_order_relaxed);
+      if (prev <= 0) {
+        emergency_out_.fetch_add(1, std::memory_order_relaxed);
+        engine_check(false, "flow control: release without acquire");
+      }
+      break;
+    }
+  }
+  // Wake blocked senders only when someone is actually sleeping; their
+  // waits are short and timed, so the unlocked check is safe.
+  if (waiters_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard lock(mutex_);
+    released_.notify_all();
   }
 }
 
 CreditClass FlowControl::acquire_emergency() {
-  std::lock_guard lock(mutex_);
-  ++stats_.emergency_used;
-  ++outstanding_;
+  emergency_used_.fetch_add(1, std::memory_order_relaxed);
+  emergency_out_.fetch_add(1, std::memory_order_relaxed);
   return CreditClass::kEmergency;
 }
 
 FlowControlStats FlowControl::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  FlowControlStats s;
+  s.fast_path = fast_grants_.load(std::memory_order_relaxed);
+  s.blocked = blocked_.load(std::memory_order_relaxed);
+  s.shared_used = shared_used_.load(std::memory_order_relaxed);
+  s.overflow_used = overflow_used_.load(std::memory_order_relaxed);
+  s.emergency_used = emergency_used_.load(std::memory_order_relaxed);
+  s.acquired = s.fast_path + s.overflow_used + s.emergency_used;
+  return s;
 }
 
 std::uint64_t FlowControl::outstanding() const {
-  std::lock_guard lock(mutex_);
-  return outstanding_;
+  // Credits in flight = initial allowance minus current level, summed
+  // over every slot, plus overflow/emergency credits. Meaningful at
+  // quiescence (tests); under concurrency it is a best-effort snapshot.
+  std::int64_t out = 0;
+  for (const auto& pool : pools_) {
+    for (const auto& c : pool.dedicated)
+      out += pool.dedicated_init - c.load(std::memory_order_relaxed);
+    for (const auto& c : pool.shared)
+      out += pool.shared_init - c.load(std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& pool : pools_)
+      for (const auto& set : pool.overflow_out)
+        out += static_cast<std::int64_t>(set.size());
+  }
+  out += emergency_out_.load(std::memory_order_relaxed);
+  return out > 0 ? static_cast<std::uint64_t>(out) : 0;
 }
 
 }  // namespace rpqd

@@ -10,8 +10,16 @@
 //
 // A credit is acquired before sending to a destination machine and
 // released when that machine reports the buffer processed (DONE message).
+//
+// Hot path: dedicated and shared credits live in flat arrays of atomic
+// counters indexed by (stage, destination, depth); acquire and release
+// are single compare-and-swap / fetch-add operations with no lock. The
+// mutex only covers the overflow slow path (a per-destination depth set,
+// touched when both pools are exhausted) and the blocked-sender
+// condition variable. Fast-path grants are counted in `fast_path`.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -31,6 +39,7 @@ struct FlowControlStats {
   std::uint64_t shared_used = 0;
   std::uint64_t overflow_used = 0;
   std::uint64_t emergency_used = 0;
+  std::uint64_t fast_path = 0;      // grants served without taking the lock
 };
 
 class FlowControl {
@@ -66,22 +75,44 @@ class FlowControl {
  private:
   struct StagePool {
     bool is_rpq = false;
-    // Fixed stages: one counter per destination machine.
-    // RPQ stages: per destination, one counter per depth < D, plus a
-    // shared counter and an overflow set keyed by depth.
-    std::vector<std::vector<unsigned>> dedicated;  // [dest][depth or 0]
-    std::vector<unsigned> shared;                  // [dest]
+    unsigned window = 1;  // dedicated depths per destination (1 for fixed)
+    int dedicated_init = 0;  // initial credits per dedicated slot
+    int shared_init = 0;     // initial credits per shared slot
+    // Flat atomic counters. Fixed stages: `dedicated[dest]`. RPQ stages:
+    // `dedicated[dest * window + depth]` for depth < window, plus a
+    // shared counter per destination.
+    std::vector<std::atomic<int>> dedicated;
+    std::vector<std::atomic<int>> shared;                 // [dest]
+    // Slow path, guarded by mutex_: at most one overflow credit in
+    // flight per (dest, depth).
     std::vector<std::unordered_set<Depth>> overflow_out;  // [dest] in-use
   };
 
-  mutable std::mutex mutex_;
+  // Lock-free decrement-if-positive (speculative fetch_sub + repair);
+  // the acquire-side fast-path primitive.
+  static bool take(std::atomic<int>& credits);
+  // Release side: fetch_add with overfill detection against `init`, so a
+  // spurious release still throws without any global outstanding count.
+  static void put(std::atomic<int>& credits, int init);
+
+  mutable std::mutex mutex_;          // overflow sets + sleeping senders only
   std::condition_variable released_;
+  std::atomic<unsigned> waiters_{0};
   EngineConfig config_;
   unsigned num_machines_;
   std::vector<StagePool> pools_;
   unsigned per_slot_credits_ = 2;
-  FlowControlStats stats_;
-  std::uint64_t outstanding_ = 0;
+  // Cumulative lock-free grants: the ONE global counter the fast path
+  // touches (releases touch only the slot counter). `acquired` is
+  // derived in stats(); `outstanding` is summed from the slot levels.
+  std::atomic<std::uint64_t> fast_grants_{0};
+  // Slow-path / fallback / failure counters (the dedicated-credit grant,
+  // the common case, touches none of these).
+  std::atomic<std::uint64_t> blocked_{0};
+  std::atomic<std::uint64_t> shared_used_{0};
+  std::atomic<std::uint64_t> overflow_used_{0};
+  std::atomic<std::uint64_t> emergency_used_{0};
+  std::atomic<std::int64_t> emergency_out_{0};
 };
 
 }  // namespace rpqd

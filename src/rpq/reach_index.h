@@ -5,22 +5,32 @@
 // control stage is always a local operation (the control stage executes
 // at the destination vertex's owner).
 //
-// Two-level layout, as published:
-//   level 1: array of atomic pointers indexed by local destination vertex
-//            (vertex ids are dense, so an array beats a map),
-//   level 2: a mutex-protected map from 64-bit source path id -> depth,
-//            created on first touch via compare-and-swap.
+// Layout: a small power-of-two number of cache-line-aligned shards
+// (selected by mixing the destination vertex id), each a chain of
+// open-addressing segments keyed by (destination vertex, source rpid).
+// Inserts claim a slot with a single compare-and-swap; depth updates are
+// a CAS-min loop on the entry's depth word. No locks anywhere on the
+// check-and-update path. Segments never move: when a probe window fills
+// up, a doubled segment is chained behind it, so readers are never
+// invalidated by growth.
+//
+// `preallocate` (the paper's §4.5 future-work idea of trading memory for
+// allocation-free inserts) reserves one contiguous bump-arena at
+// construction; first segments and growth segments are carved out of it
+// and the hot path performs zero heap allocations until the arena is
+// exhausted. Heap fallbacks are counted in `hot_allocations` so tests
+// and benchmarks can assert the allocation-free property.
 //
 // Each entry accounts for 12 bytes (8B source rpid + 4B depth), matching
-// the paper's size arithmetic (181MB for Q9, 4.4MB for Q10 on SF100).
+// the paper's size arithmetic (181MB for Q9, 4.4MB for Q10 on SF100);
+// `reserved_bytes` additionally reports the real slot memory.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -39,15 +49,18 @@ struct ReachIndexStats {
   std::uint64_t entries = 0;
   std::uint64_t eliminated = 0;
   std::uint64_t duplicated = 0;
-  std::uint64_t dynamic_bytes = 0;  // 12 bytes per entry
+  std::uint64_t dynamic_bytes = 0;    // 12 bytes per entry (§4.4 arithmetic)
+  std::uint64_t reserved_bytes = 0;   // slot memory actually reserved
+  std::uint64_t hot_allocations = 0;  // heap allocations on the hot path
 };
 
 class ReachabilityIndex {
  public:
-  /// `preallocate` creates every second-level map eagerly — the §4.5
-  /// future-work idea of trading memory for allocation-free inserts.
+  /// `preallocate` reserves the bump-arena described above; `num_shards`
+  /// is rounded up to a power of two (capped at 256).
   explicit ReachabilityIndex(std::size_t num_local_vertices,
-                             bool preallocate = false);
+                             bool preallocate = false,
+                             unsigned num_shards = 16);
   ~ReachabilityIndex();
 
   ReachabilityIndex(const ReachabilityIndex&) = delete;
@@ -64,17 +77,48 @@ class ReachabilityIndex {
   ReachIndexStats stats() const;
 
  private:
-  struct SecondLevel {
-    mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, Depth> entries;
+  // One slot. `ctrl` is the claim word: kCtrlEmpty -> kCtrlBusy (claimed,
+  // key/depth being written) -> ready (occupied-bit | destination vertex).
+  // Probers that observe kCtrlBusy spin briefly; the window between claim
+  // and publish is two relaxed stores.
+  struct Entry {
+    std::atomic<std::uint64_t> ctrl;
+    std::atomic<std::uint64_t> rpid;
+    std::atomic<std::uint32_t> depth;
   };
 
-  SecondLevel* get_or_create(LocalVertexId dst);
+  struct Segment {
+    std::size_t capacity = 0;  // power of two
+    bool from_arena = false;
+    std::atomic<Segment*> next{nullptr};
+    Entry* entries() { return reinterpret_cast<Entry*>(this + 1); }
+    const Entry* entries() const {
+      return reinterpret_cast<const Entry*>(this + 1);
+    }
+  };
 
-  std::vector<std::atomic<SecondLevel*>> level1_;
-  std::atomic<std::uint64_t> entries_{0};
-  std::atomic<std::uint64_t> eliminated_{0};
-  std::atomic<std::uint64_t> duplicated_{0};
+  struct alignas(64) Shard {
+    std::atomic<Segment*> head{nullptr};
+    // Per-shard statistics so the hot path never contends on global
+    // counters; stats() sums them.
+    std::atomic<std::uint64_t> entries{0};
+    std::atomic<std::uint64_t> eliminated{0};
+    std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> hot_allocs{0};
+    std::atomic<std::uint64_t> reserved_bytes{0};
+  };
+
+  Segment* allocate_segment(std::size_t capacity, bool on_hot_path,
+                            Shard& shard);
+  Segment* next_segment(Segment* seg, Shard& shard);
+  std::byte* arena_take(std::size_t bytes);
+
+  std::size_t num_vertices_;
+  std::uint64_t shard_mask_ = 0;
+  std::vector<Shard> shards_;
+  std::unique_ptr<std::byte[]> arena_;
+  std::size_t arena_size_ = 0;
+  std::atomic<std::size_t> arena_used_{0};
 };
 
 }  // namespace rpqd

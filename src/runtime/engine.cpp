@@ -102,6 +102,7 @@ QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
   stats.peak_queued_bytes = net.stats().peak_queued_bytes.load();
   for (auto& machine : machines) {
     const FlowControlStats fc = machine->flow().stats();
+    stats.flow_fast_path += fc.fast_path;
     stats.flow_blocked += fc.blocked;
     stats.flow_shared_used += fc.shared_used;
     stats.flow_overflow_used += fc.overflow_used;

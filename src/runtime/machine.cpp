@@ -59,7 +59,8 @@ MachineRuntime::MachineRuntime(MachineId id, const Partition* partition,
   net_->inbox(id_).set_deep_priority(config->deep_message_priority);
   for (unsigned g = 0; g < plan->num_rpq_indexes; ++g) {
     indexes_.push_back(std::make_unique<ReachabilityIndex>(
-        part_->num_local(), config->reach_index_preallocate));
+        part_->num_local(), config->reach_index_preallocate,
+        config->reach_index_shards));
   }
   for (unsigned w = 0; w < config->workers_per_machine; ++w) {
     auto worker = std::make_unique<Worker>();
@@ -512,7 +513,7 @@ void MachineRuntime::send_remote(Worker& w, StageId stage, VertexId vertex,
   }
   OutBuffer& buf = it->second;
   BinaryWriter writer(buf.payload);
-  encode_context(writer, vertex, rpid, slots);
+  encode_context(writer, buf.codec, vertex, rpid, slots);
   ++buf.count;
   detector_.note_sent(stage, group_of(stage), depth, 1);
   if (buf.payload.size() >= config_->buffer_bytes) {
@@ -648,8 +649,9 @@ void MachineRuntime::process_message(Worker& w, Message msg) {
   };
   std::vector<Decoded> contexts(msg.header.count);
   BinaryReader reader(msg.payload);
+  ContextCodecState codec;  // fresh per message, mirroring the sender
   for (auto& c : contexts) {
-    decode_context(reader, plan_->num_slots, c.vertex, c.rpid, c.slots);
+    decode_context(reader, codec, plan_->num_slots, c.vertex, c.rpid, c.slots);
   }
   // The contexts are pending local work until their runs complete: keep
   // them visible to the termination detector as active frames.
@@ -800,6 +802,7 @@ RpqStageStats MachineRuntime::rpq_stats(unsigned group) const {
   const ReachIndexStats idx = indexes_[group]->stats();
   stats.index_entries = idx.entries;
   stats.index_bytes = idx.dynamic_bytes;
+  stats.index_hot_allocs = idx.hot_allocations;
   stats.max_depth_observed = detector_.local_max_depth(group);
   return stats;
 }

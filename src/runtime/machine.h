@@ -98,6 +98,9 @@ class MachineRuntime {
     CreditClass credit = CreditClass::kFixed;
     std::uint32_t count = 0;
     std::vector<std::byte> payload;
+    // Delta-codec state; a buffer is always flushed as one message, so
+    // the receiver's fresh decoder state matches.
+    ContextCodecState codec;
   };
 
   struct Worker {

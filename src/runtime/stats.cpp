@@ -21,6 +21,7 @@ void RpqStageStats::merge(const RpqStageStats& other) {
   merge_depth_vector(duplicated_per_depth, other.duplicated_per_depth);
   index_entries += other.index_entries;
   index_bytes += other.index_bytes;
+  index_hot_allocs += other.index_hot_allocs;
   max_depth_observed = std::max(max_depth_observed, other.max_depth_observed);
   if (other.consensus_max_depth) consensus_max_depth = other.consensus_max_depth;
 }
@@ -47,7 +48,11 @@ std::string RuntimeStats::summary() const {
   out << "rows=" << output_rows << " elapsed=" << elapsed_ms << "ms"
       << " msgs=" << data_messages << " bytes=" << bytes_sent
       << " contexts=" << contexts_sent << " peak_buffered=" << peak_queued_bytes
-      << " blocked=" << flow_blocked << " overflow=" << flow_overflow_used;
+      << " blocked=" << flow_blocked << " overflow=" << flow_overflow_used
+      << " fast_path=" << flow_fast_path;
+  if (contexts_sent > 0) {
+    out << " bytes/ctx=" << (bytes_sent / contexts_sent);
+  }
   for (std::size_t g = 0; g < rpq.size(); ++g) {
     const auto& r = rpq[g];
     out << "\n  rpq[" << g << "]: matches=" << r.total_matches()

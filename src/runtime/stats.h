@@ -20,6 +20,7 @@ struct RpqStageStats {
   std::vector<std::uint64_t> duplicated_per_depth;
   std::uint64_t index_entries = 0;
   std::uint64_t index_bytes = 0;
+  std::uint64_t index_hot_allocs = 0;  // heap allocations on the hot path
   Depth max_depth_observed = 0;
   /// The §3.4 consensus value for unbounded RPQs (set when reached).
   std::optional<Depth> consensus_max_depth;
@@ -60,6 +61,7 @@ struct RuntimeStats {
   std::uint64_t contexts_sent = 0;
   std::uint64_t peak_queued_bytes = 0;
   // Flow control (§3.3 / §4.2).
+  std::uint64_t flow_fast_path = 0;  // credits granted without a lock
   std::uint64_t flow_blocked = 0;
   std::uint64_t flow_shared_used = 0;
   std::uint64_t flow_overflow_used = 0;

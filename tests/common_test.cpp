@@ -10,6 +10,7 @@
 #include "common/queue.h"
 #include "common/rng.h"
 #include "common/serialize.h"
+#include "runtime/context.h"
 
 namespace rpqd {
 namespace {
@@ -153,6 +154,90 @@ TEST(Serialize, TruncatedVarintThrows) {
   std::vector<std::byte> buf{std::byte{0x80}};  // continuation, no end
   BinaryReader r(buf);
   EXPECT_THROW(r.read_varint(), EngineError);
+}
+
+TEST(Serialize, ZigZagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+TEST(Serialize, SignedVarintRoundTrip) {
+  std::vector<std::byte> buf;
+  BinaryWriter w(buf);
+  const std::int64_t values[] = {0,     1,     -1,        63,     -64,
+                                 64,    -65,   1 << 20,   -(1 << 20),
+                                 INT64_MAX,    INT64_MIN};
+  for (const auto v : values) w.write_varint_signed(v);
+  BinaryReader r(buf);
+  for (const auto v : values) EXPECT_EQ(r.read_varint_signed(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, SignedVarintCompactNearZero) {
+  std::vector<std::byte> buf;
+  BinaryWriter w(buf);
+  w.write_varint_signed(-3);
+  w.write_varint_signed(60);
+  EXPECT_EQ(buf.size(), 2u);  // one byte each
+}
+
+TEST(ContextCodec, DeltaRoundTripAcrossBatch) {
+  // Contexts with ascending, descending, and wildly jumping vertex ids
+  // and rpids must round-trip exactly through the per-message delta
+  // codec, slots included.
+  struct Ctx {
+    VertexId vertex;
+    std::uint64_t rpid;
+    std::vector<Value> slots;
+  };
+  const std::vector<Ctx> batch = {
+      {100, 50, {int_value(-7), bool_value(true)}},
+      {103, 51, {int_value(1234567), null_value()}},
+      {90, 49, {vertex_value(95), double_value(2.5)}},
+      {~0ull - 1, ~0ull, {string_value(3), vertex_value(2)}},
+      {0, 0, {int_value(0), vertex_value(~0ull)}},
+  };
+  std::vector<std::byte> payload;
+  BinaryWriter w(payload);
+  ContextCodecState enc;
+  for (const auto& c : batch) {
+    encode_context(w, enc, c.vertex, c.rpid, c.slots);
+  }
+  BinaryReader r(payload);
+  ContextCodecState dec;
+  for (const auto& c : batch) {
+    VertexId vertex;
+    std::uint64_t rpid;
+    std::vector<Value> slots;
+    decode_context(r, dec, 2, vertex, rpid, slots);
+    EXPECT_EQ(vertex, c.vertex);
+    EXPECT_EQ(rpid, c.rpid);
+    ASSERT_EQ(slots.size(), c.slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      EXPECT_EQ(slots[i].type, c.slots[i].type);
+      EXPECT_EQ(slots[i].bits, c.slots[i].bits);
+    }
+  }
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ContextCodec, SequentialRpidsEncodeTight) {
+  // The common case — one worker's consecutive rpids, nearby vertices —
+  // must cost only a few bytes per context (vs 16 fixed before).
+  std::vector<std::byte> payload;
+  BinaryWriter w(payload);
+  ContextCodecState enc;
+  const std::vector<Value> no_slots;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    encode_context(w, enc, 1000 + i * 2, (7ull << 56) | (3ull << 48) | i,
+                   no_slots);
+  }
+  // First context pays for the absolute rpid; the rest are 2 bytes
+  // (vertex delta 2, rpid delta 1).
+  EXPECT_LE(payload.size(), 63 * 2 + 16);
 }
 
 TEST(MpmcQueue, FifoOrder) {

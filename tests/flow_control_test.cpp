@@ -128,5 +128,18 @@ TEST(FlowControl, BlockedCounterAccumulates) {
   EXPECT_EQ(fc.stats().blocked, 10u);
 }
 
+TEST(FlowControl, FastPathCountsLockFreeGrants) {
+  // Dedicated and shared grants never take the mutex; only the overflow
+  // grant goes through the slow path.
+  FlowControl fc(small_config(), 1, {true});
+  EXPECT_EQ(*fc.try_acquire(0, 0, 0), CreditClass::kRpqDedicated);
+  EXPECT_EQ(*fc.try_acquire(0, 0, 7), CreditClass::kRpqShared);
+  EXPECT_EQ(*fc.try_acquire(0, 0, 7), CreditClass::kRpqShared);
+  EXPECT_EQ(*fc.try_acquire(0, 0, 7), CreditClass::kRpqOverflow);
+  const auto stats = fc.stats();
+  EXPECT_EQ(stats.acquired, 4u);
+  EXPECT_EQ(stats.fast_path, 3u);  // overflow is the one slow-path grant
+}
+
 }  // namespace
 }  // namespace rpqd

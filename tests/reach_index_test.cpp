@@ -109,6 +109,44 @@ TEST(ReachIndex, ConcurrentInsertsAreExact) {
   EXPECT_EQ(stats.duplicated, 0u);
 }
 
+TEST(ReachIndex, PreallocatedHotPathIsAllocationFree) {
+  // The §4.5 guarantee: with preallocation the bump-arena absorbs every
+  // segment (first segments and growth), so inserts never hit the heap.
+  ReachabilityIndex idx(4, /*preallocate=*/true, /*num_shards=*/1);
+  for (std::uint64_t r = 0; r < 1000; ++r) {
+    idx.check_and_update(static_cast<LocalVertexId>(r % 4), r, 1);
+  }
+  const auto stats = idx.stats();
+  EXPECT_EQ(stats.entries, 1000u);
+  EXPECT_EQ(stats.hot_allocations, 0u);
+  EXPECT_GT(stats.reserved_bytes, 0u);
+}
+
+TEST(ReachIndex, LazyGrowthCountsHotAllocations) {
+  // Without preallocation the same workload must grow past the initial
+  // segment and report those heap allocations.
+  ReachabilityIndex idx(4, /*preallocate=*/false, /*num_shards=*/1);
+  for (std::uint64_t r = 0; r < 1000; ++r) {
+    idx.check_and_update(static_cast<LocalVertexId>(r % 4), r, 1);
+  }
+  const auto stats = idx.stats();
+  EXPECT_EQ(stats.entries, 1000u);
+  EXPECT_GT(stats.hot_allocations, 0u);
+}
+
+TEST(ReachIndex, ManyShardsStayExact) {
+  // Counts must be exact regardless of the shard count (including shard
+  // counts rounded up to a power of two).
+  for (const unsigned shards : {1u, 3u, 16u, 64u}) {
+    ReachabilityIndex idx(100, false, shards);
+    for (std::uint64_t r = 0; r < 500; ++r) {
+      idx.check_and_update(static_cast<LocalVertexId>(r % 100), r / 100, 2);
+    }
+    EXPECT_EQ(idx.stats().entries, 500u) << "shards=" << shards;
+    EXPECT_EQ(*idx.lookup(42, 3), 2u) << "shards=" << shards;
+  }
+}
+
 TEST(ReachIndex, ConcurrentDepthRace) {
   // Concurrent different-depth updates must settle on the minimum depth.
   ReachabilityIndex idx(1);

@@ -125,13 +125,15 @@ TEST(Stress, TruncatedContextDecodeThrows) {
   std::vector<std::byte> payload;
   BinaryWriter writer(payload);
   std::vector<Value> slots(3, int_value(7));
-  encode_context(writer, 42, 0xff, slots);
+  ContextCodecState enc;
+  encode_context(writer, enc, 42, 0xff, slots);
   payload.resize(payload.size() - 5);  // truncate mid-slot
   BinaryReader reader(payload);
   VertexId v;
   std::uint64_t rpid;
   std::vector<Value> out;
-  EXPECT_THROW(decode_context(reader, 3, v, rpid, out), EngineError);
+  ContextCodecState dec;
+  EXPECT_THROW(decode_context(reader, dec, 3, v, rpid, out), EngineError);
 }
 
 TEST(Stress, LdbcDepthProfileExplodesThenDecays) {

@@ -1,0 +1,100 @@
+// Tests for the flat open-addressing global->local vertex id table:
+// collisions, absent keys, full-table behavior, and agreement with the
+// partition build it backs.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graph/vertex_table.h"
+
+namespace rpqd {
+namespace {
+
+TEST(FlatVertexTable, EmptyTableFindsNothing) {
+  FlatVertexTable table;
+  EXPECT_FALSE(table.find(0).has_value());
+  EXPECT_FALSE(table.find(123).has_value());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlatVertexTable, BuildMapsEveryVertexToItsIndex) {
+  const std::vector<VertexId> vertices = {5, 0, 999, 42, 7};
+  const auto table = FlatVertexTable::build(vertices);
+  EXPECT_EQ(table.size(), vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    ASSERT_TRUE(table.find(vertices[i]).has_value());
+    EXPECT_EQ(*table.find(vertices[i]), static_cast<LocalVertexId>(i));
+  }
+}
+
+TEST(FlatVertexTable, AbsentKeysReturnNullopt) {
+  const auto table = FlatVertexTable::build({10, 20, 30});
+  EXPECT_FALSE(table.find(11).has_value());
+  EXPECT_FALSE(table.find(0).has_value());
+  EXPECT_FALSE(table.find(~0ull - 1).has_value());
+  EXPECT_FALSE(table.find(kInvalidVertex).has_value());
+}
+
+TEST(FlatVertexTable, CollidingKeysProbeLinearly) {
+  // Force collisions: a table with 4 slots and keys that mix into
+  // overlapping start positions still resolves every key.
+  FlatVertexTable table(4);
+  ASSERT_EQ(table.capacity(), 4u);
+  std::vector<VertexId> keys = {1, 2, 3};  // 3 keys in 4 slots
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(table.insert(keys[i], static_cast<LocalVertexId>(i)));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(table.find(keys[i]).has_value());
+    EXPECT_EQ(*table.find(keys[i]), static_cast<LocalVertexId>(i));
+  }
+  EXPECT_FALSE(table.find(99).has_value());
+}
+
+TEST(FlatVertexTable, DuplicateInsertRejected) {
+  FlatVertexTable table(8);
+  EXPECT_TRUE(table.insert(7, 0));
+  EXPECT_FALSE(table.insert(7, 1));
+  EXPECT_EQ(*table.find(7), 0u);  // first mapping wins
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlatVertexTable, FullTableRejectsInsertAndTerminatesFind) {
+  FlatVertexTable table(4);
+  ASSERT_EQ(table.capacity(), 4u);
+  for (VertexId k = 1; k <= 4; ++k) {
+    ASSERT_TRUE(table.insert(k, static_cast<LocalVertexId>(k)));
+  }
+  // Table is completely full: further inserts fail, and probing for an
+  // absent key must terminate (no empty slot to stop at).
+  EXPECT_FALSE(table.insert(5, 5));
+  EXPECT_FALSE(table.find(5).has_value());
+  for (VertexId k = 1; k <= 4; ++k) {
+    EXPECT_EQ(*table.find(k), static_cast<LocalVertexId>(k));
+  }
+}
+
+TEST(FlatVertexTable, InvalidVertexNeverStored) {
+  FlatVertexTable table(8);
+  EXPECT_FALSE(table.insert(kInvalidVertex, 0));
+  EXPECT_FALSE(table.find(kInvalidVertex).has_value());
+}
+
+TEST(FlatVertexTable, LargeBuildRoundTrips) {
+  // Sparse ids of the shape hash partitioning produces.
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < 40000; v += 3) vertices.push_back(v * v + 17);
+  const auto table = FlatVertexTable::build(vertices);
+  EXPECT_EQ(table.size(), vertices.size());
+  EXPECT_GE(table.capacity(), vertices.size() * 2);  // load factor <= 0.5
+  std::unordered_set<VertexId> present(vertices.begin(), vertices.end());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    EXPECT_EQ(*table.find(vertices[i]), static_cast<LocalVertexId>(i));
+  }
+  for (VertexId v = 1; v < 1000; v += 7) {
+    if (present.count(v) == 0) EXPECT_FALSE(table.find(v).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace rpqd
