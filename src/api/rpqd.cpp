@@ -17,4 +17,8 @@ std::string Database::explain(std::string_view pgql) const {
   return engine_->explain(pgql);
 }
 
+void Database::set_fault_schedule(std::string_view name, std::uint64_t seed) {
+  engine_->mutable_config().fault_plan = FaultPlan::named(name, seed);
+}
+
 }  // namespace rpqd

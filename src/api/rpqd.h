@@ -51,6 +51,12 @@ class Database {
   EngineConfig& config() { return engine_->mutable_config(); }
   const EngineConfig& config() const { return engine_->config(); }
 
+  /// Runs every subsequent query under the named fault schedule (see
+  /// FaultPlan::schedule_names(); "none" disarms). The schedule plus the
+  /// seed fully determine the fault decisions — the replay key printed
+  /// by the differential harness. Throws QueryError on an unknown name.
+  void set_fault_schedule(std::string_view name, std::uint64_t seed);
+
  private:
   std::shared_ptr<const PartitionedGraph> partitioned_;
   std::unique_ptr<DistributedEngine> engine_;

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/fault.h"
 #include "common/types.h"
 
 namespace rpqd {
@@ -83,6 +84,12 @@ struct EngineConfig {
 
   /// Deterministic seed for any randomized tie-breaking.
   std::uint64_t seed = 42;
+
+  /// Fault-injection schedule applied to the simulated fabric (see
+  /// common/fault.h). Default-constructed = no faults, zero overhead.
+  /// Results must be invariant under any plan — the differential test
+  /// harness asserts this against the reference oracle.
+  FaultPlan fault_plan;
 };
 
 }  // namespace rpqd

@@ -1,0 +1,58 @@
+#include "common/fault.h"
+
+#include "common/error.h"
+
+namespace rpqd {
+
+FaultPlan FaultPlan::named(std::string_view name, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (name == "none") {
+    return plan;
+  }
+  if (name == "reorder") {
+    plan.delay_prob = 0.5;
+    plan.delay_window = 8;
+    return plan;
+  }
+  if (name == "dup-storm") {
+    plan.dup_data_prob = 0.5;
+    plan.dup_done_prob = 0.5;
+    plan.dup_term_prob = 0.5;
+    return plan;
+  }
+  if (name == "credit-jitter") {
+    plan.done_delay_prob = 0.6;
+    plan.done_delay_window = 6;
+    plan.delay_prob = 0.1;
+    plan.delay_window = 3;
+    return plan;
+  }
+  if (name == "slow-machine") {
+    plan.slow_machine_fraction = 0.5;
+    plan.stall_prob = 0.25;
+    plan.stall_max_us = 150;
+    return plan;
+  }
+  if (name == "chaos") {
+    plan.delay_prob = 0.35;
+    plan.delay_window = 6;
+    plan.done_delay_prob = 0.35;
+    plan.done_delay_window = 4;
+    plan.dup_data_prob = 0.25;
+    plan.dup_done_prob = 0.25;
+    plan.dup_term_prob = 0.25;
+    plan.slow_machine_fraction = 0.4;
+    plan.stall_prob = 0.1;
+    plan.stall_max_us = 100;
+    return plan;
+  }
+  throw QueryError("unknown fault schedule: " + std::string(name));
+}
+
+std::vector<std::string> FaultPlan::schedule_names() {
+  return {"none",          "reorder",      "dup-storm",
+          "credit-jitter", "slow-machine", "chaos"};
+}
+
+}  // namespace rpqd

@@ -1,0 +1,104 @@
+// Deterministic fault-injection plan for the simulated cluster fabric.
+//
+// A FaultPlan makes the simulated interconnect hostile on purpose: data
+// messages can be held back and reordered, DONE credit returns can be
+// jittered, messages can be duplicated (bounded: at most one extra copy),
+// and a seed-selected subset of machines can be slowed down. Every
+// decision is a pure function of (plan seed, message sequence number /
+// machine id), so a fault schedule is fully described by its name and a
+// single uint64 seed — the replay key printed by the differential test
+// harness on failure.
+//
+// The fabric stays *reliable* under a FaultPlan: duplicated data and DONE
+// messages are filtered by a receiver-side sequence-number dedup (the
+// simulation's stand-in for the reliable-connection transport the paper's
+// InfiniBand deployment gets in hardware), so the engine still observes
+// exactly-once delivery — just late, reordered, and slow. Termination
+// status broadcasts are deliberately NOT deduplicated: the §3.4 protocol
+// must tolerate duplicated and stale statuses on its own.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace rpqd {
+
+struct FaultPlan {
+  /// Replay key: all per-message decisions derive from this seed.
+  std::uint64_t seed = 1;
+
+  /// Data-message delay: with probability `delay_prob`, an arriving data
+  /// message is held in the inbox's limbo for 1..delay_window pickup
+  /// ticks before becoming visible, reordering it behind later arrivals.
+  double delay_prob = 0.0;
+  unsigned delay_window = 0;
+
+  /// Credit-return jitter: DONE messages (flow-control credit returns)
+  /// held back the same way, delaying the sender's credit refresh.
+  double done_delay_prob = 0.0;
+  unsigned done_delay_window = 0;
+
+  /// Bounded duplication (one extra copy) per message class. Data/DONE
+  /// duplicates are absorbed by the transport dedup; termination-status
+  /// duplicates are delivered to the protocol.
+  double dup_data_prob = 0.0;
+  double dup_done_prob = 0.0;
+  double dup_term_prob = 0.0;
+
+  /// Machine slowdown: each machine is independently selected as "slow"
+  /// with probability `slow_machine_fraction` (derived from the seed and
+  /// the machine id); slow machines stall for up to `stall_max_us`
+  /// microseconds on a `stall_prob` fraction of message pickups.
+  double slow_machine_fraction = 0.0;
+  double stall_prob = 0.0;
+  unsigned stall_max_us = 0;
+
+  /// True when any knob is active (the fabric's fast path checks this
+  /// once per call; a default plan adds no overhead).
+  bool any() const {
+    return delay_prob > 0.0 || done_delay_prob > 0.0 || dup_data_prob > 0.0 ||
+           dup_done_prob > 0.0 || dup_term_prob > 0.0 ||
+           (slow_machine_fraction > 0.0 && stall_prob > 0.0 &&
+            stall_max_us > 0);
+  }
+
+  /// Named schedules used by the differential harness and CLI tooling:
+  ///   "none"          all knobs off
+  ///   "reorder"       aggressive data-message delay/reorder
+  ///   "dup-storm"     duplication of data, DONE, and status messages
+  ///   "credit-jitter" DONE returns delayed, mild data delay
+  ///   "slow-machine"  half the machines stall on pickups
+  ///   "chaos"         everything at once
+  /// Throws QueryError on an unknown name.
+  static FaultPlan named(std::string_view name, std::uint64_t seed);
+
+  /// All valid schedule names, in the order listed above.
+  static std::vector<std::string> schedule_names();
+};
+
+/// Per-decision hash: mixes the plan seed, a message-scoped key (sequence
+/// number or machine id), and a salt identifying the decision kind.
+inline std::uint64_t fault_hash(std::uint64_t seed, std::uint64_t key,
+                                std::uint64_t salt) {
+  return mix64(seed ^ mix64(key + 0x9e3779b97f4a7c15ULL * salt));
+}
+
+/// Bernoulli trial on the upper bits of a fault hash.
+inline bool fault_roll(std::uint64_t hash, double prob) {
+  if (prob <= 0.0) return false;
+  return static_cast<double>(hash >> 11) * 0x1.0p-53 < prob;
+}
+
+// Decision salts (one per independent fault decision).
+inline constexpr std::uint64_t kFaultSaltDelay = 1;
+inline constexpr std::uint64_t kFaultSaltDelayTicks = 2;
+inline constexpr std::uint64_t kFaultSaltDup = 3;
+inline constexpr std::uint64_t kFaultSaltSlowMachine = 4;
+inline constexpr std::uint64_t kFaultSaltStall = 5;
+inline constexpr std::uint64_t kFaultSaltStallTicks = 6;
+
+}  // namespace rpqd

@@ -37,6 +37,10 @@ struct MessageHeader {
   std::uint32_t count = 0;        // #contexts in the payload (kData)
   CreditClass credit = CreditClass::kFixed;
   Depth credit_depth = 0;  // depth the credit was charged at
+  /// Cluster-unique send sequence number, assigned by Network::send when
+  /// a fault plan is active: the transport-dedup identity (a duplicated
+  /// message keeps its original seq) and the fault-decision key.
+  std::uint64_t seq = 0;
 };
 
 struct Message {

@@ -1,6 +1,8 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/error.h"
 
@@ -16,17 +18,156 @@ void NetStats::note_queued(std::uint64_t delta_add) {
 }
 
 void NetStats::note_dequeued(std::uint64_t delta_sub) {
-  queued_bytes.fetch_sub(delta_sub, std::memory_order_relaxed);
+  const auto prev = queued_bytes.fetch_sub(delta_sub, std::memory_order_relaxed);
+  // Accounting audit: every dequeue must be covered by a prior enqueue.
+  // An underflow here means a message was popped twice or its payload
+  // mutated between queue and dequeue; the wrapped counter would
+  // otherwise poison peak_queued_bytes silently.
+  engine_check(prev >= delta_sub, "queued_bytes underflow on dequeue");
+}
+
+void Inbox::configure_faults(const FaultPlan& plan, MachineId self) {
+  plan_ = plan;
+  self_ = self;
+  faults_on_ = plan.any();
+  slow_machine_ =
+      faults_on_ && plan.stall_max_us > 0 &&
+      fault_roll(fault_hash(plan.seed, self, kFaultSaltSlowMachine),
+                 plan.slow_machine_fraction);
+}
+
+void Inbox::heap_insert(Message msg) {
+  const auto cmp = [this](const Entry& a, const Entry& b) {
+    return before(a, b);
+  };
+  heap_.push_back(Entry{std::move(msg), next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), cmp);
+}
+
+void Inbox::deliver_done(const Message& msg) {
+  engine_check(flow_ != nullptr, "inbox without flow control");
+  flow_->release(msg.header.src, msg.header.stage, msg.header.credit_depth,
+                 msg.header.credit);
+}
+
+bool Inbox::fault_dedup_or_delay(Message& msg, NetStats& stats) {
+  // Transport dedup: a duplicated copy carries the same send sequence
+  // number; dropping it here is the reliable transport masking the fault
+  // (exactly-once delivery as seen by the engine).
+  if (!seen_.insert(msg.header.seq).second) {
+    stats.faults_dup_dropped.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  const bool is_done = msg.header.type == MessageType::kDone;
+  const double prob = is_done ? plan_.done_delay_prob : plan_.delay_prob;
+  const unsigned window = is_done ? plan_.done_delay_window
+                                  : plan_.delay_window;
+  if (window == 0 ||
+      !fault_roll(fault_hash(plan_.seed, msg.header.seq, kFaultSaltDelay),
+                  prob)) {
+    return false;  // deliver normally
+  }
+  // Divert into limbo for 1..window pickup ticks. Delivery stats are
+  // counted now (the message has arrived at this machine; it is merely
+  // invisible to pickup), so queued-bytes accounting matches the
+  // eventual dequeue.
+  stats.faults_delayed.fetch_add(1, std::memory_order_relaxed);
+  if (is_done) {
+    stats.done_messages.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats.data_messages.fetch_add(1, std::memory_order_relaxed);
+    stats.contexts.fetch_add(msg.header.count, std::memory_order_relaxed);
+    const auto bytes = static_cast<std::uint64_t>(msg.payload.size());
+    stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    stats.note_queued(bytes);
+    ++limbo_data_;
+  }
+  const std::uint64_t ticks =
+      1 + fault_hash(plan_.seed, msg.header.seq, kFaultSaltDelayTicks) % window;
+  limbo_.push_back(Limbo{std::move(msg), tick_ + ticks});
+  return true;
+}
+
+void Inbox::fault_tick(NetStats& stats) {
+  std::vector<Message> due_dones;
+  std::uint64_t stall_us = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const std::uint64_t now = ++tick_;
+    for (std::size_t i = 0; i < limbo_.size();) {
+      if (limbo_[i].release_tick > now) {
+        ++i;
+        continue;
+      }
+      Message msg = std::move(limbo_[i].msg);
+      limbo_[i] = std::move(limbo_.back());
+      limbo_.pop_back();
+      if (msg.header.type == MessageType::kData) {
+        --limbo_data_;
+        heap_insert(std::move(msg));
+      } else {
+        due_dones.push_back(std::move(msg));
+      }
+    }
+    if (slow_machine_) {
+      const std::uint64_t key =
+          now ^ (static_cast<std::uint64_t>(self_) << 48);
+      if (fault_roll(fault_hash(plan_.seed, key, kFaultSaltStall),
+                     plan_.stall_prob)) {
+        stall_us = 1 + fault_hash(plan_.seed, key, kFaultSaltStallTicks) %
+                           plan_.stall_max_us;
+      }
+    }
+  }
+  for (const auto& done : due_dones) deliver_done(done);
+  if (stall_us > 0) {
+    stats.faults_stalls.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+  }
+}
+
+void Inbox::drain_faults(NetStats& stats) {
+  if (!faults_on_) return;
+  std::vector<Message> due_dones;
+  {
+    std::lock_guard lock(mutex_);
+    // A data message still in limbo would mean termination was declared
+    // with unprocessed contexts — the sent/processed counters make that
+    // impossible, so finding one is a protocol violation.
+    engine_check(limbo_data_ == 0,
+                 "data message stranded in fault limbo after termination");
+    for (auto& held : limbo_) due_dones.push_back(std::move(held.msg));
+    limbo_.clear();
+  }
+  for (const auto& done : due_dones) deliver_done(done);
+  (void)stats;
 }
 
 void Inbox::push(Message msg, NetStats& stats) {
+  if (faults_on_ && msg.header.type != MessageType::kTermination) {
+    std::unique_lock lock(mutex_);
+    if (fault_dedup_or_delay(msg, stats)) return;
+    // Not consumed by a fault: deliver normally. Data can be heaped
+    // while the lock is still held; DONEs release credits below.
+    if (msg.header.type == MessageType::kData) {
+      stats.data_messages.fetch_add(1, std::memory_order_relaxed);
+      stats.contexts.fetch_add(msg.header.count, std::memory_order_relaxed);
+      const auto bytes = static_cast<std::uint64_t>(msg.payload.size());
+      stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
+      stats.note_queued(bytes);
+      heap_insert(std::move(msg));
+      return;
+    }
+    lock.unlock();
+    stats.done_messages.fetch_add(1, std::memory_order_relaxed);
+    deliver_done(msg);
+    return;
+  }
   switch (msg.header.type) {
     case MessageType::kDone:
       // Receiver-thread behaviour: return the credit immediately.
       stats.done_messages.fetch_add(1, std::memory_order_relaxed);
-      engine_check(flow_ != nullptr, "inbox without flow control");
-      flow_->release(msg.header.src, msg.header.stage,
-                     msg.header.credit_depth, msg.header.credit);
+      deliver_done(msg);
       return;
     case MessageType::kTermination:
       stats.term_messages.fetch_add(1, std::memory_order_relaxed);
@@ -38,18 +179,15 @@ void Inbox::push(Message msg, NetStats& stats) {
       const auto bytes = static_cast<std::uint64_t>(msg.payload.size());
       stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
       stats.note_queued(bytes);
-      const auto cmp = [this](const Entry& a, const Entry& b) {
-        return before(a, b);
-      };
       std::lock_guard lock(mutex_);
-      heap_.push_back(Entry{std::move(msg), next_seq_++});
-      std::push_heap(heap_.begin(), heap_.end(), cmp);
+      heap_insert(std::move(msg));
       return;
     }
   }
 }
 
 std::optional<Message> Inbox::try_pop_data(NetStats& stats) {
+  if (faults_on_) fault_tick(stats);
   const auto cmp = [this](const Entry& a, const Entry& b) {
     return before(a, b);
   };
@@ -67,16 +205,41 @@ std::optional<Message> Inbox::try_pop_term() { return term_.try_pop(); }
 
 bool Inbox::has_data() const {
   std::lock_guard lock(mutex_);
-  return !heap_.empty();
+  return !heap_.empty() || limbo_data_ > 0;
 }
 
 std::size_t Inbox::data_size() const {
   std::lock_guard lock(mutex_);
-  return heap_.size();
+  return heap_.size() + limbo_data_;
+}
+
+void Network::set_fault_plan(const FaultPlan& plan) {
+  plan_ = plan;
+  faults_on_ = plan.any();
+  for (unsigned m = 0; m < inboxes_.size(); ++m) {
+    inboxes_[m].configure_faults(plan, static_cast<MachineId>(m));
+  }
 }
 
 void Network::send(MachineId dest, Message msg) {
   engine_check(dest < inboxes_.size(), "send to unknown machine");
+  if (faults_on_) {
+    msg.header.seq = send_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    double dup_prob = 0.0;
+    switch (msg.header.type) {
+      case MessageType::kData: dup_prob = plan_.dup_data_prob; break;
+      case MessageType::kDone: dup_prob = plan_.dup_done_prob; break;
+      case MessageType::kTermination: dup_prob = plan_.dup_term_prob; break;
+    }
+    if (fault_roll(fault_hash(plan_.seed, msg.header.seq, kFaultSaltDup),
+                   dup_prob)) {
+      stats_.faults_duplicated.fetch_add(1, std::memory_order_relaxed);
+      Message copy;
+      copy.header = msg.header;
+      copy.payload = msg.payload;
+      inboxes_[dest].push(std::move(copy), stats_);
+    }
+  }
   inboxes_[dest].push(std::move(msg), stats_);
 }
 

@@ -8,14 +8,27 @@
 // data messages queue in a priority heap ordered by (depth desc, stage
 // desc), implementing §3.2's "larger depth first, later stage first";
 // termination broadcasts queue separately and are drained by idle workers.
+//
+// Fault injection (common/fault.h): under an active FaultPlan the fabric
+// becomes adversarial-but-reliable. Network::send stamps every message
+// with a unique sequence number and may deliver a bounded duplicate;
+// the receiving inbox dedups data/DONE messages by seq (the transport's
+// exactly-once guarantee) and may divert them into a "limbo" buffer for
+// 1..window pickup ticks, reordering deliveries and jittering credit
+// returns. A pickup tick is one try_pop_data call — the clock every
+// worker advances whenever it polls, so limbo always drains as long as
+// the query is live. Termination statuses are duplicated verbatim (never
+// deduped or delayed): the §3.4 protocol must tolerate them by itself.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/queue.h"
 #include "net/flow_control.h"
 #include "net/message.h"
@@ -30,6 +43,11 @@ struct NetStats {
   std::atomic<std::uint64_t> contexts{0};
   std::atomic<std::uint64_t> queued_bytes{0};  // currently buffered
   std::atomic<std::uint64_t> peak_queued_bytes{0};
+  // Fault-injection accounting (all zero without an active FaultPlan).
+  std::atomic<std::uint64_t> faults_delayed{0};     // messages sent to limbo
+  std::atomic<std::uint64_t> faults_duplicated{0};  // extra copies injected
+  std::atomic<std::uint64_t> faults_dup_dropped{0};  // copies deduped away
+  std::atomic<std::uint64_t> faults_stalls{0};       // injected pickup stalls
 
   void note_queued(std::uint64_t delta_add);
   void note_dequeued(std::uint64_t delta_sub);
@@ -44,10 +62,17 @@ class Inbox {
   /// of the deepest-depth / latest-stage priority. Set before any push.
   void set_deep_priority(bool enabled) { deep_priority_ = enabled; }
 
+  /// Arms fault injection for this inbox (receiver side: dedup, delay,
+  /// stalls). `self` selects the per-machine slowdown. Set before any
+  /// push; a plan with no active knob leaves the fast path untouched.
+  void configure_faults(const FaultPlan& plan, MachineId self);
+
   void push(Message msg, NetStats& stats);
 
   /// Pops the highest-priority data message: larger depth first, then
   /// later stage first (§3.2 messaging rules); FIFO in ablation mode.
+  /// Under fault injection this is also the limbo clock: each call is
+  /// one tick, releasing due delayed messages before popping.
   std::optional<Message> try_pop_data(NetStats& stats);
 
   std::optional<Message> try_pop_term();
@@ -55,10 +80,21 @@ class Inbox {
   bool has_data() const;
   std::size_t data_size() const;
 
+  /// Post-run: force-deliver everything still in limbo (delayed DONEs
+  /// release their credits; delayed data would be a termination-protocol
+  /// violation and throws). The engine calls this after workers join so
+  /// credit-leak checks see the fabric fully drained.
+  void drain_faults(NetStats& stats);
+
  private:
   struct Entry {
     Message msg;
     std::uint64_t seq = 0;  // FIFO tiebreak / FIFO-mode key
+  };
+
+  struct Limbo {
+    Message msg;
+    std::uint64_t release_tick = 0;
   };
 
   // Max-heap order: priority mode compares (depth, stage), FIFO mode
@@ -75,12 +111,29 @@ class Inbox {
     return a.seq > b.seq;  // older messages win ties / FIFO mode
   }
 
+  // Fault internals (mutex_ held unless stated otherwise).
+  bool fault_dedup_or_delay(Message& msg, NetStats& stats);  // true=consumed
+  void fault_tick(NetStats& stats);  // advance clock, release due limbo
+  void heap_insert(Message msg);
+  void deliver_done(const Message& msg);  // lock-free (flow control only)
+
   mutable std::mutex mutex_;
   std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
   bool deep_priority_ = true;
   MpmcQueue<Message> term_;
   FlowControl* flow_ = nullptr;
+
+  // Fault state. `faults_on_` is the single branch the fault-free fast
+  // path pays; everything below is untouched without a plan.
+  bool faults_on_ = false;
+  bool slow_machine_ = false;
+  FaultPlan plan_;
+  MachineId self_ = 0;
+  std::uint64_t tick_ = 0;
+  std::vector<Limbo> limbo_;
+  std::size_t limbo_data_ = 0;  // data messages currently in limbo
+  std::unordered_set<std::uint64_t> seen_;  // transport dedup (data+DONE)
 };
 
 /// The interconnect: owns one inbox per machine plus global statistics.
@@ -92,6 +145,11 @@ class Network {
     return static_cast<unsigned>(inboxes_.size());
   }
 
+  /// Arms fault injection on the sender side (sequence stamping and
+  /// bounded duplication) and on every inbox. Call before any traffic.
+  void set_fault_plan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+
   void send(MachineId dest, Message msg);
 
   Inbox& inbox(MachineId m) { return inboxes_[m]; }
@@ -101,6 +159,9 @@ class Network {
  private:
   std::vector<Inbox> inboxes_;
   NetStats stats_;
+  FaultPlan plan_;
+  bool faults_on_ = false;
+  std::atomic<std::uint64_t> send_seq_{0};
 };
 
 }  // namespace rpqd

@@ -4,6 +4,8 @@
 #include <bit>
 #include <new>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 
 #include "common/error.h"
 #include "common/hash.h"
@@ -223,6 +225,34 @@ std::optional<Depth> ReachabilityIndex::lookup(LocalVertexId dst,
     seg = seg->next.load(std::memory_order_acquire);
   }
   return std::nullopt;
+}
+
+std::uint64_t ReachabilityIndex::duplicate_entries() const {
+  struct KeyHash {
+    std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& k)
+        const {
+      return static_cast<std::size_t>(mix64(k.first ^ mix64(k.second)));
+    }
+  };
+  std::unordered_set<std::pair<std::uint64_t, std::uint64_t>, KeyHash> keys;
+  std::uint64_t duplicates = 0;
+  for (const auto& shard : shards_) {
+    const Segment* seg = shard.head.load(std::memory_order_acquire);
+    while (seg != nullptr) {
+      const Entry* entries = seg->entries();
+      for (std::size_t i = 0; i < seg->capacity; ++i) {
+        const std::uint64_t ctrl = entries[i].ctrl.load(
+            std::memory_order_acquire);
+        if (ctrl == kCtrlEmpty || ctrl == kCtrlBusy) continue;
+        const std::uint64_t dst = ctrl >> 2;  // inverse of ctrl_ready
+        const std::uint64_t rpid =
+            entries[i].rpid.load(std::memory_order_relaxed);
+        if (!keys.emplace(dst, rpid).second) ++duplicates;
+      }
+      seg = seg->next.load(std::memory_order_acquire);
+    }
+  }
+  return duplicates;
 }
 
 ReachIndexStats ReachabilityIndex::stats() const {

@@ -76,6 +76,12 @@ class ReachabilityIndex {
 
   ReachIndexStats stats() const;
 
+  /// Post-run audit: number of (dst, rpid) keys stored more than once
+  /// across all segments. The CAS claim protocol guarantees 0; the
+  /// differential harness asserts it after every adversarial run. Full
+  /// scan — call only when the index is quiescent.
+  std::uint64_t duplicate_entries() const;
+
  private:
   // One slot. `ctrl` is the claim word: kCtrlEmpty -> kCtrlBusy (claimed,
   // key/depth being written) -> ready (occupied-bit | destination vertex).

@@ -1,5 +1,7 @@
 #include "runtime/engine.h"
 
+#include <algorithm>
+#include <optional>
 #include <thread>
 
 #include "common/stopwatch.h"
@@ -33,6 +35,9 @@ QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
   Stopwatch timer;
 
   Network net(num_machines);
+  // Sender-side fault injection (sequence stamping, duplication); each
+  // MachineRuntime arms its own inbox's receiver side on construction.
+  net.set_fault_plan(config_.fault_plan);
   std::vector<std::unique_ptr<MachineRuntime>> machines;
   machines.reserve(num_machines);
   for (unsigned m = 0; m < num_machines; ++m) {
@@ -52,6 +57,12 @@ QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
       }
     }
     for (auto& t : threads) t.join();
+  }
+
+  // Force-deliver any DONE messages still held back by fault injection,
+  // so the credit-leak audit below sees the fabric fully drained.
+  for (unsigned m = 0; m < num_machines; ++m) {
+    net.inbox(m).drain_faults(net.stats());
   }
 
   QueryResult result;
@@ -100,6 +111,10 @@ QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
   stats.bytes_sent = net.stats().bytes.load();
   stats.contexts_sent = net.stats().contexts.load();
   stats.peak_queued_bytes = net.stats().peak_queued_bytes.load();
+  stats.faults_delayed = net.stats().faults_delayed.load();
+  stats.faults_duplicated = net.stats().faults_duplicated.load();
+  stats.faults_dup_dropped = net.stats().faults_dup_dropped.load();
+  stats.faults_stalls = net.stats().faults_stalls.load();
   for (auto& machine : machines) {
     const FlowControlStats fc = machine->flow().stats();
     stats.flow_fast_path += fc.fast_path;
@@ -107,6 +122,7 @@ QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
     stats.flow_shared_used += fc.shared_used;
     stats.flow_overflow_used += fc.overflow_used;
     stats.flow_emergency += fc.emergency_used;
+    stats.flow_outstanding += machine->flow().outstanding();
     stats.adfs_shared_tasks += machine->shared_task_count();
   }
   stats.rpq.resize(plan.num_rpq_indexes);
@@ -114,8 +130,21 @@ QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
     for (auto& machine : machines) {
       stats.rpq[g].merge(machine->rpq_stats(g));
     }
-    stats.rpq[g].consensus_max_depth =
-        machines[0]->termination().consensus_max_depth(g);
+    // §3.4 consensus, read back after the run. Every machine freezes its
+    // status table at the instant of its own termination decision, and an
+    // early decider's table can be stale in zero-sum ways: a peer's
+    // per-depth vector extended by balanced frame push/pop excursions
+    // does not perturb the sent/processed sums the decision checks, so
+    // the decision fires without the extension. The machine that decides
+    // last has ingested every final broadcast (term delivery is a direct
+    // queue push), so the achieved consensus is the max over deciders.
+    std::optional<Depth> consensus;
+    for (auto& machine : machines) {
+      if (const auto d = machine->termination().consensus_max_depth(g)) {
+        consensus = std::max(consensus.value_or(*d), *d);
+      }
+    }
+    stats.rpq[g].consensus_max_depth = consensus;
   }
   // EXPLAIN ANALYZE breakdown.
   stats.stages.resize(plan.stages.size());

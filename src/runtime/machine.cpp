@@ -57,6 +57,10 @@ MachineRuntime::MachineRuntime(MachineId id, const Partition* partition,
                                         std::move(is_rpq));
   net_->inbox(id_).attach_flow_control(flow_.get());
   net_->inbox(id_).set_deep_priority(config->deep_message_priority);
+  // Receiver-side fault injection (dedup/delay/stalls); the sender side
+  // (sequence stamping, duplication) is armed by the engine on the
+  // Network itself before any machine is constructed.
+  net_->inbox(id_).configure_faults(config->fault_plan, id_);
   for (unsigned g = 0; g < plan->num_rpq_indexes; ++g) {
     indexes_.push_back(std::make_unique<ReachabilityIndex>(
         part_->num_local(), config->reach_index_preallocate,
@@ -503,13 +507,22 @@ void MachineRuntime::send_remote(Worker& w, StageId stage, VertexId vertex,
   auto it = w.out.find(key);
   if (it == w.out.end()) {
     const CreditClass credit = acquire_credit_blocking(w, dest, stage, depth);
-    OutBuffer buf;
-    buf.dest = dest;
-    buf.stage = stage;
-    buf.depth = depth;
-    buf.credit = credit;
-    buf.payload.reserve(config_->buffer_bytes);
-    it = w.out.emplace(key, std::move(buf)).first;
+    // The blocking acquire processes incoming messages (pickup rule iii),
+    // and those nested traversals can open this very buffer. Re-probe:
+    // emplacing onto the existing key would silently destroy the fresh
+    // credit with the temporary OutBuffer — a flow-control leak.
+    it = w.out.find(key);
+    if (it != w.out.end()) {
+      flow_->release(dest, stage, depth, credit);
+    } else {
+      OutBuffer buf;
+      buf.dest = dest;
+      buf.stage = stage;
+      buf.depth = depth;
+      buf.credit = credit;
+      buf.payload.reserve(config_->buffer_bytes);
+      it = w.out.emplace(key, std::move(buf)).first;
+    }
   }
   OutBuffer& buf = it->second;
   BinaryWriter writer(buf.payload);
@@ -697,8 +710,13 @@ void MachineRuntime::worker_main(unsigned worker_index) {
     // Heuristic (i): a single-match start skips the scan entirely; only
     // the owner machine's worker 0 seeds the traversal.
     w.bootstrap_done = true;
+    // owns() is the pure modulo-hash owner function — it claims
+    // ownership of ids that are not in the graph at all (e.g. a WHERE
+    // ID(v) = literal beyond the vertex count). Only seed vertices that
+    // actually exist in the local partition.
     if (worker_index == 0 && plan_->start_vertex != kInvalidVertex &&
-        part_->owns(plan_->start_vertex)) {
+        part_->owns(plan_->start_vertex) &&
+        part_->to_local(plan_->start_vertex).has_value()) {
       run_context(w, 0, plan_->start_vertex, 0, 0,
                   std::vector<Value>(plan_->num_slots));
     }
@@ -803,6 +821,8 @@ RpqStageStats MachineRuntime::rpq_stats(unsigned group) const {
   stats.index_entries = idx.entries;
   stats.index_bytes = idx.dynamic_bytes;
   stats.index_hot_allocs = idx.hot_allocations;
+  // Post-run duplicate audit (§3.5 invariant: one entry per (dst, rpid)).
+  stats.index_duplicate_entries = indexes_[group]->duplicate_entries();
   stats.max_depth_observed = detector_.local_max_depth(group);
   return stats;
 }

@@ -22,6 +22,7 @@ void RpqStageStats::merge(const RpqStageStats& other) {
   index_entries += other.index_entries;
   index_bytes += other.index_bytes;
   index_hot_allocs += other.index_hot_allocs;
+  index_duplicate_entries += other.index_duplicate_entries;
   max_depth_observed = std::max(max_depth_observed, other.max_depth_observed);
   if (other.consensus_max_depth) consensus_max_depth = other.consensus_max_depth;
 }
@@ -52,6 +53,14 @@ std::string RuntimeStats::summary() const {
       << " fast_path=" << flow_fast_path;
   if (contexts_sent > 0) {
     out << " bytes/ctx=" << (bytes_sent / contexts_sent);
+  }
+  if (faults_delayed + faults_duplicated + faults_dup_dropped + faults_stalls >
+      0) {
+    out << "\n  faults: delayed=" << faults_delayed
+        << " duplicated=" << faults_duplicated
+        << " dup_dropped=" << faults_dup_dropped
+        << " stalls=" << faults_stalls
+        << " outstanding_credits=" << flow_outstanding;
   }
   for (std::size_t g = 0; g < rpq.size(); ++g) {
     const auto& r = rpq[g];

@@ -21,6 +21,7 @@ struct RpqStageStats {
   std::uint64_t index_entries = 0;
   std::uint64_t index_bytes = 0;
   std::uint64_t index_hot_allocs = 0;  // heap allocations on the hot path
+  std::uint64_t index_duplicate_entries = 0;  // post-run audit; must be 0
   Depth max_depth_observed = 0;
   /// The §3.4 consensus value for unbounded RPQs (set when reached).
   std::optional<Depth> consensus_max_depth;
@@ -66,6 +67,14 @@ struct RuntimeStats {
   std::uint64_t flow_shared_used = 0;
   std::uint64_t flow_overflow_used = 0;
   std::uint64_t flow_emergency = 0;  // should stay 0; safety valve
+  /// Credits still outstanding after the run drained — a leak detector;
+  /// always 0 on a healthy run (asserted by the differential harness).
+  std::uint64_t flow_outstanding = 0;
+  // Fault injection (common/fault.h); all 0 without an active plan.
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_dup_dropped = 0;
+  std::uint64_t faults_stalls = 0;
   // aDFS work sharing (when enabled).
   std::uint64_t adfs_shared_tasks = 0;
   // RPQ stages.

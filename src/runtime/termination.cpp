@@ -1,6 +1,8 @@
 #include "runtime/termination.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/error.h"
 #include "common/serialize.h"
@@ -247,10 +249,23 @@ bool TerminationDetector::depth_terminated(unsigned group, Depth depth) const {
 
 std::optional<Depth> TerminationDetector::consensus_max_depth(
     unsigned group) const {
+  const bool dbg = std::getenv("RPQD_TERM_DEBUG") != nullptr;
   {
     std::lock_guard lock(status_mutex_);
     for (unsigned m = 0; m < num_machines_; ++m) {
-      if (!machine_stable(static_cast<MachineId>(m))) return std::nullopt;
+      if (!machine_stable(static_cast<MachineId>(m))) {
+        if (dbg) {
+          const auto& last = last_[m];
+          const auto& prev = prev_[m];
+          std::fprintf(stderr,
+                       "[term] m=%u not stable: last=%d prev=%d lidle=%d "
+                       "pidle=%d eq=%d\n",
+                       m, last.has_value(), prev.has_value(),
+                       last ? last->idle : -1, prev ? prev->idle : -1,
+                       (last && prev) ? last->counters_equal(*prev) : -1);
+        }
+        return std::nullopt;
+      }
     }
   }
   Depth max_depth = 0;
@@ -266,8 +281,18 @@ std::optional<Depth> TerminationDetector::consensus_max_depth(
       }
     }
   }
-  if (!any) return std::nullopt;
-  if (!depth_terminated(group, max_depth)) return std::nullopt;
+  if (!any) {
+    if (dbg) std::fprintf(stderr, "[term] group=%u no counters anywhere\n",
+                          group);
+    return std::nullopt;
+  }
+  if (!depth_terminated(group, max_depth)) {
+    if (dbg) {
+      std::fprintf(stderr, "[term] group=%u depth_terminated(%u) false\n",
+                   group, static_cast<unsigned>(max_depth));
+    }
+    return std::nullopt;
+  }
   return max_depth;
 }
 

@@ -1,0 +1,180 @@
+// Randomized differential test harness under fault injection.
+//
+// Generated PGQL queries run through the distributed engine under
+// adversarial fault schedules (message reorder, bounded duplication,
+// credit-return jitter, slow machines — common/fault.h) across several
+// partition counts, and every run must (a) produce the exact result set
+// of the brute-force reference oracle and (b) uphold the engine's
+// distributed invariants:
+//   - all flow-control credits returned (no leak, no emergency credit),
+//   - the §3.4 termination consensus depth equals the max observed depth,
+//   - the §3.5 reachability index contains no duplicate (dst, rpid) key.
+//
+// Every failure message carries a one-line replay key (query seed, graph
+// seed, schedule name, fault seed, machine count) from which the exact
+// query, graph, and fault decisions are re-derived.
+//
+// Sizing: RPQD_DIFF_QUERIES overrides the generated-query budget of the
+// always-on smoke test; the Tier2Exhaustive test (ctest label
+// `tier2-fuzz`, enabled by RPQD_TIER2_FUZZ=1) runs the acceptance-scale
+// sweep: >= 200 queries x >= 3 schedules x >= 2 partition counts.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/rpqd.h"
+#include "baseline/reference.h"
+#include "common/rng.h"
+#include "ldbc/synthetic.h"
+#include "query_gen.h"
+
+namespace rpqd {
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+/// Asserts the post-run distributed invariants on a query result.
+void check_invariants(const QueryResult& result, const std::string& repro) {
+  EXPECT_EQ(result.stats.flow_outstanding, 0u)
+      << "flow-control credit leak; " << repro;
+  EXPECT_EQ(result.stats.flow_emergency, 0u)
+      << "emergency credit taken; " << repro;
+  for (std::size_t g = 0; g < result.stats.rpq.size(); ++g) {
+    const RpqStageStats& r = result.stats.rpq[g];
+    EXPECT_EQ(r.index_duplicate_entries, 0u)
+        << "duplicate reach-index entries in group " << g << "; " << repro;
+    if (r.consensus_max_depth.has_value()) {
+      EXPECT_EQ(*r.consensus_max_depth, r.max_depth_observed)
+          << "consensus depth != max observed depth in group " << g << "; "
+          << repro;
+    } else {
+      // No consensus is only legitimate when the group never entered the
+      // distributed depth protocol: a filter eliminated every start
+      // vertex, or the RPQ is pure 0-hop (matches close at depth 0
+      // without any depth-counter traffic).
+      EXPECT_EQ(r.max_depth_observed, 0u)
+          << "group " << g << " observed depth without consensus; " << repro;
+    }
+  }
+}
+
+struct HarnessConfig {
+  int num_queries = 40;
+  std::vector<std::string> schedules;
+  std::vector<unsigned> machine_counts;
+  bool deep_priority = true;
+  std::uint64_t base_seed = 1;
+};
+
+/// Core sweep: queries x schedules x partition counts vs the oracle.
+void run_differential(const HarnessConfig& hc) {
+  constexpr int kQueriesPerGraph = 8;
+  testgen::QueryGenConfig qcfg;
+  qcfg.num_vertex_labels = 2;
+  qcfg.num_edge_labels = 2;
+  qcfg.conjunction_prob = 0.2;
+
+  Graph oracle_graph;
+  std::vector<std::unique_ptr<Database>> dbs;
+  std::uint64_t gseed = 0;
+  for (int q = 0; q < hc.num_queries; ++q) {
+    if (q % kQueriesPerGraph == 0) {
+      // Fresh graph for every batch; alternate self-loop permission so
+      // both shapes are covered.
+      synthetic::RandomGraphConfig gcfg;
+      gcfg.num_vertices = 24;
+      gcfg.num_edges = 55;
+      gcfg.num_vertex_labels = 2;
+      gcfg.num_edge_labels = 2;
+      gcfg.allow_self_loops = (q / kQueriesPerGraph) % 2 == 1;
+      gseed = hc.base_seed * 1000 + static_cast<std::uint64_t>(q);
+      gcfg.seed = gseed;
+      oracle_graph = synthetic::make_random(gcfg);
+      dbs.clear();
+      for (const unsigned machines : hc.machine_counts) {
+        EngineConfig ec;
+        ec.workers_per_machine = 2;
+        ec.buffers_per_machine = 48;
+        ec.buffer_bytes = 256;
+        ec.deep_message_priority = hc.deep_priority;
+        dbs.push_back(std::make_unique<Database>(
+            synthetic::make_random(gcfg), machines, ec));
+      }
+    }
+    const std::uint64_t qseed =
+        hc.base_seed * 100003 + static_cast<std::uint64_t>(q);
+    Rng rng(qseed);
+    const std::string query = testgen::random_query(rng, qcfg);
+    std::uint64_t expected = 0;
+    try {
+      expected = baseline::reference_evaluate(query, oracle_graph).count;
+    } catch (const UnsupportedError&) {
+      continue;  // oracle limitation, not an engine bug
+    }
+    for (const auto& schedule : hc.schedules) {
+      for (std::size_t d = 0; d < dbs.size(); ++d) {
+        const std::uint64_t fseed = qseed ^ (0x5bf03u * (d + 1));
+        Database& db = *dbs[d];
+        db.set_fault_schedule(schedule, fseed);
+        const std::string repro =
+            "repro: qseed=" + std::to_string(qseed) + " gseed=" +
+            std::to_string(gseed) + " schedule=" + schedule + " fseed=" +
+            std::to_string(fseed) + " machines=" +
+            std::to_string(hc.machine_counts[d]) +
+            (hc.deep_priority ? "" : " fifo") + " query=" + query;
+        if (std::getenv("RPQD_DIFF_TRACE") != nullptr) {
+          fprintf(stderr, "[diff] %s\n", repro.c_str());
+        }
+        const QueryResult result = db.query(query);
+        EXPECT_EQ(result.count, expected) << repro;
+        check_invariants(result, repro);
+      }
+    }
+  }
+}
+
+TEST(DifferentialFault, GeneratedQueriesAgreeUnderAdversarialSchedules) {
+  HarnessConfig hc;
+  hc.num_queries = env_int("RPQD_DIFF_QUERIES", 32);
+  hc.schedules = {"reorder", "dup-storm", "credit-jitter", "chaos"};
+  hc.machine_counts = {2, 3};
+  hc.base_seed = 11;
+  run_differential(hc);
+}
+
+// FIFO-pickup ablation (set_deep_priority(false)): the §3.2 messaging
+// priority is a performance choice, never a correctness one — the full
+// differential harness must agree with the oracle in FIFO mode too.
+TEST(DifferentialFault, FifoPickupAblationAgreesWithOracle) {
+  HarnessConfig hc;
+  hc.num_queries = env_int("RPQD_DIFF_QUERIES", 32) / 2;
+  hc.schedules = {"none", "reorder", "chaos"};
+  hc.machine_counts = {3};
+  hc.deep_priority = false;
+  hc.base_seed = 23;
+  run_differential(hc);
+}
+
+// Acceptance-scale sweep, run under the `tier2-fuzz` ctest label (see
+// tests/CMakeLists.txt) so plain tier-1 ctest stays fast. ASan/TSan
+// builds run it via the tier2-fuzz-* CMake test presets.
+TEST(DifferentialFault, Tier2Exhaustive) {
+  if (std::getenv("RPQD_TIER2_FUZZ") == nullptr) {
+    GTEST_SKIP() << "set RPQD_TIER2_FUZZ=1 (or run ctest -L tier2-fuzz)";
+  }
+  HarnessConfig hc;
+  hc.num_queries = std::max(200, env_int("RPQD_DIFF_QUERIES", 200));
+  hc.schedules = {"none", "reorder", "dup-storm", "credit-jitter",
+                  "slow-machine", "chaos"};
+  hc.machine_counts = {2, 3, 5};
+  hc.base_seed = 31;
+  run_differential(hc);
+}
+
+}  // namespace
+}  // namespace rpqd

@@ -1,108 +1,18 @@
 // Query fuzzing: generate random (valid) PGQL queries over random graphs
 // and require the distributed engine and the reference oracle to agree.
 // This covers planner orderings and quantifier/direction/label
-// combinations no hand-written battery enumerates.
+// combinations no hand-written battery enumerates. The generator lives
+// in query_gen.h, shared with the fault-injection differential harness.
 #include <gtest/gtest.h>
-
-#include <sstream>
 
 #include "api/rpqd.h"
 #include "baseline/reference.h"
 #include "common/rng.h"
 #include "ldbc/synthetic.h"
+#include "query_gen.h"
 
 namespace rpqd {
 namespace {
-
-std::string random_vertex(Rng& rng, int index, unsigned num_labels) {
-  std::ostringstream out;
-  out << "(v" << index;
-  if (rng.next_bool(0.4)) {
-    out << ":L" << rng.next_below(num_labels);
-    if (rng.next_bool(0.2)) out << "|L" << rng.next_below(num_labels);
-  }
-  out << ")";
-  return out.str();
-}
-
-std::string random_quantifier(Rng& rng, bool allow_unbounded) {
-  switch (rng.next_below(allow_unbounded ? 6 : 4)) {
-    case 0: return "?";
-    case 1: {
-      const auto n = rng.next_below(3);
-      return "{" + std::to_string(n) + "}";
-    }
-    case 2:
-    case 3: {
-      const auto n = rng.next_below(3);
-      const auto m = n + rng.next_below(3);
-      return "{" + std::to_string(n) + "," + std::to_string(m) + "}";
-    }
-    case 4: return rng.next_bool(0.5) ? "*" : "+";
-    default: {
-      const auto n = 1 + rng.next_below(2);
-      return "{" + std::to_string(n) + ",}";
-    }
-  }
-}
-
-std::string random_edge(Rng& rng, unsigned num_elabels) {
-  std::ostringstream out;
-  const bool rpq = rng.next_bool(0.6);
-  const unsigned dir = static_cast<unsigned>(rng.next_below(3));
-  std::string label = "e" + std::to_string(rng.next_below(num_elabels));
-  if (rpq && rng.next_bool(0.25)) {
-    label += "|e" + std::to_string(rng.next_below(num_elabels));
-  }
-  if (rpq) {
-    // An *undirected unbounded* RPQ over a dense component is the DFT
-    // worst case the paper's §5 concedes to BFT engines (documented in
-    // DESIGN.md); chaining several would make the fuzz case explode
-    // combinatorially, so undirected segments stay bounded here.
-    const std::string body =
-        ":" + label + random_quantifier(rng, /*allow_unbounded=*/dir != 2);
-    if (dir == 0) out << " -/" << body << "/-> ";
-    if (dir == 1) out << " <-/" << body << "/- ";
-    if (dir == 2) out << " -/" << body << "/- ";
-  } else {
-    const std::string body = "[:" + label + "]";
-    if (dir == 0) out << " -" << body << "-> ";
-    if (dir == 1) out << " <-" << body << "- ";
-    if (dir == 2) out << " -" << body << "- ";
-  }
-  return out.str();
-}
-
-std::string random_query(Rng& rng, unsigned num_vlabels,
-                         unsigned num_elabels) {
-  std::ostringstream out;
-  out << "SELECT COUNT(*) FROM MATCH ";
-  const int hops = 1 + static_cast<int>(rng.next_below(2));
-  out << random_vertex(rng, 0, num_vlabels);
-  for (int i = 0; i < hops; ++i) {
-    out << random_edge(rng, num_elabels) << random_vertex(rng, i + 1,
-                                                          num_vlabels);
-  }
-  // Optional single-variable WHERE conjuncts.
-  std::vector<std::string> conjuncts;
-  for (int v = 0; v <= hops; ++v) {
-    if (rng.next_bool(0.25)) {
-      const char* op = rng.next_bool(0.5) ? "<=" : ">";
-      conjuncts.push_back("v" + std::to_string(v) + ".weight " + op + " " +
-                          std::to_string(rng.next_int(10, 90)));
-    }
-  }
-  if (rng.next_bool(0.2)) {
-    conjuncts.push_back("ID(v0) = " + std::to_string(rng.next_below(30)));
-  }
-  if (!conjuncts.empty()) {
-    out << " WHERE " << conjuncts[0];
-    for (std::size_t i = 1; i < conjuncts.size(); ++i) {
-      out << " AND " << conjuncts[i];
-    }
-  }
-  return out.str();
-}
 
 class FuzzTest : public ::testing::TestWithParam<int> {};
 
@@ -121,9 +31,12 @@ TEST_P(FuzzTest, RandomQueriesAgreeWithOracle) {
   Database db(synthetic::make_random(gcfg),
               1 + static_cast<unsigned>(seed % 5), cfg);
 
+  testgen::QueryGenConfig qcfg;
+  qcfg.num_vertex_labels = 2;
+  qcfg.num_edge_labels = 2;
   Rng rng(seed * 7919 + 13);
   for (int q = 0; q < 12; ++q) {
-    const std::string query = random_query(rng, 2, 2);
+    const std::string query = testgen::random_query(rng, qcfg);
     SCOPED_TRACE(query);
     std::uint64_t expected = 0;
     try {

@@ -172,6 +172,69 @@ TEST(Termination, StaleStatusesIgnored) {
   EXPECT_TRUE(d0.globally_terminated());
 }
 
+// A status broadcast duplicated in flight (dup-storm schedule) carries
+// the same sequence number twice; the duplicate must NOT masquerade as
+// the confirming second wave, or a machine would declare termination
+// after a single genuine report.
+TEST(Termination, DuplicatedStatusIsNotASecondWave) {
+  Network net(2);
+  FaultPlan plan;
+  plan.dup_term_prob = 1.0;  // every status delivered twice
+  net.set_fault_plan(plan);
+  TerminationDetector d0(0, 2, 1, 0);
+  TerminationDetector d1(1, 2, 1, 0);
+  d0.set_idle(true);
+  d1.set_idle(true);
+  d0.maybe_broadcast(net, true);
+  d1.maybe_broadcast(net, true);
+  pump(net, {&d0, &d1});
+  EXPECT_FALSE(d0.globally_terminated());
+  EXPECT_FALSE(d1.globally_terminated());
+  // Genuine second wave (also duplicated): now both converge.
+  d0.maybe_broadcast(net, true);
+  d1.maybe_broadcast(net, true);
+  pump(net, {&d0, &d1});
+  EXPECT_TRUE(d0.globally_terminated());
+  EXPECT_TRUE(d1.globally_terminated());
+}
+
+// Delayed delivery reorders statuses: when waves A,B,C arrive as C,B,A,
+// the stale ones must be dropped, and redelivering the newest (a
+// duplicate) must not fabricate stability.
+TEST(Termination, ReorderedAndReplayedStatusesAreSafe) {
+  Network net(2);
+  TerminationDetector d0(0, 2, 1, 0);
+  TerminationDetector d1(1, 2, 1, 0);
+  d0.set_idle(true);
+  d1.set_idle(true);
+  // d1's history: wave A with an unprocessed send, then processed, then
+  // waves B and C (stable counters).
+  d1.note_sent(0, -1, 0, 1);
+  d1.maybe_broadcast(net, true);  // A: sent=1 processed=0
+  d1.note_processed(0, -1, 0, 1);
+  d1.maybe_broadcast(net, true);  // B: sent=1 processed=1
+  d1.maybe_broadcast(net, true);  // C: identical to B
+  std::vector<Message> captured;
+  while (auto msg = net.inbox(0).try_pop_term()) {
+    captured.push_back(*msg);
+  }
+  ASSERT_EQ(captured.size(), 3u);
+  // Newest-first delivery: only C may be stored; B and A are stale.
+  d0.on_status(captured[2]);
+  d0.on_status(captured[1]);
+  d0.on_status(captured[0]);
+  d0.maybe_broadcast(net, true);
+  d0.maybe_broadcast(net, true);
+  EXPECT_FALSE(d0.globally_terminated());  // one status of d1 != stable
+  // Replaying C must not pair with itself as two identical waves.
+  d0.on_status(captured[2]);
+  EXPECT_FALSE(d0.globally_terminated());
+  // A genuine fresh wave from d1 completes the protocol.
+  d1.maybe_broadcast(net, true);
+  pump(net, {&d0, &d1});
+  EXPECT_TRUE(d0.globally_terminated());
+}
+
 TEST(Termination, BroadcastSkippedWhenUnchangedAndNotForced) {
   Network net(2);
   TerminationDetector d0(0, 2, 1, 0);
