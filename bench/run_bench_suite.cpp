@@ -7,6 +7,12 @@
 // Environment knobs (on top of bench_util.h's RPQD_BENCH_*):
 //   RPQD_BENCH_OUT   output path (default BENCH_RPQD.json in the cwd)
 //
+// Each benchmark row also carries a per-stage breakdown (contexts,
+// contexts/messages/bytes sent, index probes) from one additional
+// PROFILE-enabled execution outside the timed region, so the JSON
+// artifact explains *where* a latency regression happened, not just
+// that it did.
+//
 // The default scale factor here is deliberately small (0.25) so the
 // suite finishes in seconds; override with RPQD_BENCH_SF.
 #include <cstdio>
@@ -23,16 +29,45 @@ struct SuiteRow {
   unsigned machines;
   double median_ms;
   std::uint64_t count;   // result count, as a correctness fingerprint
+  std::string stages;    // per-stage breakdown JSON (profiled run)
 };
+
+/// Compact per-stage array from a profiled run: enough to see where the
+/// work (and any future regression) sits, without the full depth tree.
+std::string stage_breakdown_json(const rpqd::QueryProfile& profile) {
+  std::string out = "[";
+  bool first = true;
+  for (std::size_t s = 0; s < profile.stages.size(); ++s) {
+    const auto& total = profile.stages[s].total;
+    if (!total.any()) continue;
+    if (!first) out += ", ";
+    first = false;
+    char buf[224];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"id\": %zu, \"contexts\": %llu, \"ctx_sent\": %llu, "
+        "\"msgs_sent\": %llu, \"bytes_sent\": %llu, \"index_probes\": %llu}",
+        s, static_cast<unsigned long long>(total.contexts),
+        static_cast<unsigned long long>(total.ctx_sent),
+        static_cast<unsigned long long>(total.msgs_sent),
+        static_cast<unsigned long long>(total.bytes_sent),
+        static_cast<unsigned long long>(total.index_probes));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
 
 void append_json_row(std::string& out, const SuiteRow& row, bool last) {
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 "    {\"id\": \"%s\", \"machines\": %u, "
-                "\"median_ms\": %.3f, \"count\": %llu}%s\n",
+                "\"median_ms\": %.3f, \"count\": %llu, \"stages\": ",
                 row.id.c_str(), row.machines, row.median_ms,
-                static_cast<unsigned long long>(row.count), last ? "" : ",");
+                static_cast<unsigned long long>(row.count));
   out += buf;
+  out += row.stages;
+  out += last ? "}\n" : "},\n";
 }
 
 }  // namespace
@@ -60,8 +95,11 @@ int main() {
     for (const auto& wq : workload) texts.push_back(wq.pgql);
     const auto rr = round_robin(db, texts, repeats);
     for (std::size_t q = 0; q < workload.size(); ++q) {
+      // One profiled execution outside the timed region per query.
+      const QueryResult profiled = db.query("PROFILE " + texts[q]);
       rows.push_back({"fig2/" + workload[q].id, 4, rr.median_latency_ms[q],
-                      rr.last_result[q].count});
+                      rr.last_result[q].count,
+                      stage_breakdown_json(profiled.profile)});
       std::printf("  %-12s %10.2f ms  (count=%llu)\n",
                   workload[q].id.c_str(), rr.median_latency_ms[q],
                   static_cast<unsigned long long>(rr.last_result[q].count));
@@ -75,7 +113,9 @@ int main() {
         "SELECT COUNT(*) FROM MATCH (post:Post) <-/:replyOf*/- (m)";
     QueryResult result;
     const double ms = median_ms([&] { result = db.query(q9); }, repeats);
-    rows.push_back({"table2/Q9", 8, ms, result.count});
+    const QueryResult profiled = db.query("PROFILE " + q9);
+    rows.push_back({"table2/Q9", 8, ms, result.count,
+                    stage_breakdown_json(profiled.profile)});
     std::printf("  %-12s %10.2f ms  (count=%llu)\n", "table2/Q9", ms,
                 static_cast<unsigned long long>(result.count));
   }
@@ -88,7 +128,9 @@ int main() {
         "WHERE p1.id = 7";
     QueryResult result;
     const double ms = median_ms([&] { result = db.query(q10); }, repeats);
-    rows.push_back({"table3/Q10", 8, ms, result.count});
+    const QueryResult profiled = db.query("PROFILE " + q10);
+    rows.push_back({"table3/Q10", 8, ms, result.count,
+                    stage_breakdown_json(profiled.profile)});
     std::printf("  %-12s %10.2f ms  (count=%llu)\n", "table3/Q10", ms,
                 static_cast<unsigned long long>(result.count));
   }

@@ -31,7 +31,10 @@ class Database {
   explicit Database(Graph graph, unsigned num_machines = 4,
                     EngineConfig config = {});
 
-  /// Parses, plans, and executes a PGQL query.
+  /// Parses, plans, and executes a PGQL query. A case-insensitive
+  /// `PROFILE ` prefix enables the per-query tracing layer for that query
+  /// only: the result's `profile` tree carries per-(stage, machine,
+  /// depth) accounting (see runtime/profile.h).
   QueryResult query(std::string_view pgql);
 
   /// Parses and plans once; the returned PreparedQuery executes

@@ -82,6 +82,17 @@ struct EngineConfig {
   /// Cap on queued shared tasks per machine (bounds their memory).
   unsigned adfs_queue_limit = 256;
 
+  /// Per-query profiling (runtime/profile.h): collects the
+  /// per-(stage, machine, depth) QueryProfile tree alongside results.
+  /// Off by default; the disabled mode costs one predictable branch per
+  /// hook and performs zero profile allocations (asserted by tests).
+  /// A `PROFILE `-prefixed PGQL query enables it for that query only.
+  bool profile = false;
+
+  /// Depth rows preallocated per (worker, stage) profile slot; depths
+  /// beyond it grow geometrically (a counted, off-hot-path allocation).
+  Depth profile_preallocated_depths = 64;
+
   /// Deterministic seed for any randomized tie-breaking.
   std::uint64_t seed = 42;
 

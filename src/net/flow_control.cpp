@@ -180,6 +180,15 @@ FlowControlStats FlowControl::stats() const {
   return s;
 }
 
+std::uint64_t FlowControl::overflow_outstanding() const {
+  std::uint64_t out = 0;
+  std::lock_guard lock(mutex_);
+  for (const auto& pool : pools_)
+    for (const auto& set : pool.overflow_out)
+      out += static_cast<std::uint64_t>(set.size());
+  return out;
+}
+
 std::uint64_t FlowControl::outstanding() const {
   // Credits in flight = initial allowance minus current level, summed
   // over every slot, plus overflow/emergency credits. Meaningful at

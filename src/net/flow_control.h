@@ -72,6 +72,12 @@ class FlowControl {
   /// Total credits currently outstanding (for leak checks in tests).
   std::uint64_t outstanding() const;
 
+  /// Overflow credits currently in flight (sum of the per-destination
+  /// in-use depth sets). Must be zero once a query finishes — every
+  /// overflow grant is matched by a DONE before termination can fire —
+  /// so tests audit this after each run, including aborted/faulted ones.
+  std::uint64_t overflow_outstanding() const;
+
  private:
   struct StagePool {
     bool is_rpq = false;

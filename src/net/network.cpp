@@ -26,6 +26,22 @@ void NetStats::note_dequeued(std::uint64_t delta_sub) {
   engine_check(prev >= delta_sub, "queued_bytes underflow on dequeue");
 }
 
+void Inbox::account_queued(std::uint64_t bytes, NetStats& stats) {
+  stats.note_queued(bytes);
+  const auto now =
+      queued_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  auto peak = peak_queued_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_queued_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void Inbox::account_dequeued(std::uint64_t bytes, NetStats& stats) {
+  stats.note_dequeued(bytes);
+  const auto prev = queued_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  engine_check(prev >= bytes, "inbox queued_bytes underflow on dequeue");
+}
+
 void Inbox::configure_faults(const FaultPlan& plan, MachineId self) {
   plan_ = plan;
   self_ = self;
@@ -79,7 +95,7 @@ bool Inbox::fault_dedup_or_delay(Message& msg, NetStats& stats) {
     stats.contexts.fetch_add(msg.header.count, std::memory_order_relaxed);
     const auto bytes = static_cast<std::uint64_t>(msg.payload.size());
     stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
-    stats.note_queued(bytes);
+    account_queued(bytes, stats);
     ++limbo_data_;
   }
   const std::uint64_t ticks =
@@ -154,7 +170,7 @@ void Inbox::push(Message msg, NetStats& stats) {
       stats.contexts.fetch_add(msg.header.count, std::memory_order_relaxed);
       const auto bytes = static_cast<std::uint64_t>(msg.payload.size());
       stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
-      stats.note_queued(bytes);
+      account_queued(bytes, stats);
       heap_insert(std::move(msg));
       return;
     }
@@ -178,7 +194,7 @@ void Inbox::push(Message msg, NetStats& stats) {
       stats.contexts.fetch_add(msg.header.count, std::memory_order_relaxed);
       const auto bytes = static_cast<std::uint64_t>(msg.payload.size());
       stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
-      stats.note_queued(bytes);
+      account_queued(bytes, stats);
       std::lock_guard lock(mutex_);
       heap_insert(std::move(msg));
       return;
@@ -197,7 +213,7 @@ std::optional<Message> Inbox::try_pop_data(NetStats& stats) {
   Message msg = std::move(heap_.back().msg);
   heap_.pop_back();
   lock.unlock();
-  stats.note_dequeued(msg.payload.size());
+  account_dequeued(msg.payload.size(), stats);
   return msg;
 }
 

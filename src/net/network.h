@@ -41,6 +41,11 @@ struct NetStats {
   std::atomic<std::uint64_t> term_messages{0};
   std::atomic<std::uint64_t> bytes{0};
   std::atomic<std::uint64_t> contexts{0};
+  // Cluster-wide buffered-byte accounting: `queued_bytes` sums every
+  // inbox, so `peak_queued_bytes` is the peak of the *sum* — the
+  // cluster's aggregate memory high-water mark. The per-machine peak
+  // (the paper's per-machine buffer-memory metric) lives on each Inbox;
+  // Network::max_peak_queued_bytes() takes the max across machines.
   std::atomic<std::uint64_t> queued_bytes{0};  // currently buffered
   std::atomic<std::uint64_t> peak_queued_bytes{0};
   // Fault-injection accounting (all zero without an active FaultPlan).
@@ -80,6 +85,18 @@ class Inbox {
   bool has_data() const;
   std::size_t data_size() const;
 
+  /// This machine's buffered-byte high-water mark. Per-query by
+  /// construction (the engine builds a fresh Network per run); the
+  /// engine reports the max across machines, not the peak of the
+  /// cluster-wide sum (two machines peaking at different times must not
+  /// be added together).
+  std::uint64_t peak_queued_bytes() const {
+    return peak_queued_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t queued_bytes() const {
+    return queued_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Post-run: force-deliver everything still in limbo (delayed DONEs
   /// release their credits; delayed data would be a termination-protocol
   /// violation and throws). The engine calls this after workers join so
@@ -116,7 +133,13 @@ class Inbox {
   void fault_tick(NetStats& stats);  // advance clock, release due limbo
   void heap_insert(Message msg);
   void deliver_done(const Message& msg);  // lock-free (flow control only)
+  // Buffered-byte accounting: updates this inbox's local counters and
+  // the cluster-wide NetStats sum together.
+  void account_queued(std::uint64_t bytes, NetStats& stats);
+  void account_dequeued(std::uint64_t bytes, NetStats& stats);
 
+  std::atomic<std::uint64_t> queued_bytes_{0};
+  std::atomic<std::uint64_t> peak_queued_bytes_{0};
   mutable std::mutex mutex_;
   std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
@@ -155,6 +178,17 @@ class Network {
   Inbox& inbox(MachineId m) { return inboxes_[m]; }
   NetStats& stats() { return stats_; }
   const NetStats& stats() const { return stats_; }
+
+  /// Max over machines of each machine's buffered-byte peak — the
+  /// per-machine memory high-water mark the paper's §4.2 discussion is
+  /// about (NOT the peak of the cluster-wide sum).
+  std::uint64_t max_peak_queued_bytes() const {
+    std::uint64_t peak = 0;
+    for (const auto& inbox : inboxes_) {
+      peak = std::max(peak, inbox.peak_queued_bytes());
+    }
+    return peak;
+  }
 
  private:
   std::vector<Inbox> inboxes_;

@@ -1,6 +1,7 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
+#include <cctype>
 #include <optional>
 #include <thread>
 
@@ -18,10 +19,37 @@ DistributedEngine::DistributedEngine(
   config_.num_machines = graph_->num_machines();
 }
 
+namespace {
+
+/// Strips an optional leading case-insensitive `PROFILE` token (followed
+/// by whitespace) off the query text; returns whether it was present.
+bool strip_profile_prefix(std::string_view& pgql) {
+  std::string_view text = pgql;
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  constexpr std::string_view kToken = "PROFILE";
+  if (text.size() <= kToken.size()) return false;
+  for (std::size_t i = 0; i < kToken.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) != kToken[i]) {
+      return false;
+    }
+  }
+  if (!std::isspace(static_cast<unsigned char>(text[kToken.size()]))) {
+    return false;
+  }
+  pgql = text.substr(kToken.size());
+  return true;
+}
+
+}  // namespace
+
 QueryResult DistributedEngine::execute(std::string_view pgql) {
+  const bool profile = strip_profile_prefix(pgql) || config_.profile;
   const pgql::Query query = pgql::parse(pgql);
   const ExecPlan plan = plan_query(query, graph_->catalog());
-  return execute_plan(plan);
+  return run_plan(plan, profile);
 }
 
 std::string DistributedEngine::explain(std::string_view pgql) const {
@@ -31,27 +59,37 @@ std::string DistributedEngine::explain(std::string_view pgql) const {
 }
 
 QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
+  return run_plan(plan, config_.profile);
+}
+
+QueryResult DistributedEngine::run_plan(const ExecPlan& plan, bool profile) {
   const unsigned num_machines = graph_->num_machines();
   Stopwatch timer;
+
+  // Per-query effective config: the PROFILE prefix (or a prepared query
+  // on an engine whose profile flag changed) must not mutate the engine's
+  // shared configuration under concurrent executions.
+  EngineConfig cfg = config_;
+  cfg.profile = profile;
 
   Network net(num_machines);
   // Sender-side fault injection (sequence stamping, duplication); each
   // MachineRuntime arms its own inbox's receiver side on construction.
-  net.set_fault_plan(config_.fault_plan);
+  net.set_fault_plan(cfg.fault_plan);
   std::vector<std::unique_ptr<MachineRuntime>> machines;
   machines.reserve(num_machines);
   for (unsigned m = 0; m < num_machines; ++m) {
     machines.push_back(std::make_unique<MachineRuntime>(
-        static_cast<MachineId>(m), &graph_->partition(m), &plan, &config_,
+        static_cast<MachineId>(m), &graph_->partition(m), &plan, &cfg,
         &net));
   }
 
   {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(num_machines) *
-                    config_.workers_per_machine);
+                    cfg.workers_per_machine);
     for (unsigned m = 0; m < num_machines; ++m) {
-      for (unsigned w = 0; w < config_.workers_per_machine; ++w) {
+      for (unsigned w = 0; w < cfg.workers_per_machine; ++w) {
         threads.emplace_back(
             [&machines, m, w] { machines[m]->worker_main(w); });
       }
@@ -110,7 +148,10 @@ QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
   stats.term_messages = net.stats().term_messages.load();
   stats.bytes_sent = net.stats().bytes.load();
   stats.contexts_sent = net.stats().contexts.load();
-  stats.peak_queued_bytes = net.stats().peak_queued_bytes.load();
+  // Per-machine high-water mark: max over the machines' own peaks, not
+  // the peak of the cluster-wide sum (NetStats.peak_queued_bytes) —
+  // machines peaking at different times must not be added together.
+  stats.peak_queued_bytes = net.max_peak_queued_bytes();
   stats.faults_delayed = net.stats().faults_delayed.load();
   stats.faults_duplicated = net.stats().faults_duplicated.load();
   stats.faults_dup_dropped = net.stats().faults_dup_dropped.load();
@@ -123,6 +164,7 @@ QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
     stats.flow_overflow_used += fc.overflow_used;
     stats.flow_emergency += fc.emergency_used;
     stats.flow_outstanding += machine->flow().outstanding();
+    stats.flow_overflow_outstanding += machine->flow().overflow_outstanding();
     stats.adfs_shared_tasks += machine->shared_task_count();
   }
   stats.rpq.resize(plan.num_rpq_indexes);
@@ -157,6 +199,20 @@ QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
       row.remote_out += sent;
       row.remote_in += processed;
     }
+  }
+  // Profile tree: merge every machine's worker slots post-join, then
+  // compute the per-node totals bottom-up.
+  result.profile.enabled = profile;
+  if (profile) {
+    QueryProfile& prof = result.profile;
+    prof.stages.resize(plan.stages.size());
+    for (StageId s = 0; s < plan.num_stages(); ++s) {
+      prof.stages[s].note = plan.stages[s].note;
+      prof.stages[s].machines.resize(num_machines);
+    }
+    prof.machines.resize(num_machines);
+    for (auto& machine : machines) machine->merge_profile(prof);
+    prof.finish();
   }
   return result;
 }

@@ -11,6 +11,7 @@
 #include "common/config.h"
 #include "graph/partition.h"
 #include "plan/plan.h"
+#include "runtime/profile.h"
 #include "runtime/stats.h"
 
 namespace rpqd {
@@ -20,6 +21,9 @@ struct QueryResult {
   std::vector<std::string> columns;
   std::vector<std::vector<std::string>> rows;  // rendered projections
   RuntimeStats stats;
+  /// Per-(stage, machine, depth) tracing tree; `enabled` only when the
+  /// query ran with `EngineConfig.profile` or a `PROFILE ` prefix.
+  QueryProfile profile;
   std::string explain;
 };
 
@@ -46,7 +50,9 @@ class DistributedEngine {
   DistributedEngine(std::shared_ptr<const PartitionedGraph> graph,
                     EngineConfig config);
 
-  /// Parses, plans, and executes a PGQL query.
+  /// Parses, plans, and executes a PGQL query. A case-insensitive
+  /// `PROFILE ` prefix enables per-query profiling for this query only
+  /// (the result's QueryProfile tree is populated).
   QueryResult execute(std::string_view pgql);
 
   /// Parses and plans once; the returned query executes repeatedly.
@@ -63,6 +69,8 @@ class DistributedEngine {
   const PartitionedGraph& graph() const { return *graph_; }
 
  private:
+  QueryResult run_plan(const ExecPlan& plan, bool profile);
+
   std::shared_ptr<const PartitionedGraph> graph_;
   EngineConfig config_;
 };

@@ -73,6 +73,14 @@ MachineRuntime::MachineRuntime(MachineId id, const Partition* partition,
     worker->eliminated.resize(plan->num_rpq_indexes);
     worker->duplicated.resize(plan->num_rpq_indexes);
     worker->stage_visits.assign(plan->stages.size(), 0);
+    if (config->profile) {
+      // Preallocate the profiling slot now, before the query's hot path;
+      // with profiling off `prof` stays null and every hook is a single
+      // never-taken branch.
+      worker->prof = std::make_unique<WorkerProfile>(
+          static_cast<unsigned>(plan->stages.size()),
+          config->profile_preallocated_depths);
+    }
     workers_.push_back(std::move(worker));
   }
 }
@@ -159,6 +167,15 @@ bool MachineRuntime::enter_stage(Worker& w, RunState& rs, StageId stage,
       if (config_->use_reachability_index) {
         outcome = indexes_[static_cast<unsigned>(group)]->check_and_update(
             lv, rpid, depth);
+        if (w.prof) {
+          ProfileDepthRow& row = w.prof->row(stage, depth);
+          ++row.index_probes;
+          switch (outcome) {
+            case ReachOutcome::kNew: ++row.index_new; break;
+            case ReachOutcome::kDuplicated: ++row.index_duplicated; break;
+            case ReachOutcome::kEliminated: ++row.index_eliminated; break;
+          }
+        }
       } else if (config_->max_exploration_depth != kUnboundedDepth &&
                  depth >= config_->max_exploration_depth) {
         outcome = ReachOutcome::kEliminated;  // safety cap without index
@@ -216,6 +233,7 @@ bool MachineRuntime::enter_stage(Worker& w, RunState& rs, StageId stage,
     f.saved_base = static_cast<std::uint32_t>(rs.saved.size());
     f.saved_count = 0;
     ++w.stage_visits[stage];
+    if (w.prof) ++w.prof->row(stage, depth).contexts;
     detector_.frame_pushed(stage, group, depth);
     stack.push_back(f);
     return true;
@@ -237,6 +255,7 @@ bool MachineRuntime::enter_stage(Worker& w, RunState& rs, StageId stage,
   f.saved_count = static_cast<std::uint32_t>(sp.actions.size());
   apply_actions(sp, lv, slots);
   ++w.stage_visits[stage];
+  if (w.prof) ++w.prof->row(stage, depth).contexts;
   detector_.frame_pushed(stage, group_of(stage), depth);
   stack.push_back(f);
   return true;
@@ -529,10 +548,11 @@ void MachineRuntime::send_remote(Worker& w, StageId stage, VertexId vertex,
   encode_context(writer, buf.codec, vertex, rpid, slots);
   ++buf.count;
   detector_.note_sent(stage, group_of(stage), depth, 1);
+  if (w.prof) ++w.prof->row(stage, depth).ctx_sent;
   if (buf.payload.size() >= config_->buffer_bytes) {
     OutBuffer full = std::move(buf);
     w.out.erase(it);
-    flush_buffer(std::move(full));
+    flush_buffer(w, std::move(full));
   }
 }
 
@@ -570,7 +590,12 @@ bool MachineRuntime::try_share_local(Worker& w, StageId stage,
   return true;
 }
 
-void MachineRuntime::flush_buffer(OutBuffer&& buf) {
+void MachineRuntime::flush_buffer(Worker& w, OutBuffer&& buf) {
+  if (w.prof) {
+    ProfileDepthRow& row = w.prof->row(buf.stage, buf.depth);
+    ++row.msgs_sent;
+    row.bytes_sent += buf.payload.size();
+  }
   Message msg;
   msg.header.type = MessageType::kData;
   msg.header.src = id_;
@@ -592,18 +617,25 @@ void MachineRuntime::flush_all(Worker& w) {
     pending.push_back(std::move(buf));
   }
   w.out.clear();
-  for (auto& buf : pending) flush_buffer(std::move(buf));
+  for (auto& buf : pending) flush_buffer(w, std::move(buf));
 }
 
 CreditClass MachineRuntime::acquire_credit_blocking(Worker& w, MachineId dest,
                                                     StageId stage,
                                                     Depth depth) {
   std::optional<Stopwatch> starved;
+  // Profiling: time from the first failed try_acquire to the eventual
+  // grant (nested pickup work included — that is the paper's "worker
+  // diverted by flow control" interval), attributed to the credit class
+  // that resolved the stall. Never constructed with profiling off.
+  std::optional<Stopwatch> stall;
   unsigned backoff = 0;
   while (true) {
     if (const auto credit = flow_->try_acquire(dest, stage, depth)) {
+      if (w.prof && stall) w.prof->note_stall(*credit, stall->elapsed_ms());
       return *credit;
     }
+    if (w.prof && !stall) stall.emplace();
     // Pickup rule (iii): when flow control prevents sending, process
     // incoming messages (bounded nesting).
     if (w.nesting < config_->max_pickup_nesting) {
@@ -640,6 +672,9 @@ CreditClass MachineRuntime::acquire_credit_blocking(Worker& w, MachineId dest,
     } else if (starved->elapsed_seconds() > 5.0) {
       RPQD_WARN << "machine " << static_cast<int>(id_)
                 << ": emergency flow-control credit for stage " << stage;
+      if (w.prof && stall) {
+        w.prof->note_stall(CreditClass::kEmergency, stall->elapsed_ms());
+      }
       return flow_->acquire_emergency();
     }
   }
@@ -660,6 +695,11 @@ void MachineRuntime::process_message(Worker& w, Message msg) {
     std::uint64_t rpid;
     std::vector<Value> slots;
   };
+  if (w.prof) {
+    ProfileDepthRow& row = w.prof->row(stage, msg.header.depth);
+    ++row.msgs_received;
+    row.ctx_received += msg.header.count;
+  }
   std::vector<Decoded> contexts(msg.header.count);
   BinaryReader reader(msg.payload);
   ContextCodecState codec;  // fresh per message, mirroring the sender
@@ -806,6 +846,21 @@ std::uint64_t MachineRuntime::stage_visits(StageId stage) const {
   std::uint64_t total = 0;
   for (const auto& w : workers_) total += w->stage_visits[stage];
   return total;
+}
+
+void MachineRuntime::merge_profile(QueryProfile& out) const {
+  if (!config_->profile) return;
+  for (const auto& w : workers_) {
+    if (w->prof) w->prof->merge_into(id_, out);
+  }
+  ProfileMachineSummary& sum = out.machines[id_];
+  const FlowControlStats fs = flow_->stats();
+  sum.credit_fast_path += fs.fast_path;
+  sum.credit_shared += fs.shared_used;
+  sum.credit_overflow += fs.overflow_used;
+  sum.credit_emergency += fs.emergency_used;
+  sum.credit_blocked += fs.blocked;
+  sum.term_rounds += detector_.broadcast_rounds();
 }
 
 RpqStageStats MachineRuntime::rpq_stats(unsigned group) const {

@@ -32,6 +32,7 @@
 #include "rpq/reach_index.h"
 #include "runtime/aggregate.h"
 #include "runtime/context.h"
+#include "runtime/profile.h"
 #include "runtime/stats.h"
 #include "runtime/termination.h"
 
@@ -62,6 +63,10 @@ class MachineRuntime {
   const ReachabilityIndex& index(unsigned group) const {
     return *indexes_[group];
   }
+  /// Merges this machine's worker profile slots, credit accounting, and
+  /// termination rounds into the query tree. No-op unless the config had
+  /// profiling on. Called once by the engine, after workers join.
+  void merge_profile(QueryProfile& out) const;
 
  private:
   struct Frame {
@@ -119,6 +124,10 @@ class MachineRuntime {
     std::vector<std::vector<std::string>> result_rows;
     std::vector<std::uint64_t> stage_visits;  // frames entered per stage
     AggMap agg_rows;  // partial GROUP BY aggregates
+    // Profiling slot; null unless the query runs with profiling enabled.
+    // `prof == nullptr` is the single branch every disabled-mode hook
+    // pays (see runtime/profile.h).
+    std::unique_ptr<WorkerProfile> prof;
   };
 
   // ---- execution ----
@@ -138,7 +147,7 @@ class MachineRuntime {
   // ---- messaging ----
   void send_remote(Worker& w, StageId stage, VertexId vertex, Depth depth,
                    std::uint64_t rpid, const std::vector<Value>& slots);
-  void flush_buffer(OutBuffer&& buf);
+  void flush_buffer(Worker& w, OutBuffer&& buf);
   void flush_all(Worker& w);
   CreditClass acquire_credit_blocking(Worker& w, MachineId dest, StageId stage,
                                       Depth depth);

@@ -60,6 +60,9 @@ struct RuntimeStats {
   std::uint64_t term_messages = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t contexts_sent = 0;
+  /// Max over machines of each machine's buffered-byte high-water mark —
+  /// a per-machine memory metric. NOT the peak of the cluster-wide sum
+  /// (machines peaking at different times must not be added together).
   std::uint64_t peak_queued_bytes = 0;
   // Flow control (§3.3 / §4.2).
   std::uint64_t flow_fast_path = 0;  // credits granted without a lock
@@ -70,6 +73,11 @@ struct RuntimeStats {
   /// Credits still outstanding after the run drained — a leak detector;
   /// always 0 on a healthy run (asserted by the differential harness).
   std::uint64_t flow_outstanding = 0;
+  /// Overflow credits still marked in-flight after the run (subset of
+  /// flow_outstanding with its own bookkeeping path; audited separately
+  /// because a stale overflow_out entry blocks that depth forever on the
+  /// next acquire even when the credit counters balance).
+  std::uint64_t flow_overflow_outstanding = 0;
   // Fault injection (common/fault.h); all 0 without an active plan.
   std::uint64_t faults_delayed = 0;
   std::uint64_t faults_duplicated = 0;

@@ -155,6 +155,7 @@ void TerminationDetector::maybe_broadcast(Network& net, bool force) {
     last_broadcast_ = status;
     broadcast_valid_ = true;
   }
+  broadcast_rounds_.fetch_add(1, std::memory_order_relaxed);
   // Record our own status as if received (uniform decision input).
   store_status(self_, status);
   const auto payload = serialize_status(status);

@@ -84,6 +84,13 @@ class TerminationDetector {
             stage_processed_[stage].load(std::memory_order_relaxed)};
   }
 
+  /// Status broadcasts this machine actually sent (suppressed no-change
+  /// rounds excluded) — the §3.4 protocol-chatter metric the profiler
+  /// reports as term_rounds.
+  std::uint64_t broadcast_rounds() const {
+    return broadcast_rounds_.load(std::memory_order_relaxed);
+  }
+
  private:
   TermStatus build_status() const;
   void store_status(MachineId machine, TermStatus status);
@@ -109,6 +116,7 @@ class TerminationDetector {
   TermStatus last_broadcast_;
   bool broadcast_valid_ = false;
   std::uint64_t seq_ = 0;
+  std::atomic<std::uint64_t> broadcast_rounds_{0};
 };
 
 }  // namespace rpqd

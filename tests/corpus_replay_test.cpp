@@ -126,12 +126,30 @@ TEST(CorpusReplay, AllEntriesAgreeWithOracleAndHoldInvariants) {
     ec.workers_per_machine = 2;
     ec.buffers_per_machine = 48;
     ec.buffer_bytes = 256;
+    ec.profile = true;  // replay with tracing on: reconciliation below
     Database db(make_graph(e.graph_spec), e.machines, ec);
     db.set_fault_schedule(e.schedule, e.fault_seed);
     const QueryResult result = db.query(e.query);
     EXPECT_EQ(result.count, expected);
     EXPECT_EQ(result.stats.flow_outstanding, 0u);
+    EXPECT_EQ(result.stats.flow_overflow_outstanding, 0u);
     EXPECT_EQ(result.stats.flow_emergency, 0u);
+    // Profile totals must reconcile exactly with the fabric counters on
+    // every replayed fault schedule.
+    ASSERT_TRUE(result.profile.enabled);
+    EXPECT_EQ(result.profile.total_ctx_sent(), result.stats.contexts_sent);
+    EXPECT_EQ(result.profile.total_ctx_received(),
+              result.stats.contexts_sent);
+    EXPECT_EQ(result.profile.total_msgs_sent(), result.stats.data_messages);
+    EXPECT_EQ(result.profile.total_msgs_received(),
+              result.stats.data_messages);
+    EXPECT_EQ(result.profile.total_bytes_sent(), result.stats.bytes_sent);
+    for (StageId s = 0; s < result.stats.stages.size(); ++s) {
+      EXPECT_EQ(result.profile.stage_contexts(s),
+                result.stats.stages[s].visits);
+      EXPECT_EQ(result.profile.stage_ctx_sent(s),
+                result.stats.stages[s].remote_out);
+    }
     for (const auto& r : result.stats.rpq) {
       EXPECT_EQ(r.index_duplicate_entries, 0u);
       if (r.consensus_max_depth) {

@@ -7,8 +7,12 @@
 // of the brute-force reference oracle and (b) uphold the engine's
 // distributed invariants:
 //   - all flow-control credits returned (no leak, no emergency credit),
+//     and the overflow bookkeeping sets fully emptied,
 //   - the §3.4 termination consensus depth equals the max observed depth,
-//   - the §3.5 reachability index contains no duplicate (dst, rpid) key.
+//   - the §3.5 reachability index contains no duplicate (dst, rpid) key,
+//   - the per-query profile tree reconciles exactly with RuntimeStats
+//     (every run executes with profiling on, so the tracing layer itself
+//     is fuzzed under the same adversarial schedules).
 //
 // Every failure message carries a one-line replay key (query seed, graph
 // seed, schedule name, fault seed, machine count) from which the exact
@@ -42,8 +46,34 @@ int env_int(const char* name, int fallback) {
 void check_invariants(const QueryResult& result, const std::string& repro) {
   EXPECT_EQ(result.stats.flow_outstanding, 0u)
       << "flow-control credit leak; " << repro;
+  EXPECT_EQ(result.stats.flow_overflow_outstanding, 0u)
+      << "stale overflow credit bookkeeping; " << repro;
   EXPECT_EQ(result.stats.flow_emergency, 0u)
       << "emergency credit taken; " << repro;
+  if (result.profile.enabled) {
+    // Profile/stats reconciliation: the tree's leaves must sum exactly
+    // to the fabric counters, under every fault schedule — dropped or
+    // double-counted attributions show up here.
+    const QueryProfile& p = result.profile;
+    EXPECT_EQ(p.total_ctx_sent(), result.stats.contexts_sent)
+        << "profile ctx_sent != contexts_sent; " << repro;
+    EXPECT_EQ(p.total_ctx_received(), result.stats.contexts_sent)
+        << "profile ctx_received != contexts_sent; " << repro;
+    EXPECT_EQ(p.total_msgs_sent(), result.stats.data_messages)
+        << "profile msgs_sent != data_messages; " << repro;
+    EXPECT_EQ(p.total_msgs_received(), result.stats.data_messages)
+        << "profile msgs_received != data_messages; " << repro;
+    EXPECT_EQ(p.total_bytes_sent(), result.stats.bytes_sent)
+        << "profile bytes_sent != bytes_sent; " << repro;
+    for (StageId s = 0; s < result.stats.stages.size(); ++s) {
+      EXPECT_EQ(p.stage_contexts(s), result.stats.stages[s].visits)
+          << "profile contexts != stage visits at stage "
+          << static_cast<unsigned>(s) << "; " << repro;
+      EXPECT_EQ(p.stage_ctx_sent(s), result.stats.stages[s].remote_out)
+          << "profile ctx_sent != stage remote_out at stage "
+          << static_cast<unsigned>(s) << "; " << repro;
+    }
+  }
   for (std::size_t g = 0; g < result.stats.rpq.size(); ++g) {
     const RpqStageStats& r = result.stats.rpq[g];
     EXPECT_EQ(r.index_duplicate_entries, 0u)
@@ -102,6 +132,9 @@ void run_differential(const HarnessConfig& hc) {
         ec.buffers_per_machine = 48;
         ec.buffer_bytes = 256;
         ec.deep_message_priority = hc.deep_priority;
+        // Fuzz the tracing layer too: every differential run profiles,
+        // and check_invariants reconciles the tree against the stats.
+        ec.profile = true;
         dbs.push_back(std::make_unique<Database>(
             synthetic::make_random(gcfg), machines, ec));
       }

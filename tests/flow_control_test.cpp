@@ -128,6 +128,27 @@ TEST(FlowControl, BlockedCounterAccumulates) {
   EXPECT_EQ(fc.stats().blocked, 10u);
 }
 
+TEST(FlowControl, OverflowOutstandingTracksInFlightDepths) {
+  FlowControl fc(small_config(), 1, {true});
+  EXPECT_EQ(fc.overflow_outstanding(), 0u);
+  EXPECT_EQ(*fc.try_acquire(0, 0, 7), CreditClass::kRpqShared);
+  EXPECT_EQ(*fc.try_acquire(0, 0, 7), CreditClass::kRpqShared);
+  EXPECT_EQ(fc.overflow_outstanding(), 0u);  // shared grants don't count
+  EXPECT_EQ(*fc.try_acquire(0, 0, 7), CreditClass::kRpqOverflow);
+  EXPECT_EQ(*fc.try_acquire(0, 0, 8), CreditClass::kRpqOverflow);
+  EXPECT_EQ(fc.overflow_outstanding(), 2u);
+  fc.release(0, 0, 7, CreditClass::kRpqOverflow);
+  EXPECT_EQ(fc.overflow_outstanding(), 1u);
+  fc.release(0, 0, 8, CreditClass::kRpqOverflow);
+  EXPECT_EQ(fc.overflow_outstanding(), 0u);
+  // Releasing the shared credits never touches the overflow books, and
+  // the books stay empty once everything is returned.
+  fc.release(0, 0, 7, CreditClass::kRpqShared);
+  fc.release(0, 0, 7, CreditClass::kRpqShared);
+  EXPECT_EQ(fc.overflow_outstanding(), 0u);
+  EXPECT_EQ(fc.outstanding(), 0u);
+}
+
 TEST(FlowControl, FastPathCountsLockFreeGrants) {
   // Dedicated and shared grants never take the mutex; only the overflow
   // grant goes through the slow path.

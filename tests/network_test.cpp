@@ -111,6 +111,35 @@ TEST(Network, PeakQueuedBytesHighWaterMark) {
   EXPECT_EQ(net.stats().peak_queued_bytes.load(), 300u);  // peak sticks
 }
 
+TEST(Network, PerMachinePeakIsMaxNotSum) {
+  Network net(2);
+  // Both machines hold bytes simultaneously: the cluster-wide sum peaks
+  // at 300, but no single machine ever buffers more than 200 — the
+  // per-machine memory metric must report 200, not 300.
+  net.send(0, data_message(1, 1, 0, 1, 100));
+  net.send(1, data_message(0, 1, 0, 1, 200));
+  EXPECT_EQ(net.stats().peak_queued_bytes.load(), 300u);  // aggregate sum
+  EXPECT_EQ(net.inbox(0).peak_queued_bytes(), 100u);
+  EXPECT_EQ(net.inbox(1).peak_queued_bytes(), 200u);
+  EXPECT_EQ(net.max_peak_queued_bytes(), 200u);
+}
+
+TEST(Network, PerMachinePeaksAtDifferentTimes) {
+  Network net(2);
+  // Machine 0 peaks at 300 and fully drains before machine 1 receives
+  // anything: the true max across machines is 300, and the two peaks
+  // must not be added together (that would report 420).
+  net.send(0, data_message(1, 1, 0, 1, 300));
+  EXPECT_TRUE(net.inbox(0).try_pop_data(net.stats()).has_value());
+  net.send(1, data_message(0, 1, 0, 1, 120));
+  EXPECT_TRUE(net.inbox(1).try_pop_data(net.stats()).has_value());
+  EXPECT_EQ(net.inbox(0).peak_queued_bytes(), 300u);
+  EXPECT_EQ(net.inbox(1).peak_queued_bytes(), 120u);
+  EXPECT_EQ(net.inbox(0).queued_bytes(), 0u);
+  EXPECT_EQ(net.inbox(1).queued_bytes(), 0u);
+  EXPECT_EQ(net.max_peak_queued_bytes(), 300u);
+}
+
 TEST(Network, SendToUnknownMachineThrows) {
   Network net(2);
   EXPECT_THROW(net.send(5, data_message(0, 0, 0)), EngineError);
@@ -141,6 +170,10 @@ TEST(Fault, DelayedDataStaysInvisibleUntilItsReleaseTick) {
   EXPECT_EQ(msg->header.count, 2u);
   EXPECT_FALSE(inbox.has_data());
   EXPECT_EQ(net.stats().queued_bytes.load(), 0u);
+  // Limbo bytes belong to the receiving machine from arrival on: the
+  // per-inbox accounting mirrors the cluster-wide one on the fault path.
+  EXPECT_EQ(inbox.queued_bytes(), 0u);
+  EXPECT_EQ(inbox.peak_queued_bytes(), 64u);
 }
 
 TEST(Fault, DuplicatedDataIsDeliveredExactlyOnce) {

@@ -1,0 +1,103 @@
+// Regression tests locking the per-query stats isolation invariant:
+// every query on a long-lived Database gets fresh NetStats, flow-control,
+// reachability-index, and profile state — counters never bleed from one
+// query into the next. The engine guarantees this by construction (a
+// fresh Network/MachineRuntime set per run); these tests pin it against
+// future refactors that might cache or pool that state.
+//
+// Determinism note: with one worker per machine on acyclic chain graphs
+// the traversal set — and therefore count, contexts_sent, RPQ matches,
+// index entries, and max depth — is schedule-independent. Message/byte
+// counts depend on flush boundaries and are deliberately NOT compared.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/rpqd.h"
+#include "ldbc/synthetic.h"
+#include "runtime/profile.h"
+
+namespace rpqd {
+namespace {
+
+EngineConfig iso_config() {
+  EngineConfig cfg;
+  cfg.workers_per_machine = 1;  // deterministic traversal accounting
+  cfg.buffers_per_machine = 64;
+  cfg.buffer_bytes = 256;
+  return cfg;
+}
+
+constexpr const char* kHeavy = "SELECT COUNT(*) FROM MATCH (a) -/:next+/-> (b)";
+constexpr const char* kLight =
+    "SELECT COUNT(*) FROM MATCH (a) -/:next{1,2}/-> (b)";
+
+TEST(StatsIsolation, BackToBackQueriesAreIndependent) {
+  Database db(synthetic::make_chain(14), 3, iso_config());
+  const QueryResult heavy = db.query(kHeavy);
+  const QueryResult light = db.query(kLight);
+
+  // Reference: the same light query on a Database that never ran the
+  // heavy one. Identical deterministic counters ⇒ nothing leaked.
+  Database fresh(synthetic::make_chain(14), 3, iso_config());
+  const QueryResult baseline = fresh.query(kLight);
+
+  EXPECT_EQ(light.count, baseline.count);
+  EXPECT_EQ(light.stats.contexts_sent, baseline.stats.contexts_sent);
+  ASSERT_EQ(light.stats.rpq.size(), baseline.stats.rpq.size());
+  for (std::size_t g = 0; g < light.stats.rpq.size(); ++g) {
+    EXPECT_EQ(light.stats.rpq[g].total_matches(),
+              baseline.stats.rpq[g].total_matches());
+    EXPECT_EQ(light.stats.rpq[g].total_eliminated(),
+              baseline.stats.rpq[g].total_eliminated());
+    EXPECT_EQ(light.stats.rpq[g].index_entries,
+              baseline.stats.rpq[g].index_entries);
+    EXPECT_EQ(light.stats.rpq[g].max_depth_observed,
+              baseline.stats.rpq[g].max_depth_observed);
+  }
+  ASSERT_EQ(light.stats.stages.size(), baseline.stats.stages.size());
+  for (std::size_t s = 0; s < light.stats.stages.size(); ++s) {
+    EXPECT_EQ(light.stats.stages[s].visits, baseline.stats.stages[s].visits);
+    EXPECT_EQ(light.stats.stages[s].remote_out,
+              baseline.stats.stages[s].remote_out);
+  }
+  // Sanity: the heavy query really did dwarf the light one, so leaked
+  // accumulation would have been visible in the equalities above.
+  EXPECT_GT(heavy.stats.contexts_sent, light.stats.contexts_sent);
+  EXPECT_GT(heavy.stats.rpq[0].total_matches(),
+            light.stats.rpq[0].total_matches());
+  // Credit books are clean after every run, in both orders.
+  for (const QueryResult* r : {&heavy, &light, &baseline}) {
+    EXPECT_EQ(r->stats.flow_outstanding, 0u);
+    EXPECT_EQ(r->stats.flow_overflow_outstanding, 0u);
+    EXPECT_EQ(r->stats.flow_emergency, 0u);
+  }
+}
+
+TEST(StatsIsolation, PeakQueuedBytesIsPerQuery) {
+  // peak_queued_bytes is a per-query high-water mark: a light query after
+  // a heavy one must not inherit the heavy query's peak.
+  Database db(synthetic::make_chain(14), 3, iso_config());
+  const QueryResult heavy = db.query(kHeavy);
+  const QueryResult light = db.query(kLight);
+  EXPECT_GT(heavy.stats.peak_queued_bytes, 0u);
+  EXPECT_LE(light.stats.peak_queued_bytes, heavy.stats.peak_queued_bytes);
+}
+
+TEST(StatsIsolation, ProfileStateDoesNotLeakAcrossQueries) {
+  Database db(synthetic::make_chain(12), 3, iso_config());
+  const QueryResult prof = db.query(std::string("PROFILE ") + kHeavy);
+  ASSERT_TRUE(prof.profile.enabled);
+  const std::uint64_t contexts_first = prof.profile.total_contexts();
+  // An unprofiled query in between allocates nothing.
+  const std::uint64_t before = profile_allocations();
+  EXPECT_FALSE(db.query(kHeavy).profile.enabled);
+  EXPECT_EQ(profile_allocations(), before);
+  // A second profiled run starts from a zeroed tree, not the first's.
+  const QueryResult again = db.query(std::string("PROFILE ") + kHeavy);
+  EXPECT_EQ(again.profile.total_contexts(), contexts_first);
+  EXPECT_EQ(again.profile.total_ctx_sent(), prof.profile.total_ctx_sent());
+}
+
+}  // namespace
+}  // namespace rpqd
