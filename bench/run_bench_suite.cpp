@@ -15,11 +15,14 @@
 //
 // The default scale factor here is deliberately small (0.25) so the
 // suite finishes in seconds; override with RPQD_BENCH_SF.
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "ldbc/synthetic.h"
 #include "workloads/queries.h"
 
 namespace {
@@ -69,6 +72,46 @@ void append_json_row(std::string& out, const SuiteRow& row, bool last) {
   out += row.stages;
   out += last ? "}\n" : "},\n";
 }
+
+// ---- query-lifecycle rows (DESIGN.md §9, bench_abort_latency sibling) ----
+
+/// Median cancel_all() -> query-returned latency for one mid-flight
+/// cancel shape; only runs that actually aborted count as samples.
+double cancel_to_drained_ms(rpqd::Database& db, const std::string& query,
+                            int repeats) {
+  using namespace rpqd;
+  std::vector<double> samples;
+  for (int attempt = 0;
+       static_cast<int>(samples.size()) < repeats && attempt < repeats * 10;
+       ++attempt) {
+    QueryResult result;
+    std::atomic<bool> started{false};
+    std::thread runner([&] {
+      started.store(true, std::memory_order_release);
+      result = db.query(query);
+    });
+    while (!started.load(std::memory_order_acquire)) {
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    Stopwatch timer;
+    db.cancel_all();
+    runner.join();
+    if (result.aborted) samples.push_back(timer.elapsed_ms());
+  }
+  return rpqd::bench::median(samples);
+}
+
+struct AbortRow {
+  std::string id;
+  unsigned machines;
+  double cancel_ms;     // cancel-to-drained median
+};
+
+struct RetryRow {
+  unsigned machines;
+  double median_ms;     // crash-abort + backoff + clean re-run
+  double mean_retries;
+};
 
 }  // namespace
 
@@ -135,6 +178,54 @@ int main() {
                 static_cast<unsigned long long>(result.count));
   }
 
+  // Query-lifecycle rows: cancel-to-drained abort latency (depth and
+  // machine-count axes, see bench_abort_latency) and crash-stop
+  // run_with_retry recovery, so BENCH_RPQD.json tracks the abort path's
+  // cost per commit alongside the healthy-path latencies.
+  std::vector<AbortRow> abort_rows;
+  std::vector<RetryRow> retry_rows;
+  print_header("abort latency + crash-stop retry");
+  for (unsigned depth : {8u, 12u}) {
+    Database db(synthetic::make_tree(2, depth), 4);
+    const double ms = cancel_to_drained_ms(
+        db, "SELECT COUNT(*) FROM MATCH (v0:Root) -/:replyOf*/- (v1)",
+        repeats);
+    abort_rows.push_back({"abort/tree:2:" + std::to_string(depth), 4, ms});
+    std::printf("  %-20s %10.3f ms cancel-to-drained\n",
+                abort_rows.back().id.c_str(), ms);
+  }
+  for (unsigned machines : {2u, 8u}) {
+    Database db(synthetic::make_complete(12), machines);
+    const double ms = cancel_to_drained_ms(
+        db, "SELECT COUNT(*) FROM MATCH (v0) -/:edge*/-> (v1)", repeats);
+    abort_rows.push_back(
+        {"abort/complete:12", machines, ms});
+    std::printf("  %-20s %10.3f ms cancel-to-drained (%u machines)\n",
+                abort_rows.back().id.c_str(), ms, machines);
+  }
+  for (unsigned machines : {2u, 8u}) {
+    Database db(synthetic::make_complete(10), machines);
+    Database::RetryPolicy policy;
+    policy.backoff_base_ms = 0.1;
+    policy.backoff_max_ms = 1.0;
+    std::vector<double> samples;
+    unsigned retries = 0;
+    for (int r = 0; r < repeats; ++r) {
+      db.set_fault_schedule("crash-stop", 7 + static_cast<std::uint64_t>(r));
+      Stopwatch timer;
+      const QueryResult result = db.run_with_retry(
+          "SELECT COUNT(*) FROM MATCH (v0) -/:edge*/-> (v1)", policy);
+      samples.push_back(timer.elapsed_ms());
+      retries += result.stats.retries;
+    }
+    retry_rows.push_back({machines, median(samples),
+                          static_cast<double>(retries) / repeats});
+    std::printf("  retry/complete:10    %10.3f ms (%u machines, "
+                "%.1f retries/run)\n",
+                retry_rows.back().median_ms, machines,
+                retry_rows.back().mean_retries);
+  }
+
   std::string json = "{\n";
   {
     char buf[128];
@@ -146,6 +237,30 @@ int main() {
   json += "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     append_json_row(json, rows[i], i + 1 == rows.size());
+  }
+  json += "  ],\n";
+  json += "  \"abort_latency\": [\n";
+  for (std::size_t i = 0; i < abort_rows.size(); ++i) {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"id\": \"%s\", \"machines\": %u, "
+                  "\"cancel_to_drained_ms\": %.3f}%s\n",
+                  abort_rows[i].id.c_str(), abort_rows[i].machines,
+                  abort_rows[i].cancel_ms,
+                  i + 1 == abort_rows.size() ? "" : ",");
+    json += buf;
+  }
+  json += "  ],\n";
+  json += "  \"crash_retry\": [\n";
+  for (std::size_t i = 0; i < retry_rows.size(); ++i) {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"machines\": %u, \"median_ms\": %.3f, "
+                  "\"mean_retries\": %.2f}%s\n",
+                  retry_rows[i].machines, retry_rows[i].median_ms,
+                  retry_rows[i].mean_retries,
+                  i + 1 == retry_rows.size() ? "" : ",");
+    json += buf;
   }
   json += "  ]\n}\n";
 

@@ -1,5 +1,11 @@
 #include "api/rpqd.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/fault.h"
+
 namespace rpqd {
 
 Database::Database(Graph graph, unsigned num_machines, EngineConfig config) {
@@ -19,6 +25,31 @@ std::string Database::explain(std::string_view pgql) const {
 
 void Database::set_fault_schedule(std::string_view name, std::uint64_t seed) {
   engine_->mutable_config().fault_plan = FaultPlan::named(name, seed);
+  engine_->reset_fault_run_index();
+}
+
+QueryResult Database::run_with_retry(std::string_view pgql,
+                                     const RetryPolicy& policy) {
+  const unsigned attempts = std::max(1u, policy.max_attempts);
+  for (unsigned attempt = 0;; ++attempt) {
+    QueryResult result = engine_->execute(pgql);
+    result.stats.retries = attempt;
+    if (!result.aborted || !abort_reason_retryable(result.abort_reason) ||
+        attempt + 1 >= attempts) {
+      return result;
+    }
+    // Bounded exponential backoff with deterministic jitter (seeded, so
+    // the fuzz harness replays identically).
+    double wait_ms = policy.backoff_base_ms;
+    for (unsigned i = 0; i < attempt && wait_ms < policy.backoff_max_ms; ++i) {
+      wait_ms *= 2.0;
+    }
+    wait_ms = std::min(wait_ms, policy.backoff_max_ms);
+    const std::uint64_t h = fault_hash(policy.jitter_seed, attempt, 11);
+    wait_ms += wait_ms * 0.5 * (static_cast<double>(h % 1024) / 1024.0);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(wait_ms));
+  }
 }
 
 }  // namespace rpqd

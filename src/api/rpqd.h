@@ -58,7 +58,37 @@ class Database {
   /// FaultPlan::schedule_names(); "none" disarms). The schedule plus the
   /// seed fully determine the fault decisions — the replay key printed
   /// by the differential harness. Throws QueryError on an unknown name.
+  /// Also restarts the run counter crash-stop schedules match against,
+  /// so "crash on run crash_run" counts from this call.
   void set_fault_schedule(std::string_view name, std::uint64_t seed);
+
+  /// Requests a cooperative cancel (AbortReason::kUserCancel) of every
+  /// query currently executing on this database; each returns a clean
+  /// QueryResult{aborted} and the database stays reusable. Returns how
+  /// many runs were live. Safe from any thread.
+  unsigned cancel_all() { return engine_->cancel_all(); }
+
+  /// Bounded exponential backoff with deterministic jitter for
+  /// run_with_retry. Attempt n (0-based) sleeps
+  /// min(backoff_base_ms * 2^n, backoff_max_ms) plus up to 50% seeded
+  /// jitter before re-running.
+  struct RetryPolicy {
+    unsigned max_attempts = 4;     // total tries, including the first
+    double backoff_base_ms = 0.5;
+    double backoff_max_ms = 50.0;
+    std::uint64_t jitter_seed = 1;
+  };
+
+  /// Executes `pgql`, transparently re-running it when the result is a
+  /// retryable abort (machine failure or a resource-budget trip — see
+  /// abort_reason_retryable). Non-retryable aborts (user cancel,
+  /// deadline) and clean results return immediately. The returned
+  /// result's stats.retries counts the re-runs performed.
+  QueryResult run_with_retry(std::string_view pgql,
+                             const RetryPolicy& policy);
+  QueryResult run_with_retry(std::string_view pgql) {
+    return run_with_retry(pgql, RetryPolicy{});
+  }
 
  private:
   std::shared_ptr<const PartitionedGraph> partitioned_;

@@ -1,0 +1,30 @@
+#include "common/abort.h"
+
+namespace rpqd {
+
+const char* to_string(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kUserCancel: return "user-cancel";
+    case AbortReason::kDeadline: return "deadline";
+    case AbortReason::kContextBudget: return "context-budget";
+    case AbortReason::kReachIndexBudget: return "reach-index-budget";
+    case AbortReason::kNestingBudget: return "nesting-budget";
+    case AbortReason::kMachineFailure: return "machine-failure";
+    case AbortReason::kDepthTruncated: return "depth-truncated";
+  }
+  return "?";
+}
+
+bool abort_reason_retryable(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kMachineFailure:
+    case AbortReason::kContextBudget:
+    case AbortReason::kNestingBudget:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace rpqd

@@ -70,6 +70,32 @@ struct EngineConfig {
   /// is generous; it only bounds C++ stack growth.
   unsigned max_pickup_nesting = 1024;
 
+  // ---- query lifecycle budgets (common/abort.h) --------------------------
+  // Each knob is off at 0. Exceeding one converts the query into a clean
+  // cooperative abort (QueryResult{aborted, reason}) rather than an
+  // unbounded run; the Database stays fully reusable afterwards.
+
+  /// Wall-clock deadline for one query; a monitor thread converts an
+  /// overrun into an AbortReason::kDeadline abort.
+  std::uint64_t query_deadline_ms = 0;
+
+  /// Per-machine ceiling on simultaneously-live execution frames (the
+  /// termination detector's pending-work unit). Exceeding it trips
+  /// AbortReason::kContextBudget. Peaks are surfaced in QueryStats /
+  /// QueryProfile whether or not the budget is armed.
+  std::uint64_t max_live_contexts = 0;
+
+  /// Per-machine ceiling on the reachability index's dynamic bytes
+  /// (12 bytes/entry, §4.4 arithmetic) — the §3.5 structure grows
+  /// unboundedly on deep RPQs. Trips AbortReason::kReachIndexBudget.
+  std::uint64_t reach_index_max_bytes = 0;
+
+  /// A worker starved of credits at the max_pickup_nesting cap for this
+  /// long trips AbortReason::kNestingBudget instead of eventually taking
+  /// an unbounded emergency credit (the 5s valve stays for workers below
+  /// the cap). Must be below that valve to be effective; 0 disables.
+  std::uint64_t flow_starvation_abort_ms = 2000;
+
   /// Shards of the reachability index's second-level map per machine.
   unsigned reach_index_shards = 16;
 

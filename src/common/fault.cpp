@@ -47,12 +47,17 @@ FaultPlan FaultPlan::named(std::string_view name, std::uint64_t seed) {
     plan.stall_max_us = 100;
     return plan;
   }
+  if (name == "crash-stop") {
+    plan.crash_machine = -2;  // seed-selected at Network::set_fault_plan
+    plan.crash_tick = 2 + fault_hash(seed, 0, kFaultSaltCrash) % 40;
+    return plan;
+  }
   throw QueryError("unknown fault schedule: " + std::string(name));
 }
 
 std::vector<std::string> FaultPlan::schedule_names() {
-  return {"none",          "reorder",      "dup-storm",
-          "credit-jitter", "slow-machine", "chaos"};
+  return {"none",          "reorder",      "dup-storm",   "credit-jitter",
+          "slow-machine",  "chaos",        "crash-stop"};
 }
 
 }  // namespace rpqd

@@ -57,11 +57,30 @@ struct FaultPlan {
   double stall_prob = 0.0;
   unsigned stall_max_us = 0;
 
+  /// Crash-stop failure: one machine dies when its inbox's pickup-tick
+  /// clock reaches `crash_tick` — from then on it executes nothing, its
+  /// inbox blackholes data (the transport synthesizes DONE completions,
+  /// like an RDMA QP error), and the engine converts the wedged query
+  /// into an AbortReason::kMachineFailure abort instead of a hang.
+  /// -1 = off, -2 = seed-selected machine, >= 0 = that machine.
+  int crash_machine = -1;
+  std::uint64_t crash_tick = 0;
+  /// Which run since arming crashes (crash-stop is a one-shot failure:
+  /// the engine stamps `run_index` per executed query, so retries of the
+  /// failed query run against a healthy cluster — the simulation of a
+  /// replacement machine having joined).
+  std::uint64_t crash_run = 0;
+  /// Stamped by the engine on each run; NOT part of the replay key.
+  std::uint64_t run_index = 0;
+
+  bool crash_enabled() const { return crash_machine != -1; }
+
   /// True when any knob is active (the fabric's fast path checks this
   /// once per call; a default plan adds no overhead).
   bool any() const {
     return delay_prob > 0.0 || done_delay_prob > 0.0 || dup_data_prob > 0.0 ||
            dup_done_prob > 0.0 || dup_term_prob > 0.0 ||
+           crash_enabled() ||
            (slow_machine_fraction > 0.0 && stall_prob > 0.0 &&
             stall_max_us > 0);
   }
@@ -73,6 +92,7 @@ struct FaultPlan {
   ///   "credit-jitter" DONE returns delayed, mild data delay
   ///   "slow-machine"  half the machines stall on pickups
   ///   "chaos"         everything at once
+  ///   "crash-stop"    a seed-selected machine dies early in the run
   /// Throws QueryError on an unknown name.
   static FaultPlan named(std::string_view name, std::uint64_t seed);
 
@@ -100,5 +120,6 @@ inline constexpr std::uint64_t kFaultSaltDup = 3;
 inline constexpr std::uint64_t kFaultSaltSlowMachine = 4;
 inline constexpr std::uint64_t kFaultSaltStall = 5;
 inline constexpr std::uint64_t kFaultSaltStallTicks = 6;
+inline constexpr std::uint64_t kFaultSaltCrash = 7;
 
 }  // namespace rpqd

@@ -117,6 +117,11 @@ std::optional<CreditClass> FlowControl::try_acquire(MachineId dest,
   return std::nullopt;
 }
 
+void FlowControl::poke() {
+  std::lock_guard lock(mutex_);
+  released_.notify_all();
+}
+
 void FlowControl::wait_for_release(std::chrono::microseconds max_wait) {
   std::unique_lock lock(mutex_);
   waiters_.fetch_add(1, std::memory_order_relaxed);

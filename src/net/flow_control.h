@@ -67,6 +67,11 @@ class FlowControl {
   /// wake immediately when a DONE returns instead of polling.
   void wait_for_release(std::chrono::microseconds max_wait);
 
+  /// Wakes every sender sleeping in wait_for_release without releasing
+  /// anything — the abort path's kick, so a worker blocked on credits
+  /// re-polls its halt flag immediately instead of after the timeout.
+  void poke();
+
   FlowControlStats stats() const;
 
   /// Total credits currently outstanding (for leak checks in tests).

@@ -17,6 +17,7 @@ enum class MessageType : std::uint8_t {
   kData,         // batched execution contexts
   kDone,         // flow-control credit return
   kTermination,  // termination-protocol status broadcast
+  kAbort,        // cooperative-abort broadcast (common/abort.h)
 };
 
 /// Which flow-control credit a data message consumed; echoed back in the
@@ -41,6 +42,12 @@ struct MessageHeader {
   /// a fault plan is active: the transport-dedup identity (a duplicated
   /// message keeps its original seq) and the fault-decision key.
   std::uint64_t seq = 0;
+  /// Abort reason carried by kAbort broadcasts (AbortReason as uint8).
+  std::uint8_t abort_reason = 0;
+  /// Query epoch stamped by Network::send; an inbox drops any message
+  /// from a different epoch, so in-flight data of an aborted run can
+  /// never seed work in a later one.
+  std::uint32_t epoch = 0;
 };
 
 struct Message {

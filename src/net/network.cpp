@@ -42,7 +42,8 @@ void Inbox::account_dequeued(std::uint64_t bytes, NetStats& stats) {
   engine_check(prev >= bytes, "inbox queued_bytes underflow on dequeue");
 }
 
-void Inbox::configure_faults(const FaultPlan& plan, MachineId self) {
+void Inbox::configure_faults(const FaultPlan& plan, MachineId self,
+                             unsigned num_machines) {
   plan_ = plan;
   self_ = self;
   faults_on_ = plan.any();
@@ -50,6 +51,22 @@ void Inbox::configure_faults(const FaultPlan& plan, MachineId self) {
       faults_on_ && plan.stall_max_us > 0 &&
       fault_roll(fault_hash(plan.seed, self, kFaultSaltSlowMachine),
                  plan.slow_machine_fraction);
+  // Crash-stop arming: this machine dies at crash_tick_ iff it is the
+  // plan's (possibly seed-selected) victim AND the plan's run index
+  // matches — crash-stop is a one-shot failure, so a retried query runs
+  // against a healthy cluster again.
+  crash_armed_ = false;
+  if (plan.crash_enabled() && plan.run_index == plan.crash_run &&
+      num_machines > 0) {
+    const MachineId victim =
+        plan.crash_machine >= 0
+            ? static_cast<MachineId>(plan.crash_machine)
+            : static_cast<MachineId>(
+                  fault_hash(plan.seed, num_machines, kFaultSaltCrash) %
+                  num_machines);
+    crash_armed_ = victim == self;
+    crash_tick_ = plan.crash_tick;
+  }
 }
 
 void Inbox::heap_insert(Message msg) {
@@ -110,6 +127,10 @@ void Inbox::fault_tick(NetStats& stats) {
   {
     std::lock_guard lock(mutex_);
     const std::uint64_t now = ++tick_;
+    if (crash_armed_ && now >= crash_tick_ &&
+        !crashed_.load(std::memory_order_relaxed)) {
+      crashed_.store(true, std::memory_order_release);
+    }
     for (std::size_t i = 0; i < limbo_.size();) {
       if (limbo_[i].release_tick > now) {
         ++i;
@@ -159,7 +180,55 @@ void Inbox::drain_faults(NetStats& stats) {
   (void)stats;
 }
 
+std::vector<Message> Inbox::drain_aborted(NetStats& stats) {
+  std::vector<Message> leftovers;
+  std::vector<Message> due_dones;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& entry : heap_) leftovers.push_back(std::move(entry.msg));
+    heap_.clear();
+    for (auto& held : limbo_) {
+      if (held.msg.header.type == MessageType::kData) {
+        leftovers.push_back(std::move(held.msg));
+      } else {
+        due_dones.push_back(std::move(held.msg));
+      }
+    }
+    limbo_.clear();
+    limbo_data_ = 0;
+  }
+  // Limbo'd credit returns still count — an abort must leave outstanding
+  // credits at zero exactly like healthy termination does.
+  for (const auto& done : due_dones) deliver_done(done);
+  for (const auto& msg : leftovers) {
+    account_dequeued(msg.payload.size(), stats);
+  }
+  return leftovers;
+}
+
 void Inbox::push(Message msg, NetStats& stats) {
+  if (msg.header.type == MessageType::kAbort) {
+    // Control-channel priority: handled at delivery time (like a DONE),
+    // never delayed, deduped, or counted against queued bytes. The first
+    // reason to arrive sticks; later broadcasts of a lost race are
+    // ignored.
+    stats.abort_messages.fetch_add(1, std::memory_order_relaxed);
+    std::uint8_t expected = 0;
+    abort_reason_.compare_exchange_strong(expected, msg.header.abort_reason,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+    // Kick senders sleeping on flow-control credits so they re-poll the
+    // halt flag now instead of after their timed wait.
+    if (flow_ != nullptr) flow_->poke();
+    return;
+  }
+  if (epoch_ != 0 && msg.header.epoch != epoch_) {
+    // A message from a different query epoch: in-flight residue of an
+    // aborted run. Its sender's credits were reclaimed by that run's
+    // abort drain; delivering it would seed work in the wrong query.
+    stats.epoch_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (faults_on_ && msg.header.type != MessageType::kTermination) {
     std::unique_lock lock(mutex_);
     if (fault_dedup_or_delay(msg, stats)) return;
@@ -199,6 +268,8 @@ void Inbox::push(Message msg, NetStats& stats) {
       heap_insert(std::move(msg));
       return;
     }
+    case MessageType::kAbort:
+      return;  // handled above; unreachable
   }
 }
 
@@ -233,19 +304,70 @@ void Network::set_fault_plan(const FaultPlan& plan) {
   plan_ = plan;
   faults_on_ = plan.any();
   for (unsigned m = 0; m < inboxes_.size(); ++m) {
-    inboxes_[m].configure_faults(plan, static_cast<MachineId>(m));
+    inboxes_[m].configure_faults(plan, static_cast<MachineId>(m),
+                                 num_machines());
+  }
+}
+
+void Network::set_epoch(std::uint32_t epoch) {
+  epoch_ = epoch;
+  for (auto& inbox : inboxes_) inbox.set_epoch(epoch);
+}
+
+void Network::broadcast_abort(AbortReason reason) {
+  for (unsigned m = 0; m < inboxes_.size(); ++m) {
+    Message msg;
+    msg.header.type = MessageType::kAbort;
+    msg.header.abort_reason = static_cast<std::uint8_t>(reason);
+    msg.header.epoch = epoch_;
+    inboxes_[m].push(std::move(msg), stats_);
   }
 }
 
 void Network::send(MachineId dest, Message msg) {
   engine_check(dest < inboxes_.size(), "send to unknown machine");
+  msg.header.epoch = epoch_;
   if (faults_on_) {
     msg.header.seq = send_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  if (inboxes_[dest].crashed()) {
+    // Crash-stop blackhole. Data vanishes, but the transport synthesizes
+    // the DONE completion the dead machine will never send (the RDMA
+    // error-completion analogy): the sender's credit must return or the
+    // whole cluster wedges on the failure instead of aborting cleanly.
+    switch (msg.header.type) {
+      case MessageType::kData: {
+        stats_.blackholed_messages.fetch_add(1, std::memory_order_relaxed);
+        Message done;
+        done.header.type = MessageType::kDone;
+        done.header.src = dest;
+        done.header.stage = msg.header.stage;
+        done.header.credit = msg.header.credit;
+        done.header.credit_depth = msg.header.credit_depth;
+        // Reuses the data message's seq: a duplicated copy of the same
+        // send then synthesizes a DONE with the same identity, and the
+        // sender's transport dedup collapses them to one credit return.
+        done.header.seq = msg.header.seq;
+        done.header.epoch = msg.header.epoch;
+        inboxes_[msg.header.src].push(std::move(done), stats_);
+        return;
+      }
+      case MessageType::kTermination:
+      case MessageType::kAbort:
+        return;  // nobody is listening
+      case MessageType::kDone:
+        // Still delivered: the credit audit models the cluster-wide
+        // buffer-pool bookkeeping, which survives the member's death.
+        break;
+    }
+  }
+  if (faults_on_) {
     double dup_prob = 0.0;
     switch (msg.header.type) {
       case MessageType::kData: dup_prob = plan_.dup_data_prob; break;
       case MessageType::kDone: dup_prob = plan_.dup_done_prob; break;
       case MessageType::kTermination: dup_prob = plan_.dup_term_prob; break;
+      case MessageType::kAbort: break;  // control channel: never duplicated
     }
     if (fault_roll(fault_hash(plan_.seed, msg.header.seq, kFaultSaltDup),
                    dup_prob)) {

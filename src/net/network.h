@@ -28,6 +28,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/abort.h"
 #include "common/fault.h"
 #include "common/queue.h"
 #include "net/flow_control.h"
@@ -53,6 +54,11 @@ struct NetStats {
   std::atomic<std::uint64_t> faults_duplicated{0};  // extra copies injected
   std::atomic<std::uint64_t> faults_dup_dropped{0};  // copies deduped away
   std::atomic<std::uint64_t> faults_stalls{0};       // injected pickup stalls
+  // Query-lifecycle accounting (common/abort.h).
+  std::atomic<std::uint64_t> abort_messages{0};   // kAbort broadcasts delivered
+  std::atomic<std::uint64_t> blackholed_messages{0};  // data sent to a crashed
+                                                      // machine (synth-DONEd)
+  std::atomic<std::uint64_t> epoch_dropped{0};    // stale-epoch messages
 
   void note_queued(std::uint64_t delta_add);
   void note_dequeued(std::uint64_t delta_sub);
@@ -68,9 +74,35 @@ class Inbox {
   void set_deep_priority(bool enabled) { deep_priority_ = enabled; }
 
   /// Arms fault injection for this inbox (receiver side: dedup, delay,
-  /// stalls). `self` selects the per-machine slowdown. Set before any
-  /// push; a plan with no active knob leaves the fast path untouched.
-  void configure_faults(const FaultPlan& plan, MachineId self);
+  /// stalls, crash-stop). `self` selects the per-machine slowdown and
+  /// crash target; `num_machines` resolves a seed-selected crash. Set
+  /// before any push; a plan with no active knob leaves the fast path
+  /// untouched.
+  void configure_faults(const FaultPlan& plan, MachineId self,
+                        unsigned num_machines);
+
+  /// Only messages stamped with this query epoch are accepted (0 = no
+  /// check). In-flight data of an aborted run can never leak into a
+  /// later query: its epoch no longer matches.
+  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+
+  // ---- cooperative abort (common/abort.h) ----
+  /// This machine's view of the query abort, set on receipt of a kAbort
+  /// control message (the wire propagation of the abort protocol) —
+  /// workers poll it at the same points they poll flow-control credits.
+  bool aborted() const {
+    return abort_reason_.load(std::memory_order_relaxed) != 0;
+  }
+  AbortReason abort_reason() const {
+    return static_cast<AbortReason>(
+        abort_reason_.load(std::memory_order_acquire));
+  }
+  /// Crash-stop: true once this machine's fault clock hit the plan's
+  /// crash tick. A crashed machine executes nothing further; the fabric
+  /// blackholes data sent to it (with synthesized DONE completions).
+  bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
 
   void push(Message msg, NetStats& stats);
 
@@ -102,6 +134,13 @@ class Inbox {
   /// violation and throws). The engine calls this after workers join so
   /// credit-leak checks see the fabric fully drained.
   void drain_faults(NetStats& stats);
+
+  /// Post-abort variant: delivers limbo DONEs (credits!) and returns
+  /// every undelivered data message — heap and limbo alike — so the
+  /// engine can release the senders' credits and count the discarded
+  /// contexts. Unlike drain_faults, stranded data is expected here: an
+  /// aborted or crashed machine stops consuming its inbox.
+  std::vector<Message> drain_aborted(NetStats& stats);
 
  private:
   struct Entry {
@@ -147,6 +186,13 @@ class Inbox {
   MpmcQueue<Message> term_;
   FlowControl* flow_ = nullptr;
 
+  // Abort / crash state. One relaxed load per worker poll.
+  std::atomic<std::uint8_t> abort_reason_{0};
+  std::atomic<bool> crashed_{false};
+  bool crash_armed_ = false;
+  std::uint64_t crash_tick_ = 0;
+  std::uint32_t epoch_ = 0;
+
   // Fault state. `faults_on_` is the single branch the fault-free fast
   // path pays; everything below is untouched without a plan.
   bool faults_on_ = false;
@@ -169,9 +215,35 @@ class Network {
   }
 
   /// Arms fault injection on the sender side (sequence stamping and
-  /// bounded duplication) and on every inbox. Call before any traffic.
+  /// bounded duplication) and on every inbox. Resolves a seed-selected
+  /// crash machine (crash_machine == -2) to a concrete id. Call before
+  /// any traffic.
   void set_fault_plan(const FaultPlan& plan);
   const FaultPlan& fault_plan() const { return plan_; }
+
+  /// Stamps every subsequent send with this query epoch and arms the
+  /// inboxes' stale-epoch filter.
+  void set_epoch(std::uint32_t epoch);
+
+  /// Whether this run's plan arms a crash (plan crash mode and the run
+  /// index matches) — the engine spawns its failure-detector monitor
+  /// only when true.
+  bool crash_armed() const {
+    return plan_.crash_enabled() && plan_.run_index == plan_.crash_run;
+  }
+
+  /// True once any machine's crash tick fired (the engine's monitor
+  /// polls this as the simulated failure detector).
+  bool any_crashed() const {
+    for (const auto& inbox : inboxes_) {
+      if (inbox.crashed()) return true;
+    }
+    return false;
+  }
+
+  /// Pushes a kAbort control message to every inbox. Control-channel
+  /// priority: never delayed, deduped, or duplicated by fault injection.
+  void broadcast_abort(AbortReason reason);
 
   void send(MachineId dest, Message msg);
 
@@ -195,6 +267,7 @@ class Network {
   NetStats stats_;
   FaultPlan plan_;
   bool faults_on_ = false;
+  std::uint32_t epoch_ = 0;
   std::atomic<std::uint64_t> send_seq_{0};
 };
 

@@ -76,6 +76,18 @@ class ReachabilityIndex {
 
   ReachIndexStats stats() const;
 
+  /// Cheap live estimate of the index's dynamic footprint (12 bytes per
+  /// entry, the §4.4 arithmetic): a handful of relaxed shard-counter
+  /// loads, no locks. The reach_index_max_bytes budget polls this on the
+  /// control-stage hot path — only when that budget is armed.
+  std::uint64_t approx_dynamic_bytes() const {
+    std::uint64_t entries = 0;
+    for (const auto& shard : shards_) {
+      entries += shard.entries.load(std::memory_order_relaxed);
+    }
+    return entries * 12;
+  }
+
   /// Post-run audit: number of (dst, rpid) keys stored more than once
   /// across all segments. The CAS claim protocol guarantees 0; the
   /// differential harness asserts it after every adversarial run. Full

@@ -71,20 +71,57 @@ QueryResult DistributedEngine::run_plan(const ExecPlan& plan, bool profile) {
   // shared configuration under concurrent executions.
   EngineConfig cfg = config_;
   cfg.profile = profile;
+  // Crash-stop plans fire on exactly one run (FaultPlan::crash_run):
+  // stamp this run's index; the counter restarts when a new schedule is
+  // installed (Database::set_fault_schedule).
+  cfg.fault_plan.run_index =
+      fault_run_seq_.fetch_add(1, std::memory_order_relaxed);
 
   Network net(num_machines);
   // Sender-side fault injection (sequence stamping, duplication); each
   // MachineRuntime arms its own inbox's receiver side on construction.
   net.set_fault_plan(cfg.fault_plan);
+  // Unique epoch per run: in-flight data of an aborted run can never be
+  // picked up by a later query on this engine (its epoch won't match).
+  net.set_epoch(epoch_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  AbortController abort;
   std::vector<std::unique_ptr<MachineRuntime>> machines;
   machines.reserve(num_machines);
   for (unsigned m = 0; m < num_machines; ++m) {
     machines.push_back(std::make_unique<MachineRuntime>(
         static_cast<MachineId>(m), &graph_->partition(m), &plan, &cfg,
-        &net));
+        &net, &abort));
   }
 
   {
+    std::lock_guard lock(active_mutex_);
+    active_runs_.push_back(ActiveRun{&abort, &net});
+  }
+
+  {
+    // Deadline / failure-detector monitor: only spawned when something
+    // can actually fire (a deadline is set, or this run arms a crash).
+    std::atomic<bool> run_done{false};
+    std::thread monitor;
+    if (cfg.query_deadline_ms > 0 || net.crash_armed()) {
+      monitor = std::thread([&] {
+        while (!run_done.load(std::memory_order_acquire)) {
+          if (cfg.query_deadline_ms > 0 &&
+              timer.elapsed_ms() >
+                  static_cast<double>(cfg.query_deadline_ms) &&
+              abort.request(AbortReason::kDeadline)) {
+            net.broadcast_abort(AbortReason::kDeadline);
+          }
+          // Simulated failure detector: a machine whose crash tick fired
+          // stops participating; the survivors must not hang on it.
+          if (net.any_crashed() &&
+              abort.request(AbortReason::kMachineFailure)) {
+            net.broadcast_abort(AbortReason::kMachineFailure);
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      });
+    }
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(num_machines) *
                     cfg.workers_per_machine);
@@ -95,17 +132,54 @@ QueryResult DistributedEngine::run_plan(const ExecPlan& plan, bool profile) {
       }
     }
     for (auto& t : threads) t.join();
+    run_done.store(true, std::memory_order_release);
+    if (monitor.joinable()) monitor.join();
   }
 
-  // Force-deliver any DONE messages still held back by fault injection,
-  // so the credit-leak audit below sees the fabric fully drained.
-  for (unsigned m = 0; m < num_machines; ++m) {
-    net.inbox(m).drain_faults(net.stats());
+  {
+    std::lock_guard lock(active_mutex_);
+    active_runs_.erase(
+        std::remove_if(active_runs_.begin(), active_runs_.end(),
+                       [&](const ActiveRun& r) { return r.ctrl == &abort; }),
+        active_runs_.end());
+  }
+
+  const bool was_aborted = abort.armed();
+  std::uint64_t net_discarded = 0;
+  if (was_aborted) {
+    // Reclaim what the halted workers left in the fabric: limbo DONEs
+    // deliver (credits), and every stranded data message's credit is
+    // returned straight to its sender's flow control. After this the
+    // cluster-wide credit audit must read zero outstanding.
+    for (unsigned m = 0; m < num_machines; ++m) {
+      const auto leftovers = net.inbox(m).drain_aborted(net.stats());
+      for (const auto& msg : leftovers) {
+        machines[msg.header.src]->flow().release(static_cast<MachineId>(m),
+                                                 msg.header.stage,
+                                                 msg.header.credit_depth,
+                                                 msg.header.credit);
+        net_discarded += msg.header.count;
+      }
+    }
+  } else {
+    // Force-deliver any DONE messages still held back by fault injection,
+    // so the credit-leak audit below sees the fabric fully drained.
+    for (unsigned m = 0; m < num_machines; ++m) {
+      net.inbox(m).drain_faults(net.stats());
+    }
   }
 
   QueryResult result;
   result.explain = plan.explain;
   result.columns = plan.column_names;
+  result.aborted = was_aborted;
+  result.abort_reason = abort.reason();
+  result.truncated = abort.truncated();
+  if (!result.aborted && result.truncated) {
+    // Satellite of the lifecycle work: the depth safety valve used to
+    // truncate silently; surface it through the reason channel.
+    result.abort_reason = AbortReason::kDepthTruncated;
+  }
   for (auto& machine : machines) {
     result.count += machine->row_count();
     if (!plan.count_star && !plan.has_aggregates) {
@@ -156,6 +230,15 @@ QueryResult DistributedEngine::run_plan(const ExecPlan& plan, bool profile) {
   stats.faults_duplicated = net.stats().faults_duplicated.load();
   stats.faults_dup_dropped = net.stats().faults_dup_dropped.load();
   stats.faults_stalls = net.stats().faults_stalls.load();
+  stats.abort_messages = net.stats().abort_messages.load();
+  stats.blackholed_messages = net.stats().blackholed_messages.load();
+  stats.epoch_dropped = net.stats().epoch_dropped.load();
+  stats.contexts_discarded = net_discarded;
+  for (auto& machine : machines) {
+    stats.contexts_discarded += machine->discarded_contexts();
+    stats.peak_live_contexts =
+        std::max(stats.peak_live_contexts, machine->peak_live_contexts());
+  }
   for (auto& machine : machines) {
     const FlowControlStats fc = machine->flow().stats();
     stats.flow_fast_path += fc.fast_path;
@@ -215,6 +298,18 @@ QueryResult DistributedEngine::run_plan(const ExecPlan& plan, bool profile) {
     prof.finish();
   }
   return result;
+}
+
+unsigned DistributedEngine::cancel_all() {
+  std::lock_guard lock(active_mutex_);
+  for (const ActiveRun& run : active_runs_) {
+    // First requester wins per run; if a budget/crash abort beat us the
+    // broadcast is already in flight and the run still ends cleanly.
+    if (run.ctrl->request(AbortReason::kUserCancel)) {
+      run.net->broadcast_abort(AbortReason::kUserCancel);
+    }
+  }
+  return static_cast<unsigned>(active_runs_.size());
 }
 
 PreparedQuery DistributedEngine::prepare(std::string_view pgql) {

@@ -3,11 +3,14 @@
 // threads) per machine.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/abort.h"
 #include "common/config.h"
 #include "graph/partition.h"
 #include "plan/plan.h"
@@ -15,6 +18,8 @@
 #include "runtime/stats.h"
 
 namespace rpqd {
+
+class Network;
 
 struct QueryResult {
   std::uint64_t count = 0;  // COUNT(*) value, or number of rows
@@ -25,6 +30,15 @@ struct QueryResult {
   /// query ran with `EngineConfig.profile` or a `PROFILE ` prefix.
   QueryProfile profile;
   std::string explain;
+  /// Query lifecycle (common/abort.h): true when the run ended via the
+  /// cooperative abort protocol instead of normal termination. Rows and
+  /// count are then a partial prefix of the answer.
+  bool aborted = false;
+  AbortReason abort_reason = AbortReason::kNone;
+  /// The run completed but the max_exploration_depth safety valve pruned
+  /// exploration, so the result set may be incomplete. Reported through
+  /// the same reason channel (kDepthTruncated) without aborting.
+  bool truncated = false;
 };
 
 class DistributedEngine;
@@ -68,11 +82,34 @@ class DistributedEngine {
   EngineConfig& mutable_config() { return config_; }
   const PartitionedGraph& graph() const { return *graph_; }
 
+  /// Requests a user cancel (AbortReason::kUserCancel) on every query
+  /// currently executing on this engine; returns how many were live.
+  /// Each aborts cooperatively and returns a clean QueryResult.
+  unsigned cancel_all();
+
+  /// Restarts the per-engine run counter that crash-stop fault plans
+  /// match against (FaultPlan::crash_run). Called when a new fault
+  /// schedule is installed so "crash on run N" counts from that point.
+  void reset_fault_run_index() {
+    fault_run_seq_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   QueryResult run_plan(const ExecPlan& plan, bool profile);
 
   std::shared_ptr<const PartitionedGraph> graph_;
   EngineConfig config_;
+  // Live-run registry for cancel_all: each run_plan registers its abort
+  // controller + network for the duration of the run (guarded so a
+  // concurrent cancel never touches a dying Network).
+  struct ActiveRun {
+    AbortController* ctrl;
+    Network* net;
+  };
+  std::mutex active_mutex_;
+  std::vector<ActiveRun> active_runs_;
+  std::atomic<std::uint64_t> fault_run_seq_{0};
+  std::atomic<std::uint32_t> epoch_seq_{0};
 };
 
 }  // namespace rpqd

@@ -35,12 +35,14 @@ void bump(std::vector<std::uint64_t>& v, Depth depth) {
 
 MachineRuntime::MachineRuntime(MachineId id, const Partition* partition,
                                const ExecPlan* plan,
-                               const EngineConfig* config, Network* network)
+                               const EngineConfig* config, Network* network,
+                               AbortController* abort)
     : id_(id),
       part_(partition),
       plan_(plan),
       config_(config),
       net_(network),
+      abort_(abort),
       detector_(id, network->num_machines(),
                 static_cast<unsigned>(plan->stages.size()),
                 plan->num_rpq_indexes) {
@@ -60,7 +62,8 @@ MachineRuntime::MachineRuntime(MachineId id, const Partition* partition,
   // Receiver-side fault injection (dedup/delay/stalls); the sender side
   // (sequence stamping, duplication) is armed by the engine on the
   // Network itself before any machine is constructed.
-  net_->inbox(id_).configure_faults(config->fault_plan, id_);
+  net_->inbox(id_).configure_faults(config->fault_plan, id_,
+                                    network->num_machines());
   for (unsigned g = 0; g < plan->num_rpq_indexes; ++g) {
     indexes_.push_back(std::make_unique<ReachabilityIndex>(
         part_->num_local(), config->reach_index_preallocate,
@@ -131,6 +134,13 @@ void MachineRuntime::run_context(Worker& w, StageId stage, VertexId vertex,
   rs.saved.reserve(32);
   enter_stage(w, rs, stage, lv, depth, rpid, false);
   while (!rs.stack.empty()) {
+    if (halted()) {
+      // The halt poll of the traversal loop itself: unwind the partial
+      // walk (keeping save-stack and detector balanced) and drop it.
+      unwind(rs);
+      ++w.discarded;
+      break;
+    }
     step(w, rs);
   }
 }
@@ -167,6 +177,13 @@ bool MachineRuntime::enter_stage(Worker& w, RunState& rs, StageId stage,
       if (config_->use_reachability_index) {
         outcome = indexes_[static_cast<unsigned>(group)]->check_and_update(
             lv, rpid, depth);
+        // Reach-index memory budget (§4.4 arithmetic, 12B/entry): polled
+        // only when armed, right where the index grows.
+        if (config_->reach_index_max_bytes != 0 &&
+            indexes_[static_cast<unsigned>(group)]->approx_dynamic_bytes() >
+                config_->reach_index_max_bytes) {
+          trip_abort(AbortReason::kReachIndexBudget);
+        }
         if (w.prof) {
           ProfileDepthRow& row = w.prof->row(stage, depth);
           ++row.index_probes;
@@ -179,6 +196,9 @@ bool MachineRuntime::enter_stage(Worker& w, RunState& rs, StageId stage,
       } else if (config_->max_exploration_depth != kUnboundedDepth &&
                  depth >= config_->max_exploration_depth) {
         outcome = ReachOutcome::kEliminated;  // safety cap without index
+        // The cap silently truncates the result set; record it so the
+        // engine can report a truncated (but non-aborted) QueryResult.
+        abort_->note_truncation();
       }
       switch (outcome) {
         case ReachOutcome::kNew:
@@ -234,7 +254,7 @@ bool MachineRuntime::enter_stage(Worker& w, RunState& rs, StageId stage,
     f.saved_count = 0;
     ++w.stage_visits[stage];
     if (w.prof) ++w.prof->row(stage, depth).contexts;
-    detector_.frame_pushed(stage, group, depth);
+    note_frame_pushed(stage, group, depth);
     stack.push_back(f);
     return true;
   }
@@ -256,7 +276,7 @@ bool MachineRuntime::enter_stage(Worker& w, RunState& rs, StageId stage,
   apply_actions(sp, lv, slots);
   ++w.stage_visits[stage];
   if (w.prof) ++w.prof->row(stage, depth).contexts;
-  detector_.frame_pushed(stage, group_of(stage), depth);
+  note_frame_pushed(stage, group_of(stage), depth);
   stack.push_back(f);
   return true;
 }
@@ -271,8 +291,12 @@ void MachineRuntime::pop_frame(RunState& rs) {
     rs.slots[slot] = value;
   }
   rs.saved.resize(f.saved_base);
-  detector_.frame_popped(f.stage, group_of(f.stage), f.depth);
+  note_frame_popped(f.stage, group_of(f.stage), f.depth);
   rs.stack.pop_back();
+}
+
+void MachineRuntime::unwind(RunState& rs) {
+  while (!rs.stack.empty()) pop_frame(rs);
 }
 
 bool MachineRuntime::next_neighbor(Frame& f, const StagePlan& sp,
@@ -525,20 +549,26 @@ void MachineRuntime::send_remote(Worker& w, StageId stage, VertexId vertex,
   const std::uint64_t key = buffer_key(dest, stage, depth);
   auto it = w.out.find(key);
   if (it == w.out.end()) {
-    const CreditClass credit = acquire_credit_blocking(w, dest, stage, depth);
+    const auto credit = acquire_credit_blocking(w, dest, stage, depth);
+    if (!credit) {
+      // Halted while blocked: drop the context (never counted as sent,
+      // so no DONE is owed) and let the caller's halt poll unwind.
+      ++w.discarded;
+      return;
+    }
     // The blocking acquire processes incoming messages (pickup rule iii),
     // and those nested traversals can open this very buffer. Re-probe:
     // emplacing onto the existing key would silently destroy the fresh
     // credit with the temporary OutBuffer — a flow-control leak.
     it = w.out.find(key);
     if (it != w.out.end()) {
-      flow_->release(dest, stage, depth, credit);
+      flow_->release(dest, stage, depth, *credit);
     } else {
       OutBuffer buf;
       buf.dest = dest;
       buf.stage = stage;
       buf.depth = depth;
-      buf.credit = credit;
+      buf.credit = *credit;
       buf.payload.reserve(config_->buffer_bytes);
       it = w.out.emplace(key, std::move(buf)).first;
     }
@@ -585,7 +615,7 @@ bool MachineRuntime::try_share_local(Worker& w, StageId stage,
   ctx.rpid = rpid;
   ctx.slots = slots;
   // Keep the pending task visible to the termination detector.
-  detector_.frame_pushed(stage, group_of(stage), depth);
+  note_frame_pushed(stage, group_of(stage), depth);
   shared_tasks_.push(std::move(ctx));
   return true;
 }
@@ -620,9 +650,8 @@ void MachineRuntime::flush_all(Worker& w) {
   for (auto& buf : pending) flush_buffer(w, std::move(buf));
 }
 
-CreditClass MachineRuntime::acquire_credit_blocking(Worker& w, MachineId dest,
-                                                    StageId stage,
-                                                    Depth depth) {
+std::optional<CreditClass> MachineRuntime::acquire_credit_blocking(
+    Worker& w, MachineId dest, StageId stage, Depth depth) {
   std::optional<Stopwatch> starved;
   // Profiling: time from the first failed try_acquire to the eventual
   // grant (nested pickup work included — that is the paper's "worker
@@ -631,9 +660,14 @@ CreditClass MachineRuntime::acquire_credit_blocking(Worker& w, MachineId dest,
   std::optional<Stopwatch> stall;
   unsigned backoff = 0;
   while (true) {
+    // Halt poll of the blocking path: an abort (possibly broadcast by the
+    // very machine whose DONE we are waiting for) releases this worker —
+    // kAbort delivery pokes the flow-control condvar, so a sleeping
+    // waiter wakes promptly.
+    if (halted()) return std::nullopt;
     if (const auto credit = flow_->try_acquire(dest, stage, depth)) {
       if (w.prof && stall) w.prof->note_stall(*credit, stall->elapsed_ms());
-      return *credit;
+      return credit;
     }
     if (w.prof && !stall) stall.emplace();
     // Pickup rule (iii): when flow control prevents sending, process
@@ -669,6 +703,16 @@ CreditClass MachineRuntime::acquire_credit_blocking(Worker& w, MachineId dest,
     // Healthy runs never reach this; tests assert the counter stays 0.
     if (!starved) {
       starved.emplace();
+    } else if (w.nesting >= config_->max_pickup_nesting &&
+               config_->flow_starvation_abort_ms != 0 &&
+               starved->elapsed_ms() >
+                   static_cast<double>(config_->flow_starvation_abort_ms)) {
+      // At the pickup-nesting cap this worker cannot divert to inbound
+      // work, so a sustained credit drought cannot self-heal: convert the
+      // silent stall into a clean budget abort (below the 5s emergency
+      // valve, which stays the last resort for the uncapped case).
+      trip_abort(AbortReason::kNestingBudget);
+      return std::nullopt;
     } else if (starved->elapsed_seconds() > 5.0) {
       RPQD_WARN << "machine " << static_cast<int>(id_)
                 << ": emergency flow-control credit for stage " << stage;
@@ -709,7 +753,7 @@ void MachineRuntime::process_message(Worker& w, Message msg) {
   // The contexts are pending local work until their runs complete: keep
   // them visible to the termination detector as active frames.
   for (std::uint32_t i = 0; i < msg.header.count; ++i) {
-    detector_.frame_pushed(stage, group, msg.header.depth);
+    note_frame_pushed(stage, group, msg.header.depth);
   }
   Message done;
   done.header.type = MessageType::kDone;
@@ -721,10 +765,21 @@ void MachineRuntime::process_message(Worker& w, Message msg) {
   msg.payload.clear();
   msg.payload.shrink_to_fit();  // the "buffer" really is free now
 
-  for (auto& c : contexts) {
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    if (halted()) {
+      // Mid-batch halt: the DONE above already returned the buffer
+      // credit, so the rest of the batch is simply discarded (balancing
+      // the frames pushed above).
+      for (std::size_t j = i; j < contexts.size(); ++j) {
+        note_frame_popped(stage, group, msg.header.depth);
+        ++w.discarded;
+      }
+      break;
+    }
+    auto& c = contexts[i];
     run_context(w, stage, c.vertex, msg.header.depth, c.rpid,
                 std::move(c.slots));
-    detector_.frame_popped(stage, group, msg.header.depth);
+    note_frame_popped(stage, group, msg.header.depth);
   }
   detector_.note_processed(stage, group, msg.header.depth, msg.header.count);
   --w.nesting;
@@ -764,6 +819,9 @@ void MachineRuntime::worker_main(unsigned worker_index) {
 
   unsigned idle_iterations = 0;
   while (!done_.load(std::memory_order_acquire)) {
+    // Halt poll of the main loop (same cadence as the credit checks):
+    // on abort or crash this worker stops consuming work immediately.
+    if (halted()) break;
     // (i) Eagerly pick up received messages first.
     if (auto msg = inbox.try_pop_data(net_->stats())) {
       w.busy.store(true, std::memory_order_seq_cst);
@@ -777,7 +835,7 @@ void MachineRuntime::worker_main(unsigned worker_index) {
       shared_queued_.fetch_sub(1, std::memory_order_relaxed);
       run_context(w, task->stage, task->vertex, task->depth, task->rpid,
                   std::move(task->slots));
-      detector_.frame_popped(task->stage, group_of(task->stage), task->depth);
+      note_frame_popped(task->stage, group_of(task->stage), task->depth);
       idle_iterations = 0;
       continue;
     }
@@ -823,6 +881,76 @@ void MachineRuntime::worker_main(unsigned worker_index) {
           std::min<unsigned>(50u * (idle_iterations - 7), 500u)));
     }
   }
+  if (halted()) abort_drain(w);
+}
+
+// ------------------------------------------------------ cooperative abort --
+
+void MachineRuntime::trip_abort(AbortReason reason) {
+  // First requester wins: fixes the reason on the query's controller and
+  // propagates it over the wire. Losers' kAbort broadcast is already on
+  // its way from whoever won.
+  if (abort_->request(reason)) {
+    net_->broadcast_abort(reason);
+  }
+}
+
+void MachineRuntime::note_frame_pushed(StageId stage, int group, Depth depth) {
+  detector_.frame_pushed(stage, group, depth);
+  const std::uint64_t live =
+      live_frames_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t peak = peak_live_frames_.load(std::memory_order_relaxed);
+  while (live > peak && !peak_live_frames_.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+  if (config_->max_live_contexts != 0 && live > config_->max_live_contexts) {
+    trip_abort(AbortReason::kContextBudget);
+  }
+}
+
+void MachineRuntime::note_frame_popped(StageId stage, int group, Depth depth) {
+  detector_.frame_popped(stage, group, depth);
+  live_frames_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void MachineRuntime::abort_drain(Worker& w) {
+  // Return every open out-buffer's credit; its undelivered contexts are
+  // discarded (never counted as sent, so the detector owes nothing).
+  for (auto& [key, buf] : w.out) {
+    (void)key;
+    flow_->release(buf.dest, buf.stage, buf.depth, buf.credit);
+    w.discarded += buf.count;
+  }
+  w.out.clear();
+  // aDFS tasks nobody will adopt anymore.
+  while (auto task = shared_tasks_.try_pop()) {
+    shared_queued_.fetch_sub(1, std::memory_order_relaxed);
+    note_frame_popped(task->stage, group_of(task->stage), task->depth);
+    ++w.discarded;
+  }
+  // Drain still-queued inbound batches, replying DONE for each so the
+  // senders' credits come home (outstanding must reach 0 cluster-wide).
+  // A crashed machine does nothing here — the fabric blackholes traffic
+  // to it and synthesizes the completions on its behalf.
+  if (!net_->inbox(id_).crashed()) {
+    while (auto msg = net_->inbox(id_).try_pop_data(net_->stats())) {
+      Message done;
+      done.header.type = MessageType::kDone;
+      done.header.src = id_;
+      done.header.stage = msg->header.stage;
+      done.header.credit = msg->header.credit;
+      done.header.credit_depth = msg->header.credit_depth;
+      net_->send(msg->header.src, std::move(done));
+      w.discarded += msg->header.count;
+    }
+  }
+  w.busy.store(false, std::memory_order_seq_cst);
+}
+
+std::uint64_t MachineRuntime::discarded_contexts() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->discarded;
+  return total;
 }
 
 // ------------------------------------------------------------------ stats --
@@ -861,6 +989,8 @@ void MachineRuntime::merge_profile(QueryProfile& out) const {
   sum.credit_emergency += fs.emergency_used;
   sum.credit_blocked += fs.blocked;
   sum.term_rounds += detector_.broadcast_rounds();
+  sum.peak_live_contexts = peak_live_contexts();
+  sum.discarded_contexts += discarded_contexts();
 }
 
 RpqStageStats MachineRuntime::rpq_stats(unsigned group) const {

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -42,7 +43,7 @@ class MachineRuntime {
  public:
   MachineRuntime(MachineId id, const Partition* partition,
                  const ExecPlan* plan, const EngineConfig* config,
-                 Network* network);
+                 Network* network, AbortController* abort);
 
   /// Body of one worker thread. Returns when the query has globally
   /// terminated.
@@ -67,6 +68,19 @@ class MachineRuntime {
   /// termination rounds into the query tree. No-op unless the config had
   /// profiling on. Called once by the engine, after workers join.
   void merge_profile(QueryProfile& out) const;
+
+  /// Contexts this machine discarded on the abort path (unsent buffer
+  /// contents, unprocessed inbox batches, dropped shared tasks).
+  std::uint64_t discarded_contexts() const;
+  /// High-water mark of simultaneously-live execution frames — the
+  /// max_live_contexts budget's tracked quantity (tracked always).
+  std::uint64_t peak_live_contexts() const {
+    return peak_live_frames_.load(std::memory_order_relaxed);
+  }
+  /// Live frames right now; 0 after any clean drain (leak detector).
+  std::uint64_t live_contexts() const {
+    return live_frames_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Frame {
@@ -121,6 +135,7 @@ class MachineRuntime {
     std::vector<std::vector<std::uint64_t>> eliminated;  // [group][depth]
     std::vector<std::vector<std::uint64_t>> duplicated;  // [group][depth]
     std::uint64_t rows = 0;
+    std::uint64_t discarded = 0;  // contexts dropped by the abort drain
     std::vector<std::vector<std::string>> result_rows;
     std::vector<std::uint64_t> stage_visits;  // frames entered per stage
     AggMap agg_rows;  // partial GROUP BY aggregates
@@ -149,9 +164,37 @@ class MachineRuntime {
                    std::uint64_t rpid, const std::vector<Value>& slots);
   void flush_buffer(Worker& w, OutBuffer&& buf);
   void flush_all(Worker& w);
-  CreditClass acquire_credit_blocking(Worker& w, MachineId dest, StageId stage,
-                                      Depth depth);
+  /// Blocks for a credit, processing inbound work meanwhile (pickup rule
+  /// iii). Returns nullopt when the query halted (abort or crash) while
+  /// blocked — the caller drops the send; the abort drain reclaims
+  /// everything else.
+  std::optional<CreditClass> acquire_credit_blocking(Worker& w,
+                                                     MachineId dest,
+                                                     StageId stage,
+                                                     Depth depth);
   void process_message(Worker& w, Message msg);
+
+  // ---- cooperative abort (common/abort.h) ----
+  /// The worker-side halt poll: this machine learned of the abort via a
+  /// kAbort message, or its own crash tick fired. Checked at the same
+  /// points that check flow-control credits.
+  bool halted() const {
+    const Inbox& inbox = net_->inbox(id_);
+    return inbox.aborted() || inbox.crashed();
+  }
+  /// Initiates an abort: first requester fixes the reason on the query's
+  /// controller and broadcasts the kAbort control message.
+  void trip_abort(AbortReason reason);
+  /// Unwinds a halted traversal (balances slot shadows + detector).
+  void unwind(RunState& rs);
+  /// Post-halt reclamation: returns this worker's out-buffer credits,
+  /// discards shared tasks, and (unless this machine crashed) replies
+  /// DONE for every still-queued inbound batch.
+  void abort_drain(Worker& w);
+  // Frame accounting around the termination detector: live/peak counts
+  // feed the max_live_contexts budget and the leak audit.
+  void note_frame_pushed(StageId stage, int group, Depth depth);
+  void note_frame_popped(StageId stage, int group, Depth depth);
 
   // ---- idle / termination driving ----
   bool machine_idle() const;
@@ -183,6 +226,9 @@ class MachineRuntime {
   const ExecPlan* plan_;
   const EngineConfig* config_;
   Network* net_;
+  AbortController* abort_;
+  std::atomic<std::uint64_t> live_frames_{0};
+  std::atomic<std::uint64_t> peak_live_frames_{0};
   std::unique_ptr<FlowControl> flow_;
   TerminationDetector detector_;
   std::vector<std::unique_ptr<ReachabilityIndex>> indexes_;

@@ -155,18 +155,21 @@ std::string QueryProfile::text() const {
   }
   for (std::size_t m = 0; m < machines.size(); ++m) {
     const auto& sum = machines[m];
-    char buf[224];
+    char buf[320];
     std::snprintf(
         buf, sizeof buf,
         "credits m%zu: fast=%llu shared=%llu overflow=%llu emergency=%llu "
-        "blocked=%llu stalls=%llu stall_ms=%.3f term_rounds=%llu",
+        "blocked=%llu stalls=%llu stall_ms=%.3f term_rounds=%llu "
+        "peak_live=%llu discarded=%llu",
         m, static_cast<ull>(sum.credit_fast_path),
         static_cast<ull>(sum.credit_shared),
         static_cast<ull>(sum.credit_overflow),
         static_cast<ull>(sum.credit_emergency),
         static_cast<ull>(sum.credit_blocked),
         static_cast<ull>(sum.stall_events), sum.stall_ms_total(),
-        static_cast<ull>(sum.term_rounds));
+        static_cast<ull>(sum.term_rounds),
+        static_cast<ull>(sum.peak_live_contexts),
+        static_cast<ull>(sum.discarded_contexts));
     out << buf;
     if (sum.stall_events > 0) {
       // Stall breakdown by the credit class that resolved the stall.
@@ -194,7 +197,7 @@ std::string QueryProfile::to_json() const {
   std::string out = "{";
   out += "\"enabled\": ";
   out += enabled ? "true" : "false";
-  char buf[192];
+  char buf[320];
   std::snprintf(buf, sizeof buf,
                 ", \"machines\": %zu, \"term_rounds\": %llu, \"totals\": {",
                 machines.size(), static_cast<ull>(total_term_rounds()));
@@ -247,14 +250,17 @@ std::string QueryProfile::to_json() const {
         buf, sizeof buf,
         "%s{\"m\": %zu, \"fast_path\": %llu, \"shared\": %llu, "
         "\"overflow\": %llu, \"emergency\": %llu, \"blocked\": %llu, "
-        "\"stall_events\": %llu, \"stall_ms\": %.3f, \"term_rounds\": %llu}",
+        "\"stall_events\": %llu, \"stall_ms\": %.3f, \"term_rounds\": %llu, "
+        "\"peak_live\": %llu, \"discarded\": %llu}",
         m == 0 ? "" : ", ", m, static_cast<ull>(sum.credit_fast_path),
         static_cast<ull>(sum.credit_shared),
         static_cast<ull>(sum.credit_overflow),
         static_cast<ull>(sum.credit_emergency),
         static_cast<ull>(sum.credit_blocked),
         static_cast<ull>(sum.stall_events), sum.stall_ms_total(),
-        static_cast<ull>(sum.term_rounds));
+        static_cast<ull>(sum.term_rounds),
+        static_cast<ull>(sum.peak_live_contexts),
+        static_cast<ull>(sum.discarded_contexts));
     out += buf;
   }
   out += "]}";

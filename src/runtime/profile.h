@@ -86,6 +86,10 @@ struct ProfileMachineSummary {
   std::array<double, kNumCreditClasses> stall_ms_by_class{};
   std::uint64_t stall_events = 0;  // acquires that did not succeed first try
   std::uint64_t term_rounds = 0;   // termination statuses broadcast
+  // Query lifecycle (common/abort.h): this machine's live-frame peak (the
+  // max_live_contexts budget's tracked quantity) and abort-path drops.
+  std::uint64_t peak_live_contexts = 0;
+  std::uint64_t discarded_contexts = 0;
 
   double stall_ms_total() const {
     double sum = 0.0;

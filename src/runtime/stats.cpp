@@ -62,6 +62,15 @@ std::string RuntimeStats::summary() const {
         << " stalls=" << faults_stalls
         << " outstanding_credits=" << flow_outstanding;
   }
+  if (abort_messages + blackholed_messages + epoch_dropped +
+          contexts_discarded + retries >
+      0) {
+    out << "\n  lifecycle: abort_msgs=" << abort_messages
+        << " blackholed=" << blackholed_messages
+        << " epoch_dropped=" << epoch_dropped
+        << " discarded=" << contexts_discarded
+        << " peak_live=" << peak_live_contexts << " retries=" << retries;
+  }
   for (std::size_t g = 0; g < rpq.size(); ++g) {
     const auto& r = rpq[g];
     out << "\n  rpq[" << g << "]: matches=" << r.total_matches()

@@ -85,6 +85,16 @@ struct RuntimeStats {
   std::uint64_t faults_stalls = 0;
   // aDFS work sharing (when enabled).
   std::uint64_t adfs_shared_tasks = 0;
+  // Query lifecycle (common/abort.h); all 0 on a normally-finishing run.
+  std::uint64_t abort_messages = 0;      // kAbort deliveries
+  std::uint64_t blackholed_messages = 0;  // data sent to a crashed machine
+  std::uint64_t epoch_dropped = 0;        // stale-epoch messages rejected
+  std::uint64_t contexts_discarded = 0;   // dropped by the abort drain
+  /// Max over machines of simultaneously-live execution frames (the
+  /// max_live_contexts budget's tracked quantity; tracked always).
+  std::uint64_t peak_live_contexts = 0;
+  /// run_with_retry attempts before this result (0 = first try).
+  unsigned retries = 0;
   // RPQ stages.
   std::vector<RpqStageStats> rpq;
   // Per-stage breakdown (EXPLAIN ANALYZE).
