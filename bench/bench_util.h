@@ -10,9 +10,11 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/rpqd.h"
@@ -88,6 +90,106 @@ inline RoundRobinResult round_robin(Database& db,
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// ---- closed-loop concurrent serving (runtime/scheduler.h) --------------
+
+/// Sorted-vector percentile with linear interpolation (p in [0,100]).
+inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+struct ClosedLoopResult {
+  double wall_ms = 0.0;
+  double throughput_qps = 0.0;  // completed queries per second
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;   // admission rejects observed by clients
+};
+
+/// Closed-loop load: `clients` threads each issue `ops_per_client`
+/// queries through submit/await (round-robin over `queries`), thinking
+/// `think_ms` between completions. Rejected submissions count separately
+/// and are not retried. Configure the db's scheduler before calling.
+inline ClosedLoopResult closed_loop_serving(
+    Database& db, const std::vector<std::string>& queries, unsigned clients,
+    int ops_per_client, double think_ms = 0.0) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::uint64_t> rejects(clients, 0);
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < ops_per_client; ++i) {
+        const std::string& q =
+            queries[(c * 7919u + static_cast<unsigned>(i)) % queries.size()];
+        Stopwatch timer;
+        const QueryResult r = db.await(db.submit(q));
+        if (r.aborted) {
+          ++rejects[c];
+        } else {
+          latencies[c].push_back(timer.elapsed_ms());
+        }
+        if (think_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(think_ms));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ClosedLoopResult out;
+  out.wall_ms = wall.elapsed_ms();
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+    out.completed += per_client.size();
+  }
+  for (const std::uint64_t r : rejects) out.rejected += r;
+  out.throughput_qps =
+      out.wall_ms > 0.0 ? static_cast<double>(out.completed) / out.wall_ms * 1e3
+                        : 0.0;
+  out.p50_ms = percentile(all, 50.0);
+  out.p95_ms = percentile(all, 95.0);
+  out.p99_ms = percentile(all, 99.0);
+  return out;
+}
+
+/// Serial back-to-back baseline: the same request stream served one
+/// query at a time on the blocking path — client think time (if any)
+/// serializes with service instead of overlapping it. The denominator
+/// of the concurrency speedup claim.
+inline ClosedLoopResult serial_baseline(Database& db,
+                                        const std::vector<std::string>& queries,
+                                        int total_ops, double think_ms = 0.0) {
+  std::vector<double> latencies;
+  Stopwatch wall;
+  for (int i = 0; i < total_ops; ++i) {
+    Stopwatch timer;
+    const QueryResult r = db.query(queries[static_cast<std::size_t>(i) %
+                                           queries.size()]);
+    if (!r.aborted) latencies.push_back(timer.elapsed_ms());
+    if (think_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(think_ms));
+    }
+  }
+  ClosedLoopResult out;
+  out.wall_ms = wall.elapsed_ms();
+  out.completed = latencies.size();
+  out.throughput_qps =
+      out.wall_ms > 0.0 ? static_cast<double>(out.completed) / out.wall_ms * 1e3
+                        : 0.0;
+  out.p50_ms = percentile(latencies, 50.0);
+  out.p95_ms = percentile(latencies, 95.0);
+  out.p99_ms = percentile(latencies, 99.0);
+  return out;
 }
 
 }  // namespace rpqd::bench

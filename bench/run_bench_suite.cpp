@@ -113,6 +113,14 @@ struct RetryRow {
   double mean_retries;
 };
 
+/// One point of the closed-loop serving sweep (bench_concurrent_serving
+/// is the standalone sibling with the full table + fairness ablation).
+struct ServingRow {
+  unsigned clients;     // 0 = the serial back-to-back baseline
+  rpqd::bench::ClosedLoopResult r;
+  double speedup;       // throughput vs the serial baseline
+};
+
 }  // namespace
 
 int main() {
@@ -226,6 +234,44 @@ int main() {
                 retry_rows.back().mean_retries);
   }
 
+  // Concurrent serving sweep (runtime/scheduler.h): closed-loop clients
+  // with think time vs the same stream served serially back-to-back.
+  // The 4-client point carries the headline >= 1.3x throughput claim.
+  std::vector<ServingRow> serving_rows;
+  print_header("concurrent serving (closed loop, chain:48, 4 machines)");
+  {
+    EngineConfig scfg;
+    scfg.workers_per_machine = 1;
+    Database db(synthetic::make_chain(48), 4, scfg);
+    const std::vector<std::string> mix = {
+        "SELECT COUNT(*) FROM MATCH (a) -/:next{1,4}/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:next{2,6}/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:next+/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:next{1,3}/-> (b)"};
+    const int serving_ops = env_int("RPQD_BENCH_OPS", 64);
+    const double think_ms = env_double("RPQD_BENCH_THINK_MS", 2.0);
+    const ClosedLoopResult serial =
+        serial_baseline(db, mix, serving_ops, think_ms);
+    serving_rows.push_back({0, serial, 1.0});
+    std::printf("  serial      %8.1f qps  p50 %7.3f ms\n",
+                serial.throughput_qps, serial.p50_ms);
+    for (unsigned clients : {1u, 2u, 4u, 8u}) {
+      SchedulerConfig sc;
+      sc.max_inflight = clients;
+      db.configure_scheduler(sc);
+      const ClosedLoopResult r = closed_loop_serving(
+          db, mix, clients,
+          std::max(1, serving_ops / static_cast<int>(clients)), think_ms);
+      const double speedup = serial.throughput_qps > 0.0
+                                 ? r.throughput_qps / serial.throughput_qps
+                                 : 0.0;
+      serving_rows.push_back({clients, r, speedup});
+      std::printf("  %2u clients  %8.1f qps  p50 %7.3f ms  p95 %7.3f ms  "
+                  "%.2fx\n",
+                  clients, r.throughput_qps, r.p50_ms, r.p95_ms, speedup);
+    }
+  }
+
   std::string json = "{\n";
   {
     char buf[128];
@@ -260,6 +306,21 @@ int main() {
                   retry_rows[i].machines, retry_rows[i].median_ms,
                   retry_rows[i].mean_retries,
                   i + 1 == retry_rows.size() ? "" : ",");
+    json += buf;
+  }
+  json += "  ],\n";
+  json += "  \"concurrent_serving\": [\n";
+  for (std::size_t i = 0; i < serving_rows.size(); ++i) {
+    const ServingRow& s = serving_rows[i];
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"clients\": %u, \"throughput_qps\": %.1f, \"p50_ms\": %.3f, "
+        "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"admission_rejects\": %llu, "
+        "\"speedup_vs_serial\": %.2f}%s\n",
+        s.clients, s.r.throughput_qps, s.r.p50_ms, s.r.p95_ms, s.r.p99_ms,
+        static_cast<unsigned long long>(s.r.rejected), s.speedup,
+        i + 1 == serving_rows.size() ? "" : ",");
     json += buf;
   }
   json += "  ]\n}\n";

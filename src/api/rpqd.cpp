@@ -24,8 +24,45 @@ std::string Database::explain(std::string_view pgql) const {
 }
 
 void Database::set_fault_schedule(std::string_view name, std::uint64_t seed) {
-  engine_->mutable_config().fault_plan = FaultPlan::named(name, seed);
+  // Config-lock protected: legal while scheduled queries are in flight
+  // (the new schedule applies to runs dispatched afterwards).
+  engine_->set_fault_plan(FaultPlan::named(name, seed));
   engine_->reset_fault_run_index();
+}
+
+QueryScheduler& Database::scheduler() {
+  std::lock_guard lock(scheduler_mutex_);
+  if (scheduler_ == nullptr) {
+    scheduler_ =
+        std::make_unique<QueryScheduler>(engine_.get(), SchedulerConfig{});
+  }
+  return *scheduler_;
+}
+
+QueryTicket Database::submit(std::string_view pgql) {
+  return scheduler().submit(pgql);
+}
+
+void Database::configure_scheduler(const SchedulerConfig& config) {
+  std::lock_guard lock(scheduler_mutex_);
+  scheduler_.reset();  // drains/cancels the previous serving generation
+  scheduler_ = std::make_unique<QueryScheduler>(engine_.get(), config);
+}
+
+SchedulerStats Database::scheduler_stats() const {
+  std::lock_guard lock(scheduler_mutex_);
+  return scheduler_ != nullptr ? scheduler_->stats() : SchedulerStats{};
+}
+
+unsigned Database::cancel_all() {
+  unsigned cancelled = 0;
+  {
+    std::lock_guard lock(scheduler_mutex_);
+    if (scheduler_ != nullptr) {
+      cancelled += scheduler_->cancel_all_queued(AbortReason::kUserCancel);
+    }
+  }
+  return cancelled + engine_->cancel_all();
 }
 
 QueryResult Database::run_with_retry(std::string_view pgql,

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -22,6 +23,7 @@
 #include "graph/graph.h"
 #include "graph/partition.h"
 #include "runtime/engine.h"
+#include "runtime/scheduler.h"
 
 namespace rpqd {
 
@@ -46,6 +48,54 @@ class Database {
   /// Returns the EXPLAIN rendering of the plan without executing.
   std::string explain(std::string_view pgql) const;
 
+  // ---- concurrent serving (runtime/scheduler.h) -------------------------
+  // The async path: many queries in flight over the one simulated
+  // cluster, each isolated in its own run namespace with a per-query
+  // credit partition of the machines' buffer memory. `query()` stays the
+  // blocking single-query path; mixing both is safe.
+
+  /// Submits a query for concurrent execution. Admission control either
+  /// dispatches it (a slot is free), queues it (bounded wait queue), or
+  /// rejects it with a typed reason readable off the ticket
+  /// (`ticket.admission()` / `ticket.reject_reason()`: queue-full, a
+  /// global budget it can never fit, shutdown). A rejected query never
+  /// runs; its await() returns QueryResult{aborted,
+  /// AbortReason::kAdmissionReject} immediately. Parse/plan errors throw
+  /// QueryError, exactly like query(). A `PROFILE ` prefix works as in
+  /// query(). The scheduler starts lazily on first submit with the
+  /// config from configure_scheduler (or SchedulerConfig{} defaults).
+  QueryTicket submit(std::string_view pgql);
+
+  /// Blocks until the submitted query completes and returns its result
+  /// (repeatable, any thread). Aborted/cancelled/rejected runs return a
+  /// clean QueryResult with the reason stamped, like the blocking path.
+  QueryResult await(const QueryTicket& ticket) {
+    return scheduler().await(ticket);
+  }
+
+  /// Cooperatively cancels one submission: queued queries complete as
+  /// aborted without running; in-flight queries go through the normal
+  /// kAbort broadcast and drain to the quiescent state. False when the
+  /// query already finished.
+  bool cancel(const QueryTicket& ticket) {
+    return scheduler().cancel(ticket, AbortReason::kUserCancel);
+  }
+
+  /// Installs the scheduler configuration (in-flight slots, wait-queue
+  /// bound, global budgets, the `min_credit_share` fairness knob for the
+  /// per-query credit partitions). Replaces any existing scheduler:
+  /// queued submissions are cancelled and in-flight ones cooperatively
+  /// aborted, so call it before submitting (or after awaiting) a wave.
+  void configure_scheduler(const SchedulerConfig& config);
+
+  /// Admission/throughput counters of the serving path (zeroes before
+  /// the first submit).
+  SchedulerStats scheduler_stats() const;
+
+  /// In-flight slot count after global budgets capped max_inflight; 0
+  /// means every submission is rejected up front.
+  unsigned scheduler_slots() { return scheduler().slots(); }
+
   const Graph& graph() const { return partitioned_->global(); }
   const PartitionedGraph& partitioned() const { return *partitioned_; }
   unsigned num_machines() const { return partitioned_->num_machines(); }
@@ -63,10 +113,12 @@ class Database {
   void set_fault_schedule(std::string_view name, std::uint64_t seed);
 
   /// Requests a cooperative cancel (AbortReason::kUserCancel) of every
-  /// query currently executing on this database; each returns a clean
-  /// QueryResult{aborted} and the database stays reusable. Returns how
-  /// many runs were live. Safe from any thread.
-  unsigned cancel_all() { return engine_->cancel_all(); }
+  /// query currently executing on this database — blocking and scheduled
+  /// alike — plus every submission still waiting in the scheduler's
+  /// admission queue; each returns a clean QueryResult{aborted} and the
+  /// database stays reusable. Returns how many were live or queued.
+  /// Safe from any thread.
+  unsigned cancel_all();
 
   /// Bounded exponential backoff with deterministic jitter for
   /// run_with_retry. Attempt n (0-based) sleeps
@@ -91,8 +143,14 @@ class Database {
   }
 
  private:
+  /// Lazily constructs the scheduler (default SchedulerConfig) on first
+  /// use; guarded so concurrent first submits race safely.
+  QueryScheduler& scheduler();
+
   std::shared_ptr<const PartitionedGraph> partitioned_;
   std::unique_ptr<DistributedEngine> engine_;
+  mutable std::mutex scheduler_mutex_;
+  std::unique_ptr<QueryScheduler> scheduler_;
 };
 
 }  // namespace rpqd

@@ -12,6 +12,7 @@ const char* to_string(AbortReason reason) {
     case AbortReason::kNestingBudget: return "nesting-budget";
     case AbortReason::kMachineFailure: return "machine-failure";
     case AbortReason::kDepthTruncated: return "depth-truncated";
+    case AbortReason::kAdmissionReject: return "admission-reject";
   }
   return "?";
 }
@@ -21,6 +22,11 @@ bool abort_reason_retryable(AbortReason reason) {
     case AbortReason::kMachineFailure:
     case AbortReason::kContextBudget:
     case AbortReason::kNestingBudget:
+    // A queue-full admission reject is load-dependent: by the time a
+    // retry resubmits, in-flight queries have drained. (A budget-based
+    // reject is deterministic, but it is reported before any run burns
+    // resources, so the blanket retryable answer is still safe.)
+    case AbortReason::kAdmissionReject:
       return true;
     default:
       return false;

@@ -36,6 +36,9 @@ enum class AbortReason : std::uint8_t {
   kNestingBudget,     // starved at the max_pickup_nesting cap
   kMachineFailure,    // crash-stop machine (FaultPlan crash mode)
   kDepthTruncated,    // not an abort: max_exploration_depth clipped results
+  kAdmissionReject,   // never ran: the QueryScheduler refused admission
+                      // (queue full / a global budget can never fit it);
+                      // the typed sub-reason is on the QueryTicket
 };
 
 const char* to_string(AbortReason reason);

@@ -119,6 +119,20 @@ struct EngineConfig {
   /// beyond it grow geometrically (a counted, off-hot-path allocation).
   Depth profile_preallocated_depths = 64;
 
+  /// Per-query credit partition for concurrent serving (§3.3 extension):
+  /// this query's FlowControl is built over
+  /// `buffers_per_machine * credit_partition_share` buffers (and the
+  /// RPQ shared pool scaled the same way), so simultaneously-running
+  /// queries draw from disjoint slices of each machine's buffer memory —
+  /// a deep query can exhaust only its own partition, never a cheap
+  /// neighbor's. 1.0 = the whole machine (single-query mode). Every
+  /// partition keeps the §3.3 progress floor of two credits per
+  /// (stage, destination) slot, so a small share throttles but never
+  /// wedges a query. Set by the QueryScheduler at dispatch; the
+  /// scheduler's `min_credit_share` is the fairness knob that bounds it
+  /// from below.
+  double credit_partition_share = 1.0;
+
   /// Deterministic seed for any randomized tie-breaking.
   std::uint64_t seed = 42;
 

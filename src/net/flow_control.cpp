@@ -23,12 +23,25 @@ FlowControl::FlowControl(const EngineConfig& config, unsigned num_machines,
   const auto num_stages = static_cast<unsigned>(is_rpq_stage.size());
   engine_check(num_stages > 0, "flow control needs at least one stage");
 
+  // Per-query credit partition (concurrent serving): this query only
+  // sees its share of the machine's buffer allowance. Clamped into
+  // (0, 1]; the progress floors below keep any share live.
+  partition_share_ = config.credit_partition_share;
+  if (!(partition_share_ > 0.0) || partition_share_ > 1.0) {
+    partition_share_ = 1.0;
+  }
+  const auto partitioned_buffers = static_cast<unsigned>(
+      static_cast<double>(config.buffers_per_machine) * partition_share_);
+  const auto partitioned_shared = static_cast<unsigned>(
+      static_cast<double>(config.rpq_shared_credits_per_stage) *
+      partition_share_);
+
   // Partition the per-machine buffer allowance equally among stages and
   // destinations; every (stage, destination) slot gets at least two
   // buffers (one sending, one receiving) as required by §3.3.
   const unsigned slots = num_stages * num_machines;
   per_slot_credits_ =
-      std::max(2u, config.buffers_per_machine / std::max(1u, slots));
+      std::max(2u, partitioned_buffers / std::max(1u, slots));
 
   pools_ = std::vector<StagePool>(num_stages);
   for (unsigned s = 0; s < num_stages; ++s) {
@@ -41,8 +54,15 @@ FlowControl::FlowControl(const EngineConfig& config, unsigned num_machines,
       pool.window = std::max(1u, config.rpq_preallocated_depth);
       pool.dedicated_init =
           static_cast<int>(std::max(1u, per_slot_credits_ / pool.window));
+      // Scaled by the partition share, with a floor of one so the
+      // beyond-window depths of even the thinnest partition can move.
+      // The floor only revives shares the partition shrank: an
+      // explicitly-zero shared allowance (starvation-abort tests, §3.3
+      // ablations) stays zero.
       pool.shared_init =
-          static_cast<int>(config.rpq_shared_credits_per_stage);
+          config.rpq_shared_credits_per_stage == 0
+              ? 0
+              : static_cast<int>(std::max(1u, partitioned_shared));
       pool.dedicated = std::vector<std::atomic<int>>(
           std::size_t{num_machines} * pool.window);
       for (auto& c : pool.dedicated)
@@ -183,6 +203,20 @@ FlowControlStats FlowControl::stats() const {
   s.emergency_used = emergency_used_.load(std::memory_order_relaxed);
   s.acquired = s.fast_path + s.overflow_used + s.emergency_used;
   return s;
+}
+
+std::uint64_t FlowControl::partition_credits() const {
+  // Initial allowance actually granted to this partition, after the
+  // equal split over slots and the §3.3 floors (buffer credits only —
+  // overflow/emergency are elastic valves, not partitioned memory).
+  std::uint64_t total = 0;
+  for (const auto& pool : pools_) {
+    total += static_cast<std::uint64_t>(pool.dedicated_init) *
+             pool.dedicated.size();
+    total +=
+        static_cast<std::uint64_t>(pool.shared_init) * pool.shared.size();
+  }
+  return total;
 }
 
 std::uint64_t FlowControl::overflow_outstanding() const {

@@ -17,6 +17,18 @@
 // mutex only covers the overflow slow path (a per-destination depth set,
 // touched when both pools are exhausted) and the blocked-sender
 // condition variable. Fast-path grants are counted in `fast_path`.
+//
+// Per-query credit partitions (concurrent serving): when the engine
+// serves several queries at once, each query's FlowControl instance is
+// built over `buffers_per_machine * credit_partition_share` of the
+// machine's buffer allowance instead of all of it, with the RPQ shared
+// pool scaled the same way. Partitions are disjoint by construction
+// (each query has its own instance over its own slice), so a deep query
+// that exhausts its partition blocks only itself — the §3.3 back-off
+// behavior — while a cheap concurrent query's credits are untouched.
+// Every partition keeps the §3.3 floor of two credits per (stage,
+// destination) slot plus at least one RPQ shared/overflow credit, so an
+// arbitrarily small share degrades throughput but never liveness.
 #pragma once
 
 #include <atomic>
@@ -74,6 +86,13 @@ class FlowControl {
 
   FlowControlStats stats() const;
 
+  /// The credit-partition share this instance was built with (see the
+  /// header comment; 1.0 outside concurrent serving).
+  double partition_share() const { return partition_share_; }
+  /// Buffer credits this partition actually holds per machine after
+  /// scaling and the §3.3 progress floors (for tests and stats).
+  std::uint64_t partition_credits() const;
+
   /// Total credits currently outstanding (for leak checks in tests).
   std::uint64_t outstanding() const;
 
@@ -113,6 +132,7 @@ class FlowControl {
   unsigned num_machines_;
   std::vector<StagePool> pools_;
   unsigned per_slot_credits_ = 2;
+  double partition_share_ = 1.0;
   // Cumulative lock-free grants: the ONE global counter the fast path
   // touches (releases touch only the slot counter). `acquired` is
   // derived in stats(); `outstanding` is summed from the slot levels.

@@ -36,6 +36,14 @@
 
 namespace rpqd {
 
+// Concurrency audit (concurrent multi-query serving): every counter in
+// NetStats is per-QUERY by construction — the engine builds one Network
+// (and therefore one NetStats, one Inbox set, one FlowControl set) per
+// run, and concurrent queries never share a Network. Nothing here may be
+// hoisted to an engine-global without revisiting that audit; the
+// regression tests in stats_isolation_test.cpp pin the property by
+// overlapping a heavy and a light query and asserting the light one's
+// counters match its solo run.
 struct NetStats {
   std::atomic<std::uint64_t> data_messages{0};
   std::atomic<std::uint64_t> done_messages{0};

@@ -19,6 +19,47 @@ DistributedEngine::DistributedEngine(
   config_.num_machines = graph_->num_machines();
 }
 
+// ------------------------------------------------------------ RunControl --
+
+bool RunControl::cancel(AbortReason reason) {
+  std::lock_guard lock(mutex_);
+  if (finished_) return false;
+  if (ctrl_ == nullptr) {
+    // Not attached yet (queued, or racing the dispatch): record the
+    // reason; attach() applies it before any worker starts.
+    if (pending_ == AbortReason::kNone) pending_ = reason;
+    return true;
+  }
+  if (ctrl_->request(reason)) net_->broadcast_abort(reason);
+  return true;
+}
+
+void RunControl::attach(AbortController* ctrl, Network* net) {
+  std::lock_guard lock(mutex_);
+  ctrl_ = ctrl;
+  net_ = net;
+  if (pending_ != AbortReason::kNone && ctrl_->request(pending_)) {
+    net_->broadcast_abort(pending_);
+  }
+}
+
+void RunControl::detach() {
+  std::lock_guard lock(mutex_);
+  ctrl_ = nullptr;
+  net_ = nullptr;
+  finished_ = true;
+}
+
+EngineConfig DistributedEngine::config_snapshot() const {
+  std::lock_guard lock(config_mutex_);
+  return config_;
+}
+
+void DistributedEngine::set_fault_plan(const FaultPlan& plan) {
+  std::lock_guard lock(config_mutex_);
+  config_.fault_plan = plan;
+}
+
 namespace {
 
 /// Strips an optional leading case-insensitive `PROFILE` token (followed
@@ -46,10 +87,19 @@ bool strip_profile_prefix(std::string_view& pgql) {
 }  // namespace
 
 QueryResult DistributedEngine::execute(std::string_view pgql) {
-  const bool profile = strip_profile_prefix(pgql) || config_.profile;
+  const bool profile = strip_profile_prefix(pgql) || config_snapshot().profile;
   const pgql::Query query = pgql::parse(pgql);
   const ExecPlan plan = plan_query(query, graph_->catalog());
   return run_plan(plan, profile);
+}
+
+std::shared_ptr<const ExecPlan> DistributedEngine::compile(
+    std::string_view pgql, bool* profile_out) const {
+  const bool profile = strip_profile_prefix(pgql);
+  if (profile_out != nullptr) *profile_out = profile;
+  const pgql::Query query = pgql::parse(pgql);
+  return std::make_shared<const ExecPlan>(
+      plan_query(query, graph_->catalog()));
 }
 
 std::string DistributedEngine::explain(std::string_view pgql) const {
@@ -59,21 +109,37 @@ std::string DistributedEngine::explain(std::string_view pgql) const {
 }
 
 QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
-  return run_plan(plan, config_.profile);
+  return run_plan(plan, config_snapshot().profile);
+}
+
+QueryResult DistributedEngine::execute_plan(const ExecPlan& plan,
+                                            const EngineConfig& cfg,
+                                            RunControl* rc) {
+  return run_plan_cfg(plan, cfg, rc);
 }
 
 QueryResult DistributedEngine::run_plan(const ExecPlan& plan, bool profile) {
-  const unsigned num_machines = graph_->num_machines();
-  Stopwatch timer;
-
   // Per-query effective config: the PROFILE prefix (or a prepared query
   // on an engine whose profile flag changed) must not mutate the engine's
   // shared configuration under concurrent executions.
-  EngineConfig cfg = config_;
+  EngineConfig cfg = config_snapshot();
   cfg.profile = profile;
+  return run_plan_cfg(plan, std::move(cfg), nullptr);
+}
+
+QueryResult DistributedEngine::run_plan_cfg(const ExecPlan& plan,
+                                            EngineConfig cfg,
+                                            RunControl* rc) {
+  const unsigned num_machines = graph_->num_machines();
+  const bool profile = cfg.profile;
+  Stopwatch timer;
+
   // Crash-stop plans fire on exactly one run (FaultPlan::crash_run):
   // stamp this run's index; the counter restarts when a new schedule is
-  // installed (Database::set_fault_schedule).
+  // installed (Database::set_fault_schedule). The counter is shared by
+  // every concurrent query on purpose — the simulated cluster loses a
+  // machine once per schedule, so exactly one run of a concurrent wave
+  // is the victim.
   cfg.fault_plan.run_index =
       fault_run_seq_.fetch_add(1, std::memory_order_relaxed);
 
@@ -97,6 +163,10 @@ QueryResult DistributedEngine::run_plan(const ExecPlan& plan, bool profile) {
     std::lock_guard lock(active_mutex_);
     active_runs_.push_back(ActiveRun{&abort, &net});
   }
+  // Targeted cancellation (scheduler path): attach after the machines
+  // exist so a pre-dispatch cancel's pending reason broadcasts into live
+  // inboxes and halts the workers before they do real work.
+  if (rc != nullptr) rc->attach(&abort, &net);
 
   {
     // Deadline / failure-detector monitor: only spawned when something
@@ -136,6 +206,7 @@ QueryResult DistributedEngine::run_plan(const ExecPlan& plan, bool profile) {
     if (monitor.joinable()) monitor.join();
   }
 
+  if (rc != nullptr) rc->detach();
   {
     std::lock_guard lock(active_mutex_);
     active_runs_.erase(
@@ -216,6 +287,7 @@ QueryResult DistributedEngine::run_plan(const ExecPlan& plan, bool profile) {
 
   RuntimeStats& stats = result.stats;
   stats.elapsed_ms = timer.elapsed_ms();
+  stats.credit_partition_share = cfg.credit_partition_share;
   stats.output_rows = result.count;
   stats.data_messages = net.stats().data_messages.load();
   stats.done_messages = net.stats().done_messages.load();

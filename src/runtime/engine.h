@@ -43,6 +43,32 @@ struct QueryResult {
 
 class DistributedEngine;
 
+/// Cancellation handle for one scheduled run (concurrent serving). The
+/// scheduler creates one per submission and hands it to the engine; the
+/// engine attaches the run's abort controller + network while the run is
+/// live. `cancel` works at any point in the lifecycle: before dispatch
+/// it records a pending reason that attach() applies (so a cancel racing
+/// the dispatch is never lost), during the run it drives the normal
+/// cooperative abort broadcast, and after completion it is a no-op.
+class RunControl {
+ public:
+  /// Requests a cooperative abort of the associated run. Returns true
+  /// when the run will observe the request (live, or not yet started);
+  /// false when the run already finished.
+  bool cancel(AbortReason reason);
+
+ private:
+  friend class DistributedEngine;
+  void attach(AbortController* ctrl, Network* net);
+  void detach();
+
+  std::mutex mutex_;
+  AbortController* ctrl_ = nullptr;
+  Network* net_ = nullptr;
+  AbortReason pending_ = AbortReason::kNone;  // cancel before attach
+  bool finished_ = false;
+};
+
 /// A parsed + planned query that can be executed repeatedly without
 /// re-compilation. Valid as long as the owning engine lives.
 class PreparedQuery {
@@ -72,14 +98,39 @@ class DistributedEngine {
   /// Parses and plans once; the returned query executes repeatedly.
   PreparedQuery prepare(std::string_view pgql);
 
+  /// Parse + plan for the async serving path: a case-insensitive
+  /// `PROFILE ` prefix is reported through `*profile_out` (never
+  /// mutating the engine config). Throws QueryError like execute().
+  std::shared_ptr<const ExecPlan> compile(std::string_view pgql,
+                                          bool* profile_out) const;
+
   /// Executes an already-compiled plan.
   QueryResult execute_plan(const ExecPlan& plan);
+
+  /// Concurrent-serving entry point (used by the QueryScheduler): runs
+  /// an already-compiled plan under a caller-supplied per-query config
+  /// (credit partition share, sliced budgets, profiling), registering
+  /// the run on `rc` (may be null) for targeted cancellation.
+  QueryResult execute_plan(const ExecPlan& plan, const EngineConfig& cfg,
+                           RunControl* rc);
 
   /// Compiles a query and returns its EXPLAIN text without running it.
   std::string explain(std::string_view pgql) const;
 
   const EngineConfig& config() const { return config_; }
+  /// Direct mutable access for the single-threaded configuration phase
+  /// (tests and benches tune knobs between queries). NOT safe while
+  /// queries are in flight — concurrent runs snapshot the config via
+  /// config_snapshot(); use set_fault_plan for the one mutation that is
+  /// legal mid-serving.
   EngineConfig& mutable_config() { return config_; }
+  /// Coherent copy of the engine config, taken under the config lock so
+  /// it can run concurrently with set_fault_plan. Every run starts from
+  /// such a snapshot.
+  EngineConfig config_snapshot() const;
+  /// Installs a fault plan under the config lock (safe while queries are
+  /// in flight; the new plan applies to runs dispatched afterwards).
+  void set_fault_plan(const FaultPlan& plan);
   const PartitionedGraph& graph() const { return *graph_; }
 
   /// Requests a user cancel (AbortReason::kUserCancel) on every query
@@ -96,8 +147,14 @@ class DistributedEngine {
 
  private:
   QueryResult run_plan(const ExecPlan& plan, bool profile);
+  QueryResult run_plan_cfg(const ExecPlan& plan, EngineConfig cfg,
+                           RunControl* rc);
 
   std::shared_ptr<const PartitionedGraph> graph_;
+  // Engine configuration. config_mutex_ covers the snapshot taken at the
+  // start of every run and the mid-serving mutations (set_fault_plan);
+  // mutable_config() writes are only legal while no query is in flight.
+  mutable std::mutex config_mutex_;
   EngineConfig config_;
   // Live-run registry for cancel_all: each run_plan registers its abort
   // controller + network for the duration of the run (guarded so a
@@ -108,6 +165,13 @@ class DistributedEngine {
   };
   std::mutex active_mutex_;
   std::vector<ActiveRun> active_runs_;
+  // Concurrency audit: these two counters are deliberately ENGINE-GLOBAL
+  // across concurrent queries. fault_run_seq_ assigns each run a unique
+  // index so a crash-stop plan kills exactly one run in a concurrent
+  // wave (the simulated cluster loses a machine once, not once per
+  // query); epoch_seq_ assigns each run a unique epoch so stale
+  // in-flight data can never cross runs. Both are atomics — a fetch_add
+  // per run, never aliasing per-query *measurements*.
   std::atomic<std::uint64_t> fault_run_seq_{0};
   std::atomic<std::uint32_t> epoch_seq_{0};
 };

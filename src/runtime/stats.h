@@ -95,6 +95,15 @@ struct RuntimeStats {
   std::uint64_t peak_live_contexts = 0;
   /// run_with_retry attempts before this result (0 = first try).
   unsigned retries = 0;
+  // Concurrent serving (runtime/scheduler.h); identity values when the
+  // query ran through the blocking single-query path.
+  /// Credit-partition share this query's flow control was built with
+  /// (1.0 = the whole per-machine buffer allowance).
+  double credit_partition_share = 1.0;
+  /// Wall-clock the query spent in the scheduler's admission queue
+  /// before dispatch (0 when it was dispatched immediately or ran
+  /// through the blocking path). Not part of elapsed_ms.
+  double queue_ms = 0.0;
   // RPQ stages.
   std::vector<RpqStageStats> rpq;
   // Per-stage breakdown (EXPLAIN ANALYZE).

@@ -193,6 +193,181 @@ TEST(DifferentialFault, FifoPickupAblationAgreesWithOracle) {
   run_differential(hc);
 }
 
+// ---- concurrent serving differentials (runtime/scheduler.h) -----------
+//
+// The serving path's correctness bar: K generated queries in flight at
+// once over one database, under every fault schedule, and each must
+// produce exactly the result of its solo run (== the oracle count, since
+// the solo differential above pins solo == oracle) with every
+// distributed invariant intact. Per-query isolation has no tolerance for
+// "close": one leaked credit or cross-run index hit shows up here.
+
+struct ConcurrentHarnessConfig {
+  int waves = 6;                   // graphs x query batches
+  unsigned inflight = 4;           // K concurrent queries per wave
+  std::vector<std::string> schedules;
+  unsigned machines = 3;
+  std::uint64_t base_seed = 41;
+};
+
+/// One wave = one random graph + K oracle-checked queries, submitted
+/// together under each schedule and awaited against the solo answers.
+void run_concurrent_differential(const ConcurrentHarnessConfig& cc) {
+  testgen::QueryGenConfig qcfg;
+  qcfg.num_vertex_labels = 2;
+  qcfg.num_edge_labels = 2;
+  qcfg.conjunction_prob = 0.2;
+
+  for (int wave = 0; wave < cc.waves; ++wave) {
+    synthetic::RandomGraphConfig gcfg;
+    gcfg.num_vertices = 24;
+    gcfg.num_edges = 55;
+    gcfg.num_vertex_labels = 2;
+    gcfg.num_edge_labels = 2;
+    gcfg.allow_self_loops = wave % 2 == 1;
+    const std::uint64_t gseed =
+        cc.base_seed * 1000 + static_cast<std::uint64_t>(wave);
+    gcfg.seed = gseed;
+    const Graph oracle_graph = synthetic::make_random(gcfg);
+
+    // Collect K oracle-supported queries for this wave.
+    std::vector<std::string> queries;
+    std::vector<std::uint64_t> expected;
+    std::uint64_t qseed = cc.base_seed * 100003 +
+                          static_cast<std::uint64_t>(wave) * 977;
+    while (queries.size() < cc.inflight) {
+      Rng rng(++qseed);
+      const std::string query = testgen::random_query(rng, qcfg);
+      try {
+        expected.push_back(baseline::reference_evaluate(query, oracle_graph).count);
+      } catch (const UnsupportedError&) {
+        continue;
+      }
+      queries.push_back(query);
+    }
+
+    EngineConfig ec;
+    ec.workers_per_machine = 2;
+    ec.buffers_per_machine = 48;
+    ec.buffer_bytes = 256;
+    ec.profile = true;  // fuzz the tracing layer concurrently, too
+    Database db(synthetic::make_random(gcfg), cc.machines, ec);
+    SchedulerConfig sc;
+    sc.max_inflight = cc.inflight;
+    db.configure_scheduler(sc);
+
+    for (const auto& schedule : cc.schedules) {
+      const std::uint64_t fseed = qseed ^ 0x9e3779b9u;
+      db.set_fault_schedule(schedule, fseed);
+      std::vector<QueryTicket> tickets;
+      for (const auto& query : queries) tickets.push_back(db.submit(query));
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        const std::string repro =
+            "repro: concurrent wave=" + std::to_string(wave) + " slot=" +
+            std::to_string(i) + " gseed=" + std::to_string(gseed) +
+            " schedule=" + schedule + " fseed=" + std::to_string(fseed) +
+            " machines=" + std::to_string(cc.machines) + " query=" +
+            queries[i];
+        const QueryResult result = db.await(tickets[i]);
+        EXPECT_FALSE(result.aborted) << repro;
+        EXPECT_EQ(result.count, expected[i]) << repro;
+        check_invariants(result, repro);
+      }
+    }
+  }
+}
+
+TEST(DifferentialFault, ConcurrentWavesAgreeUnderAdversarialSchedules) {
+  ConcurrentHarnessConfig cc;
+  cc.waves = env_int("RPQD_DIFF_QUERIES", 32) / 8;
+  cc.schedules = {"none", "reorder", "dup-storm", "credit-jitter"};
+  cc.base_seed = 41;
+  run_concurrent_differential(cc);
+}
+
+// Crash-stop under concurrency: the run counter makes exactly one run of
+// the wave the crash victim (fault_run_seq_ is deliberately
+// engine-global). The victim — if the crash fires before it terminates
+// naturally — aborts with kMachineFailure and still drains to the
+// quiescent state; every other in-flight query is untouched and must
+// match the oracle exactly.
+TEST(DifferentialFault, ConcurrentCrashStopHasAtMostOneVictim) {
+  testgen::QueryGenConfig qcfg;
+  qcfg.num_vertex_labels = 2;
+  qcfg.num_edge_labels = 2;
+
+  synthetic::RandomGraphConfig gcfg;
+  gcfg.num_vertices = 24;
+  gcfg.num_edges = 55;
+  gcfg.num_vertex_labels = 2;
+  gcfg.num_edge_labels = 2;
+  gcfg.seed = 4242;
+  const Graph oracle_graph = synthetic::make_random(gcfg);
+
+  std::vector<std::string> queries;
+  std::vector<std::uint64_t> expected;
+  std::uint64_t qseed = 515151;
+  while (queries.size() < 4) {
+    Rng rng(++qseed);
+    const std::string query = testgen::random_query(rng, qcfg);
+    try {
+      expected.push_back(baseline::reference_evaluate(query, oracle_graph).count);
+    } catch (const UnsupportedError&) {
+      continue;
+    }
+    queries.push_back(query);
+  }
+
+  EngineConfig ec;
+  ec.workers_per_machine = 2;
+  ec.buffers_per_machine = 48;
+  ec.buffer_bytes = 256;
+  Database db(synthetic::make_random(gcfg), 3, ec);
+  SchedulerConfig sc;
+  sc.max_inflight = 4;
+  db.configure_scheduler(sc);
+
+  for (std::uint64_t fseed : {7u, 77u, 777u}) {
+    db.set_fault_schedule("crash-stop", fseed);
+    std::vector<QueryTicket> tickets;
+    for (const auto& query : queries) tickets.push_back(db.submit(query));
+    unsigned victims = 0;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const std::string repro = "repro: crash-stop fseed=" +
+                                std::to_string(fseed) + " slot=" +
+                                std::to_string(i) + " query=" + queries[i];
+      const QueryResult result = db.await(tickets[i]);
+      check_invariants(result, repro);
+      if (result.aborted) {
+        ++victims;
+        EXPECT_EQ(result.abort_reason, AbortReason::kMachineFailure) << repro;
+      } else {
+        EXPECT_EQ(result.count, expected[i]) << repro;
+      }
+    }
+    // The crash schedule arms run index 0 only; at most the one victim
+    // (zero when it terminated before the crash tick).
+    EXPECT_LE(victims, 1u) << "crash-stop fseed=" << fseed;
+  }
+}
+
+// Acceptance-scale concurrent sweep: every schedule (including
+// crash-free ones at higher K), registered under `tier2-concurrent`.
+TEST(DifferentialFault, Tier2ConcurrentWaves) {
+  if (std::getenv("RPQD_TIER2_CONCURRENT") == nullptr) {
+    GTEST_SKIP() << "set RPQD_TIER2_CONCURRENT=1 (or run ctest -L "
+                    "tier2-concurrent)";
+  }
+  ConcurrentHarnessConfig cc;
+  cc.waves = 12;
+  cc.inflight = 6;
+  cc.schedules = {"none",          "reorder", "dup-storm",
+                  "credit-jitter", "chaos",   "slow-machine"};
+  cc.machines = 3;
+  cc.base_seed = 47;
+  run_concurrent_differential(cc);
+}
+
 // Acceptance-scale sweep, run under the `tier2-fuzz` ctest label (see
 // tests/CMakeLists.txt) so plain tier-1 ctest stays fast. ASan/TSan
 // builds run it via the tier2-fuzz-* CMake test presets.

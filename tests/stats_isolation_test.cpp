@@ -99,5 +99,121 @@ TEST(StatsIsolation, ProfileStateDoesNotLeakAcrossQueries) {
   EXPECT_EQ(again.profile.total_ctx_sent(), prof.profile.total_ctx_sent());
 }
 
+// ---- concurrent serving (runtime/scheduler.h) -------------------------
+// The isolation bar while queries OVERLAP: per-query stats, profile
+// trees, and credit books must reconcile exactly as if each query ran
+// alone. This doubles as the NetStats aliasing audit regression: every
+// NetStats / peak_queued_bytes counter hangs off the run's own Network
+// (see the audit note in net/network.h), so a heavy neighbour must not
+// bleed into a light query's numbers. The deliberately engine-global
+// counters (fault_run_seq_, epoch_seq_ — see runtime/engine.h) are
+// excluded by design and documented there.
+
+TEST(StatsIsolation, OverlappingQueriesReconcileExactly) {
+  Database db(synthetic::make_chain(14), 3, iso_config());
+  SchedulerConfig sc;
+  sc.max_inflight = 2;
+  db.configure_scheduler(sc);
+
+  // Both queries in flight together, both profiled.
+  QueryTicket theavy = db.submit(std::string("PROFILE ") + kHeavy);
+  QueryTicket tlight = db.submit(std::string("PROFILE ") + kLight);
+  const QueryResult heavy = db.await(theavy);
+  const QueryResult light = db.await(tlight);
+  ASSERT_FALSE(heavy.aborted);
+  ASSERT_FALSE(light.aborted);
+
+  // Solo references on a database that never served concurrently.
+  Database fresh(synthetic::make_chain(14), 3, iso_config());
+  const QueryResult solo_heavy = fresh.query(std::string("PROFILE ") + kHeavy);
+  const QueryResult solo_light = fresh.query(std::string("PROFILE ") + kLight);
+
+  const auto expect_identical = [](const QueryResult& got,
+                                   const QueryResult& solo) {
+    EXPECT_EQ(got.count, solo.count);
+    EXPECT_EQ(got.stats.contexts_sent, solo.stats.contexts_sent);
+    ASSERT_EQ(got.stats.rpq.size(), solo.stats.rpq.size());
+    for (std::size_t g = 0; g < got.stats.rpq.size(); ++g) {
+      EXPECT_EQ(got.stats.rpq[g].total_matches(),
+                solo.stats.rpq[g].total_matches());
+      EXPECT_EQ(got.stats.rpq[g].total_eliminated(),
+                solo.stats.rpq[g].total_eliminated());
+      EXPECT_EQ(got.stats.rpq[g].index_entries,
+                solo.stats.rpq[g].index_entries);
+      EXPECT_EQ(got.stats.rpq[g].max_depth_observed,
+                solo.stats.rpq[g].max_depth_observed);
+    }
+    ASSERT_EQ(got.stats.stages.size(), solo.stats.stages.size());
+    for (std::size_t s = 0; s < got.stats.stages.size(); ++s) {
+      EXPECT_EQ(got.stats.stages[s].visits, solo.stats.stages[s].visits);
+      EXPECT_EQ(got.stats.stages[s].remote_out,
+                solo.stats.stages[s].remote_out);
+    }
+    // The profile tree reconciles against the run's OWN fabric counters
+    // even while a neighbour's fabric is live.
+    ASSERT_TRUE(got.profile.enabled);
+    EXPECT_EQ(got.profile.total_ctx_sent(), got.stats.contexts_sent);
+    EXPECT_EQ(got.profile.total_ctx_received(), got.stats.contexts_sent);
+    EXPECT_EQ(got.profile.total_msgs_sent(), got.stats.data_messages);
+    EXPECT_EQ(got.profile.total_contexts(), solo.profile.total_contexts());
+  };
+  expect_identical(light, solo_light);
+  expect_identical(heavy, solo_heavy);
+
+  // NetStats aliasing audit: the light query's byte high-water mark must
+  // not inherit the heavy neighbour's (aliased counters would equalize).
+  EXPECT_GT(heavy.stats.peak_queued_bytes, 0u);
+  EXPECT_LE(light.stats.peak_queued_bytes, heavy.stats.peak_queued_bytes);
+  for (const QueryResult* r : {&heavy, &light}) {
+    EXPECT_EQ(r->stats.flow_outstanding, 0u);
+    EXPECT_EQ(r->stats.flow_overflow_outstanding, 0u);
+    EXPECT_EQ(r->stats.flow_emergency, 0u);
+  }
+}
+
+TEST(StatsIsolation, MixedCancelCompleteWaveLeavesBooksClean) {
+  // A wave where some queries are cancelled mid-flight and the rest
+  // complete: after the wave, every result's credit ledger reads zero
+  // outstanding and empty overflow — cancelled runs drain too.
+  EngineConfig cfg = iso_config();
+  cfg.use_reachability_index = false;  // blockers explore ~unboundedly
+  cfg.max_exploration_depth = 64;
+  Database db(synthetic::make_complete(10), 3, cfg);
+  const char* kBlocker = "SELECT COUNT(*) FROM MATCH (a) -/:edge*/-> (b)";
+  const char* kCheap = "SELECT COUNT(*) FROM MATCH (a) -/:edge{1,1}/-> (b)";
+  const std::uint64_t cheap_expected = db.query(kCheap).count;
+
+  SchedulerConfig sc;
+  sc.max_inflight = 2;
+  sc.max_queued = 8;
+  db.configure_scheduler(sc);
+
+  QueryTicket b1 = db.submit(kBlocker);
+  QueryTicket b2 = db.submit(kBlocker);
+  QueryTicket c1 = db.submit(kCheap);  // queued behind the blockers
+  QueryTicket c2 = db.submit(kCheap);
+  EXPECT_TRUE(db.cancel(b1));
+  EXPECT_TRUE(db.cancel(b2));
+
+  unsigned completed = 0, cancelled = 0;
+  for (const QueryTicket* t : {&b1, &b2, &c1, &c2}) {
+    const QueryResult r = db.await(*t);
+    EXPECT_EQ(r.stats.flow_outstanding, 0u);
+    EXPECT_EQ(r.stats.flow_overflow_outstanding, 0u);
+    EXPECT_EQ(r.stats.flow_emergency, 0u);
+    if (r.aborted) {
+      ++cancelled;
+      EXPECT_EQ(r.abort_reason, AbortReason::kUserCancel);
+    } else {
+      ++completed;
+      EXPECT_EQ(r.count, cheap_expected);
+    }
+  }
+  EXPECT_EQ(cancelled, 2u);
+  EXPECT_EQ(completed, 2u);
+  // The database serves normally after the mixed wave.
+  EXPECT_EQ(db.query(kCheap).count, cheap_expected);
+}
+
 }  // namespace
 }  // namespace rpqd
