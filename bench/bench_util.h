@@ -11,8 +11,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -189,6 +191,62 @@ inline ClosedLoopResult serial_baseline(Database& db,
   out.p50_ms = percentile(latencies, 50.0);
   out.p95_ms = percentile(latencies, 95.0);
   out.p99_ms = percentile(latencies, 99.0);
+  return out;
+}
+
+// ---- Zipf-distributed repeated-query serving (rpq/reach_cache.h) -------
+
+/// A request stream of `n` pool indices, Zipf(s)-distributed over `k`
+/// distinct queries (s = 0 is uniform). Rank r's weight is 1/(r+1)^s;
+/// sampling is inverse-CDF over the normalized cumulative, deterministic
+/// in `seed`. The popular ranks are shuffled into the pool order by the
+/// caller (rank 0 = pool[0]).
+inline std::vector<std::size_t> zipf_stream(std::size_t n, std::size_t k,
+                                            double s, std::uint64_t seed) {
+  std::vector<double> cumulative(k, 0.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < k; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cumulative[r] = total;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, total);
+  std::vector<std::size_t> stream;
+  stream.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = uniform(rng);
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), x);
+    stream.push_back(static_cast<std::size_t>(it - cumulative.begin()));
+  }
+  return stream;
+}
+
+struct ServeStreamResult {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0;
+  std::uint64_t completed = 0;
+};
+
+/// Serve a pre-sampled request stream serially on the blocking path and
+/// report latency moments. The same stream replayed against differently
+/// configured Databases (caches off / on) is the cache serving A/B.
+inline ServeStreamResult serve_stream(Database& db,
+                                      const std::vector<std::string>& pool,
+                                      const std::vector<std::size_t>& stream) {
+  std::vector<double> samples;
+  samples.reserve(stream.size());
+  for (const std::size_t q : stream) {
+    Stopwatch timer;
+    const QueryResult r = db.query(pool[q]);
+    if (!r.aborted) samples.push_back(timer.elapsed_ms());
+  }
+  ServeStreamResult out;
+  out.completed = samples.size();
+  for (const double ms : samples) out.mean_ms += ms;
+  if (!samples.empty()) out.mean_ms /= static_cast<double>(samples.size());
+  out.p50_ms = percentile(samples, 50.0);
+  out.p95_ms = percentile(samples, 95.0);
   return out;
 }
 

@@ -121,6 +121,18 @@ struct ServingRow {
   double speedup;       // throughput vs the serial baseline
 };
 
+/// One skew point of the cross-query cache A/B (bench_cache_serving is
+/// the standalone sibling with the per-mode reach/full breakdown).
+struct CacheRow {
+  double zipf_s;
+  double cold_mean_ms;  // both caches off
+  double warm_mean_ms;  // reach + result cache on
+  double speedup;
+  std::uint64_t result_hits;
+  std::uint64_t result_misses;
+  std::uint64_t reach_seeded;
+};
+
 }  // namespace
 
 int main() {
@@ -272,6 +284,65 @@ int main() {
     }
   }
 
+  // Cross-query cache A/B (rpq/reach_cache.h, runtime/result_cache.h):
+  // one Zipf request stream per skew point, replayed cold (caches off)
+  // then warm (reach + result cache on). The s = 1.2 row carries the
+  // headline >= 1.5x mean-latency claim.
+  std::vector<CacheRow> cache_rows;
+  print_header("cross-query cache serving (random:48:160, 3 machines)");
+  {
+    synthetic::RandomGraphConfig gcfg;
+    gcfg.num_vertices = 48;
+    gcfg.num_edges = 160;
+    gcfg.num_vertex_labels = 2;
+    gcfg.num_edge_labels = 2;
+    gcfg.allow_self_loops = false;
+    gcfg.seed = bench_seed();
+    const Graph cache_graph = synthetic::make_random(gcfg);
+    const std::vector<std::string> pool = {
+        "SELECT COUNT(*) FROM MATCH (a) -/:e0*/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:e1*/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:e0|e1{1,4}/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:e0+/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:e1{2,}/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:e0|e1*/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) <-/:e0*/- (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:e0{1,5}/-> (b)"};
+    const std::size_t cache_ops =
+        static_cast<std::size_t>(env_int("RPQD_BENCH_CACHE_OPS", 64));
+    for (const double s : {0.0, 0.8, 1.2}) {
+      const std::vector<std::size_t> stream = zipf_stream(
+          cache_ops, pool.size(),
+          s, bench_seed() * 1000003 + static_cast<std::uint64_t>(s * 10.0));
+      EngineConfig cold_cfg;
+      cold_cfg.workers_per_machine = 2;
+      Database cold_db(cache_graph, 3, cold_cfg);
+      const ServeStreamResult cold = serve_stream(cold_db, pool, stream);
+      EngineConfig warm_cfg = cold_cfg;
+      warm_cfg.reach_cache_max_bytes = 4u << 20;
+      warm_cfg.reach_cache_harvest = true;
+      warm_cfg.result_cache_max_bytes = 8u << 20;
+      Database warm_db(cache_graph, 3, warm_cfg);
+      const ServeStreamResult warm = serve_stream(warm_db, pool, stream);
+      const ResultCacheStats rs = warm_db.result_cache_stats();
+      std::uint64_t seeded = 0;
+      for (unsigned m = 0; m < warm_db.num_machines(); ++m) {
+        if (const ReachCache* cache = warm_db.reach_cache(m)) {
+          seeded += cache->stats().seed_reads;
+        }
+      }
+      const double speedup =
+          warm.mean_ms > 0.0 ? cold.mean_ms / warm.mean_ms : 0.0;
+      cache_rows.push_back({s, cold.mean_ms, warm.mean_ms, speedup, rs.hits,
+                            rs.misses, seeded});
+      std::printf("  zipf %.1f  cold %8.3f ms  warm %8.3f ms  %5.2fx  "
+                  "(hits %llu, seeded %llu)\n",
+                  s, cold.mean_ms, warm.mean_ms, speedup,
+                  static_cast<unsigned long long>(rs.hits),
+                  static_cast<unsigned long long>(seeded));
+    }
+  }
+
   std::string json = "{\n";
   {
     char buf[128];
@@ -321,6 +392,23 @@ int main() {
         s.clients, s.r.throughput_qps, s.r.p50_ms, s.r.p95_ms, s.r.p99_ms,
         static_cast<unsigned long long>(s.r.rejected), s.speedup,
         i + 1 == serving_rows.size() ? "" : ",");
+    json += buf;
+  }
+  json += "  ],\n";
+  json += "  \"cross_query_cache\": [\n";
+  for (std::size_t i = 0; i < cache_rows.size(); ++i) {
+    const CacheRow& c = cache_rows[i];
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"zipf_s\": %.1f, \"cold_mean_ms\": %.3f, "
+        "\"warm_mean_ms\": %.3f, \"speedup\": %.2f, \"result_hits\": %llu, "
+        "\"result_misses\": %llu, \"reach_seeded\": %llu}%s\n",
+        c.zipf_s, c.cold_mean_ms, c.warm_mean_ms, c.speedup,
+        static_cast<unsigned long long>(c.result_hits),
+        static_cast<unsigned long long>(c.result_misses),
+        static_cast<unsigned long long>(c.reach_seeded),
+        i + 1 == cache_rows.size() ? "" : ",");
     json += buf;
   }
   json += "  ]\n}\n";

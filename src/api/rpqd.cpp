@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/fault.h"
+#include "pgql/normalize.h"
 
 namespace rpqd {
 
@@ -16,7 +17,60 @@ Database::Database(Graph graph, unsigned num_machines, EngineConfig config) {
 }
 
 QueryResult Database::query(std::string_view pgql) {
-  return engine_->execute(pgql);
+  ResultCache* cache = result_cache();
+  if (cache == nullptr) return engine_->execute(pgql);
+
+  // Single-flight result cache, leader-inline on the blocking path: the
+  // first asker executes; concurrent identical asks block on its flight.
+  const pgql::NormalizedQuery norm = pgql::normalize_query(pgql);
+  const bool profile = norm.profile || engine_->config_snapshot().profile;
+  ResultCache::Lookup look = cache->acquire(norm.text, profile);
+  if (look.role == ResultCache::Role::kHit) {
+    look.result.stats.result_cache_hit = true;
+    return std::move(look.result);
+  }
+  if (look.role == ResultCache::Role::kFollower) {
+    QueryResult result = ResultCache::await(look.flight);
+    result.stats.result_cache_coalesced = true;
+    return result;
+  }
+  try {
+    QueryResult result = engine_->execute(pgql);
+    cache->complete(look.flight, norm.text, profile, result);
+    return result;
+  } catch (...) {
+    // Followers of a throwing leader rethrow the same error.
+    cache->complete_error(look.flight, norm.text, profile,
+                          std::current_exception());
+    throw;
+  }
+}
+
+ResultCache* Database::result_cache() {
+  const EngineConfig cfg = engine_->config_snapshot();
+  if (cfg.result_cache_max_bytes == 0) return nullptr;
+  std::lock_guard lock(scheduler_mutex_);
+  if (result_cache_ == nullptr) {
+    result_cache_ = std::make_unique<ResultCache>(
+        cfg.result_cache_max_bytes, cfg.result_cache_admit_max_bytes);
+  } else {
+    // The knobs may have moved between queries; re-apply (evicts eagerly).
+    result_cache_->set_budget(cfg.result_cache_max_bytes,
+                              cfg.result_cache_admit_max_bytes);
+  }
+  return result_cache_.get();
+}
+
+void Database::invalidate_caches() {
+  engine_->bump_reach_cache_epoch();
+  std::lock_guard lock(scheduler_mutex_);
+  if (result_cache_ != nullptr) result_cache_->invalidate();
+}
+
+ResultCacheStats Database::result_cache_stats() const {
+  std::lock_guard lock(scheduler_mutex_);
+  return result_cache_ != nullptr ? result_cache_->stats()
+                                  : ResultCacheStats{};
 }
 
 std::string Database::explain(std::string_view pgql) const {
@@ -31,10 +85,12 @@ void Database::set_fault_schedule(std::string_view name, std::uint64_t seed) {
 }
 
 QueryScheduler& Database::scheduler() {
+  // Resolve the cache first: result_cache() takes scheduler_mutex_ too.
+  ResultCache* cache = result_cache();
   std::lock_guard lock(scheduler_mutex_);
   if (scheduler_ == nullptr) {
-    scheduler_ =
-        std::make_unique<QueryScheduler>(engine_.get(), SchedulerConfig{});
+    scheduler_ = std::make_unique<QueryScheduler>(engine_.get(),
+                                                  SchedulerConfig{}, cache);
   }
   return *scheduler_;
 }
@@ -44,9 +100,10 @@ QueryTicket Database::submit(std::string_view pgql) {
 }
 
 void Database::configure_scheduler(const SchedulerConfig& config) {
+  ResultCache* cache = result_cache();
   std::lock_guard lock(scheduler_mutex_);
   scheduler_.reset();  // drains/cancels the previous serving generation
-  scheduler_ = std::make_unique<QueryScheduler>(engine_.get(), config);
+  scheduler_ = std::make_unique<QueryScheduler>(engine_.get(), config, cache);
 }
 
 SchedulerStats Database::scheduler_stats() const {

@@ -23,6 +23,7 @@
 #include "graph/graph.h"
 #include "graph/partition.h"
 #include "runtime/engine.h"
+#include "runtime/result_cache.h"
 #include "runtime/scheduler.h"
 
 namespace rpqd {
@@ -37,6 +38,12 @@ class Database {
   /// `PROFILE ` prefix enables the per-query tracing layer for that query
   /// only: the result's `profile` tree carries per-(stage, machine,
   /// depth) accounting (see runtime/profile.h).
+  ///
+  /// With `config().result_cache_max_bytes > 0` this path also runs
+  /// through the single-flight result cache (DESIGN.md §11): a repeated
+  /// ask of the same normalized text returns the cached result
+  /// (stats.result_cache_hit), and concurrent identical asks coalesce
+  /// behind one execution (stats.result_cache_coalesced).
   QueryResult query(std::string_view pgql);
 
   /// Parses and plans once; the returned PreparedQuery executes
@@ -135,14 +142,44 @@ class Database {
   /// retryable abort (machine failure or a resource-budget trip — see
   /// abort_reason_retryable). Non-retryable aborts (user cancel,
   /// deadline) and clean results return immediately. The returned
-  /// result's stats.retries counts the re-runs performed.
+  /// result's stats.retries counts the re-runs performed. Bypasses the
+  /// result cache (each attempt must actually run).
   QueryResult run_with_retry(std::string_view pgql,
                              const RetryPolicy& policy);
   QueryResult run_with_retry(std::string_view pgql) {
     return run_with_retry(pgql, RetryPolicy{});
   }
 
+  // ---- cross-query caches (DESIGN.md §11) -------------------------------
+  // Enabled by config().reach_cache_max_bytes (per-machine reachability
+  // facts reused across queries) and config().result_cache_max_bytes
+  // (full results keyed by normalized PGQL text). Both default off.
+
+  /// Drops both caches: bumps the reachability cache's epoch on every
+  /// machine (in-flight runs' harvests are rejected) and clears the
+  /// result cache (in-flight executions complete normally — the graph is
+  /// immutable, so their results stay valid).
+  void invalidate_caches();
+
+  /// Aggregated reachability-cache counters over the machines (zeroes
+  /// before the first cache-enabled query).
+  ReachCacheStats reach_cache_stats() const {
+    return engine_->reach_cache_stats();
+  }
+  /// Result-cache counters (zeroes before the cache exists).
+  ResultCacheStats result_cache_stats() const;
+
+  /// Test hook (differential poisoning sweeps): machine `machine`'s
+  /// persistent reachability cache. nullptr until the first cache-enabled
+  /// query built the caches, and out of range afterwards.
+  ReachCache* reach_cache(unsigned machine) {
+    return engine_->reach_cache(machine);
+  }
+
  private:
+  /// Lazily builds (or re-budgets) the result cache; nullptr while the
+  /// knob is 0.
+  ResultCache* result_cache();
   /// Lazily constructs the scheduler (default SchedulerConfig) on first
   /// use; guarded so concurrent first submits race safely.
   QueryScheduler& scheduler();
@@ -150,6 +187,9 @@ class Database {
   std::shared_ptr<const PartitionedGraph> partitioned_;
   std::unique_ptr<DistributedEngine> engine_;
   mutable std::mutex scheduler_mutex_;
+  // Declared before scheduler_: the scheduler borrows the cache pointer,
+  // so it must be destroyed first (reverse declaration order).
+  std::unique_ptr<ResultCache> result_cache_;
   std::unique_ptr<QueryScheduler> scheduler_;
 };
 

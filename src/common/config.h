@@ -133,6 +133,33 @@ struct EngineConfig {
   /// from below.
   double credit_partition_share = 1.0;
 
+  // ---- cross-query caching (DESIGN.md §11) -------------------------------
+  // Both caches default OFF (0 bytes): every existing single-query and
+  // concurrent-serving behavior is bit-identical until a budget is set.
+
+  /// Per-machine byte budget of the cross-query reachability cache:
+  /// (automaton-group hash, source, destination, depth) facts harvested
+  /// from completed runs and seeded into later runs' reachability indexes
+  /// as inert sentinels (48 bytes/entry accounting, LRU eviction,
+  /// epoch-based invalidation). 0 disables seeding and harvesting.
+  std::uint64_t reach_cache_max_bytes = 0;
+
+  /// Byte budget of the full result cache keyed by normalized PGQL text
+  /// (pgql/normalize.h). Repeated asks of the same normalized query
+  /// return the cached QueryResult; concurrent identical asks coalesce
+  /// behind one leader execution (single-flight). 0 disables.
+  std::uint64_t result_cache_max_bytes = 0;
+
+  /// Largest single result admitted into the result cache; oversized
+  /// results execute normally but are never cached. 0 = auto
+  /// (result_cache_max_bytes / 8).
+  std::uint64_t result_cache_admit_max_bytes = 0;
+
+  /// Harvest reachability facts from clean (non-aborted, non-truncated)
+  /// runs back into the cross-query cache. Disable to run the cache
+  /// read-only (seed from whatever is cached, never write back).
+  bool reach_cache_harvest = true;
+
   /// Deterministic seed for any randomized tie-breaking.
   std::uint64_t seed = 42;
 

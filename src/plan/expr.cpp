@@ -106,6 +106,13 @@ bool CompiledExpr::reads_edge() const {
   return false;
 }
 
+bool CompiledExpr::reads_slot() const {
+  if (kind_ == Kind::kSlot) return true;
+  if (lhs_ && lhs_->reads_slot()) return true;
+  if (rhs_ && rhs_->reads_slot()) return true;
+  return false;
+}
+
 std::optional<int> compare_values(const EvalValue& a, const EvalValue& b,
                                   const Catalog& catalog) {
   if (a.is_null() || b.is_null()) return std::nullopt;
@@ -270,18 +277,29 @@ bool CompiledExpr::evaluate_bool(const EvalCtx& ctx) const {
 }
 
 std::string CompiledExpr::debug_text() const {
+  // Canonical rendering: two expressions produce the same text iff they
+  // are structurally identical (operator identity, constant payloads and
+  // slot/prop ids included). The cross-query cache key hashes this text,
+  // so under-rendering here would alias semantically distinct filters.
   std::ostringstream out;
   switch (kind_) {
-    case Kind::kConst: out << "const"; break;
+    case Kind::kConst:
+      out << "const<" << static_cast<int>(const_value_.type) << ':'
+          << const_value_.bits << '>';
+      break;
     case Kind::kConstText: out << '\'' << text_ << '\''; break;
     case Kind::kSlot: out << "slot[" << slot_ << ']'; break;
     case Kind::kCurrentProp: out << "cur.prop" << prop_; break;
     case Kind::kCurrentId: out << "id(cur)"; break;
     case Kind::kCurrentLabel: out << "label(cur)"; break;
     case Kind::kEdgeProp: out << "edge.prop" << prop_; break;
-    case Kind::kUnary: out << "un(" << lhs_->debug_text() << ')'; break;
+    case Kind::kUnary:
+      out << "un" << static_cast<int>(un_op_) << '(' << lhs_->debug_text()
+          << ')';
+      break;
     case Kind::kBinary:
-      out << '(' << lhs_->debug_text() << " op " << rhs_->debug_text() << ')';
+      out << '(' << lhs_->debug_text() << " op" << static_cast<int>(bin_op_)
+          << ' ' << rhs_->debug_text() << ')';
       break;
   }
   return out.str();

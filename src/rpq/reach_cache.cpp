@@ -1,0 +1,98 @@
+#include "rpq/reach_cache.h"
+
+#include "common/hash.h"
+
+namespace rpqd {
+
+std::size_t ReachCache::KeyHasher::operator()(const Key& k) const {
+  return static_cast<std::size_t>(
+      mix64(k.hash ^ mix64(k.src ^ (static_cast<std::uint64_t>(k.dst) << 32))));
+}
+
+void ReachCache::bump_epoch() {
+  std::lock_guard lock(mutex_);
+  ++epoch_;
+  ++stats_.invalidations;
+  lru_.clear();
+  index_.clear();
+}
+
+bool ReachCache::insert(std::uint64_t group_hash, VertexId src,
+                        LocalVertexId dst, Depth depth,
+                        std::uint64_t expected_epoch) {
+  std::lock_guard lock(mutex_);
+  if (expected_epoch != epoch_) {
+    ++stats_.epoch_rejects;
+    return false;
+  }
+  if (max_bytes_ < kEntryBytes) return false;  // budget can't hold any entry
+  const Key key{group_hash, src, dst};
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->depth = depth;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.refreshed;
+    return false;
+  }
+  lru_.push_front(Node{key, depth});
+  index_.emplace(key, lru_.begin());
+  ++stats_.inserts;
+  evict_to_budget_locked();
+  return true;
+}
+
+std::vector<ReachCache::Entry> ReachCache::snapshot(std::uint64_t group_hash) {
+  std::lock_guard lock(mutex_);
+  std::vector<Entry> out;
+  // Collect first, then touch: splicing while iterating the same list
+  // would revisit moved nodes.
+  std::vector<std::list<Node>::iterator> touched;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->key.hash != group_hash) continue;
+    out.push_back(Entry{it->key.src, it->key.dst, it->depth});
+    touched.push_back(it);
+  }
+  for (const auto& it : touched) lru_.splice(lru_.begin(), lru_, it);
+  stats_.seed_reads += out.size();
+  return out;
+}
+
+std::vector<std::uint64_t> ReachCache::group_hashes() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::uint64_t> out;
+  for (const auto& node : lru_) {
+    bool seen = false;
+    for (const std::uint64_t h : out) seen = seen || h == node.key.hash;
+    if (!seen) out.push_back(node.key.hash);
+  }
+  return out;
+}
+
+void ReachCache::poison_depths(Depth depth) {
+  std::lock_guard lock(mutex_);
+  for (auto& node : lru_) node.depth = depth;
+}
+
+void ReachCache::set_budget(std::uint64_t max_bytes) {
+  std::lock_guard lock(mutex_);
+  max_bytes_ = max_bytes;
+  evict_to_budget_locked();
+}
+
+void ReachCache::evict_to_budget_locked() {
+  while (!lru_.empty() && lru_.size() * kEntryBytes > max_bytes_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evicted;
+  }
+}
+
+ReachCacheStats ReachCache::stats() const {
+  std::lock_guard lock(mutex_);
+  ReachCacheStats s = stats_;
+  s.entries = lru_.size();
+  s.bytes = lru_.size() * kEntryBytes;
+  return s;
+}
+
+}  // namespace rpqd

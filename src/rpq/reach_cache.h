@@ -1,0 +1,158 @@
+// Cross-query reachability cache (ROADMAP item 2, DESIGN.md §11).
+//
+// One ReachCache per simulated machine, owned by the engine and SURVIVING
+// across queries: the destination-partitioned store of
+// (automaton-group hash, source vertex, local destination vertex) -> depth
+// facts harvested from finished runs' §3.5 reachability indexes. On
+// admission of a cache-eligible run the machine seeds its per-run index
+// with this cache's entries for the plan's group hashes (sentinel-depth
+// entries keyed by stable rpids — see rpq/rpid.h); on a clean drain the
+// engine harvests the run's stable-rpid entries back.
+//
+// Coherence argument (the property the differential harness pins): a
+// seeded entry carries kSeedDepthSentinel and therefore never
+// participates in any emit/eliminate/duplicate decision — the first visit
+// returns ReachOutcome::kSeededNew, treated exactly like kNew. A stale,
+// evicted, or adversarially poisoned cache entry can thus only perturb
+// hit counters, never a result. Eviction is byte-accounted LRU under
+// `EngineConfig::reach_cache_max_bytes` (per machine, mirroring the
+// reach_index_max_bytes machinery); epoch bumps drop everything eagerly.
+//
+// All operations are mutex-protected — seeding and harvesting run at
+// query admission/drain, never on the traversal hot path.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rpqd {
+
+/// Cache identity of one RPQ group of a plan: a canonical hash over the
+/// group's automaton structure (rpq/cache_key.h) plus whether the group's
+/// exploration is slot-free, i.e. safe to share across queries.
+struct RpqGroupKey {
+  std::uint64_t hash = 0;
+  bool eligible = false;
+};
+
+/// Everything one MachineRuntime needs to participate in the cross-query
+/// cache for one run: its machine's persistent cache, the plan's group
+/// keys, and the cache epoch observed at seed time (harvests against a
+/// bumped epoch are rejected).
+struct RunCacheContext {
+  class ReachCache* cache = nullptr;
+  const std::vector<RpqGroupKey>* keys = nullptr;
+  std::uint64_t epoch = 0;
+};
+
+struct ReachCacheStats {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t inserts = 0;     // new facts harvested
+  std::uint64_t refreshed = 0;   // existing facts re-harvested
+  std::uint64_t evicted = 0;     // LRU evictions under the byte budget
+  std::uint64_t seed_reads = 0;  // entries handed out for run seeding
+  std::uint64_t epoch_rejects = 0;  // harvests dropped by an epoch bump
+  std::uint64_t invalidations = 0;  // epoch bumps observed
+};
+
+class ReachCache {
+ public:
+  /// Byte accounting per entry: 8B group hash + 8B source vertex + 4B
+  /// local destination + 4B depth + LRU/backing overhead rounded to a
+  /// deliberately honest 48B.
+  static constexpr std::uint64_t kEntryBytes = 48;
+
+  explicit ReachCache(std::uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  ReachCache(const ReachCache&) = delete;
+  ReachCache& operator=(const ReachCache&) = delete;
+
+  struct Entry {
+    VertexId src = 0;
+    LocalVertexId dst = 0;
+    Depth depth = 0;
+  };
+
+  /// Current invalidation epoch. Runs snapshot it at seed time and pass
+  /// it back on harvest; a mismatch (epoch bumped mid-run) rejects the
+  /// harvest wholesale.
+  std::uint64_t epoch() const {
+    std::lock_guard lock(mutex_);
+    return epoch_;
+  }
+
+  /// Epoch-based invalidation: bumps the epoch and eagerly drops every
+  /// entry (the graph is immutable today, so bumps come from the API /
+  /// tests; the online-update work of ROADMAP item 4 will bump per
+  /// touched partition).
+  void bump_epoch();
+
+  /// Inserts or refreshes one harvested fact under the LRU byte budget.
+  /// No-op (counted) when `expected_epoch` is stale. Returns true when a
+  /// new entry was created.
+  bool insert(std::uint64_t group_hash, VertexId src, LocalVertexId dst,
+              Depth depth, std::uint64_t expected_epoch);
+
+  /// Test hook: inserts at the current epoch (poisoning / direct setup).
+  bool insert_now(std::uint64_t group_hash, VertexId src, LocalVertexId dst,
+                  Depth depth) {
+    return insert(group_hash, src, dst, depth, epoch());
+  }
+
+  /// Snapshot of one group's entries for run seeding; touches their LRU
+  /// recency.
+  std::vector<Entry> snapshot(std::uint64_t group_hash);
+
+  /// Distinct group hashes currently cached (tests / poisoning sweeps).
+  std::vector<std::uint64_t> group_hashes() const;
+
+  /// Test hook: overwrite every stored depth with `depth` (poisoning; a
+  /// correct engine must be insensitive to any stored depth).
+  void poison_depths(Depth depth);
+
+  void set_budget(std::uint64_t max_bytes);
+
+  ReachCacheStats stats() const;
+  std::uint64_t entries() const {
+    std::lock_guard lock(mutex_);
+    return lru_.size();
+  }
+  std::uint64_t bytes() const {
+    std::lock_guard lock(mutex_);
+    return lru_.size() * kEntryBytes;
+  }
+
+ private:
+  struct Key {
+    std::uint64_t hash;
+    VertexId src;
+    LocalVertexId dst;
+    bool operator==(const Key&) const = default;
+  };
+  struct Node {
+    Key key;
+    Depth depth;
+  };
+  struct KeyHasher {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  void evict_to_budget_locked();
+
+  mutable std::mutex mutex_;
+  std::uint64_t max_bytes_;
+  std::uint64_t epoch_ = 0;
+  // front = most recently used.
+  std::list<Node> lru_;
+  std::unordered_map<Key, std::list<Node>::iterator, KeyHasher> index_;
+  ReachCacheStats stats_;
+};
+
+}  // namespace rpqd

@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "pgql/parser.h"
 #include "plan/planner.h"
+#include "rpq/cache_key.h"
 #include "runtime/aggregate.h"
 #include "runtime/machine.h"
 
@@ -151,12 +152,33 @@ QueryResult DistributedEngine::run_plan_cfg(const ExecPlan& plan,
   // picked up by a later query on this engine (its epoch won't match).
   net.set_epoch(epoch_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
   AbortController abort;
+
+  // Cross-query reachability cache (DESIGN.md §11): build this run's
+  // per-machine contexts before the machines — their ctors seed eligible
+  // groups' indexes from the caches. Off unless the byte budget is set;
+  // also off when the §3.5 index itself is off (nothing to seed into)
+  // and at >= 255 machines (the stable-rpid marker byte — rpq/rpid.h).
+  const bool cache_on = cfg.reach_cache_max_bytes > 0 &&
+                        cfg.use_reachability_index &&
+                        plan.num_rpq_indexes > 0 && num_machines < 255;
+  std::vector<RpqGroupKey> group_keys;
+  std::vector<RunCacheContext> cache_ctx;
+  if (cache_on) {
+    ensure_reach_caches(cfg.reach_cache_max_bytes);
+    group_keys = rpq_group_cache_keys(plan);
+    cache_ctx.resize(num_machines);
+    for (unsigned m = 0; m < num_machines; ++m) {
+      cache_ctx[m] = RunCacheContext{reach_caches_[m].get(), &group_keys,
+                                     reach_caches_[m]->epoch()};
+    }
+  }
+
   std::vector<std::unique_ptr<MachineRuntime>> machines;
   machines.reserve(num_machines);
   for (unsigned m = 0; m < num_machines; ++m) {
     machines.push_back(std::make_unique<MachineRuntime>(
         static_cast<MachineId>(m), &graph_->partition(m), &plan, &cfg,
-        &net, &abort));
+        &net, &abort, cache_on ? &cache_ctx[m] : nullptr));
   }
 
   {
@@ -343,6 +365,20 @@ QueryResult DistributedEngine::run_plan_cfg(const ExecPlan& plan,
     }
     stats.rpq[g].consensus_max_depth = consensus;
   }
+  for (const auto& r : stats.rpq) {
+    stats.reach_cache_seeded += r.index_seeded;
+    stats.reach_cache_seed_hits += r.index_seed_hits;
+  }
+  // Harvest ONLY clean runs: an aborted or truncated run's index holds
+  // facts whose exploration was cut short — complete-at-depth cannot be
+  // guaranteed, so nothing is persisted (asserted by the differential
+  // harness under crash-stop schedules).
+  if (cache_on && cfg.reach_cache_harvest && !result.aborted &&
+      !result.truncated) {
+    for (auto& machine : machines) {
+      stats.reach_cache_harvested += machine->harvest_reach_cache();
+    }
+  }
   // EXPLAIN ANALYZE breakdown.
   stats.stages.resize(plan.stages.size());
   for (StageId s = 0; s < plan.num_stages(); ++s) {
@@ -370,6 +406,49 @@ QueryResult DistributedEngine::run_plan_cfg(const ExecPlan& plan,
     prof.finish();
   }
   return result;
+}
+
+void DistributedEngine::ensure_reach_caches(
+    std::uint64_t max_bytes_per_machine) {
+  std::lock_guard lock(reach_cache_mutex_);
+  if (reach_caches_.empty()) {
+    reach_caches_.reserve(graph_->num_machines());
+    for (unsigned m = 0; m < graph_->num_machines(); ++m) {
+      reach_caches_.push_back(
+          std::make_unique<ReachCache>(max_bytes_per_machine));
+    }
+  } else {
+    // The knob may have changed between runs; re-apply (evicts eagerly).
+    for (auto& cache : reach_caches_) cache->set_budget(max_bytes_per_machine);
+  }
+}
+
+void DistributedEngine::bump_reach_cache_epoch() {
+  std::lock_guard lock(reach_cache_mutex_);
+  for (auto& cache : reach_caches_) cache->bump_epoch();
+}
+
+ReachCacheStats DistributedEngine::reach_cache_stats() const {
+  std::lock_guard lock(reach_cache_mutex_);
+  ReachCacheStats sum;
+  for (const auto& cache : reach_caches_) {
+    const ReachCacheStats s = cache->stats();
+    sum.entries += s.entries;
+    sum.bytes += s.bytes;
+    sum.inserts += s.inserts;
+    sum.refreshed += s.refreshed;
+    sum.evicted += s.evicted;
+    sum.seed_reads += s.seed_reads;
+    sum.epoch_rejects += s.epoch_rejects;
+    sum.invalidations += s.invalidations;
+  }
+  return sum;
+}
+
+ReachCache* DistributedEngine::reach_cache(unsigned machine) {
+  std::lock_guard lock(reach_cache_mutex_);
+  if (machine >= reach_caches_.size()) return nullptr;
+  return reach_caches_[machine].get();
 }
 
 unsigned DistributedEngine::cancel_all() {

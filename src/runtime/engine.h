@@ -14,6 +14,7 @@
 #include "common/config.h"
 #include "graph/partition.h"
 #include "plan/plan.h"
+#include "rpq/reach_cache.h"
 #include "runtime/profile.h"
 #include "runtime/stats.h"
 
@@ -138,6 +139,22 @@ class DistributedEngine {
   /// Each aborts cooperatively and returns a clean QueryResult.
   unsigned cancel_all();
 
+  // ---- cross-query reachability cache (DESIGN.md §11) -------------------
+  // Per-machine caches surviving across queries, lazily built on the
+  // first run with `reach_cache_max_bytes > 0`. The engine disables the
+  // cache entirely at >= 255 machines (machine byte 0xFF is the stable
+  // rpid marker — rpq/rpid.h).
+
+  /// Epoch-based invalidation: drops every cached fact on every machine
+  /// and rejects harvests from runs seeded under the old epoch.
+  void bump_reach_cache_epoch();
+  /// Aggregated counters over the per-machine caches (zeroes before the
+  /// first cache-enabled run).
+  ReachCacheStats reach_cache_stats() const;
+  /// One machine's cache, or nullptr before the caches exist (tests:
+  /// poisoning sweeps and direct eviction checks).
+  ReachCache* reach_cache(unsigned machine);
+
   /// Restarts the per-engine run counter that crash-stop fault plans
   /// match against (FaultPlan::crash_run). Called when a new fault
   /// schedule is installed so "crash on run N" counts from that point.
@@ -149,6 +166,8 @@ class DistributedEngine {
   QueryResult run_plan(const ExecPlan& plan, bool profile);
   QueryResult run_plan_cfg(const ExecPlan& plan, EngineConfig cfg,
                            RunControl* rc);
+  /// Lazily builds (or re-budgets) the per-machine caches.
+  void ensure_reach_caches(std::uint64_t max_bytes_per_machine);
 
   std::shared_ptr<const PartitionedGraph> graph_;
   // Engine configuration. config_mutex_ covers the snapshot taken at the
@@ -165,6 +184,11 @@ class DistributedEngine {
   };
   std::mutex active_mutex_;
   std::vector<ActiveRun> active_runs_;
+  // Cross-query reachability caches, one per machine (lazily built; the
+  // vector never shrinks once built, so element pointers stay stable for
+  // the engine's lifetime and runs use them without the mutex).
+  mutable std::mutex reach_cache_mutex_;
+  std::vector<std::unique_ptr<ReachCache>> reach_caches_;
   // Concurrency audit: these two counters are deliberately ENGINE-GLOBAL
   // across concurrent queries. fault_run_seq_ assigns each run a unique
   // index so a crash-stop plan kills exactly one run in a concurrent

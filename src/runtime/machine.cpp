@@ -36,13 +36,15 @@ void bump(std::vector<std::uint64_t>& v, Depth depth) {
 MachineRuntime::MachineRuntime(MachineId id, const Partition* partition,
                                const ExecPlan* plan,
                                const EngineConfig* config, Network* network,
-                               AbortController* abort)
+                               AbortController* abort,
+                               const RunCacheContext* cache)
     : id_(id),
       part_(partition),
       plan_(plan),
       config_(config),
       net_(network),
       abort_(abort),
+      cache_(cache),
       detector_(id, network->num_machines(),
                 static_cast<unsigned>(plan->stages.size()),
                 plan->num_rpq_indexes) {
@@ -68,6 +70,20 @@ MachineRuntime::MachineRuntime(MachineId id, const Partition* partition,
     indexes_.push_back(std::make_unique<ReachabilityIndex>(
         part_->num_local(), config->reach_index_preallocate,
         config->reach_index_shards));
+  }
+  if (cache_ != nullptr && cache_->cache != nullptr) {
+    // Seed eligible groups' indexes from the machine's persistent cache.
+    // Seeds are inert sentinels (rpq/reach_index.h): whatever the cache
+    // holds — stale, evicted-and-readded, even adversarially poisoned —
+    // can only move hit counters, never an emit/eliminate decision.
+    minted_.resize(plan->num_rpq_indexes);
+    for (unsigned g = 0; g < plan->num_rpq_indexes; ++g) {
+      const RpqGroupKey& key = (*cache_->keys)[g];
+      if (!key.eligible) continue;
+      for (const auto& e : cache_->cache->snapshot(key.hash)) {
+        indexes_[g]->seed(e.dst, make_stable_rpid(e.src));
+      }
+    }
   }
   for (unsigned w = 0; w < config->workers_per_machine; ++w) {
     auto worker = std::make_unique<Worker>();
@@ -158,7 +174,7 @@ bool MachineRuntime::enter_stage(Worker& w, RunState& rs, StageId stage,
     } else {
       // Entering the RPQ from outside: mint the rpid, start at depth 0
       // (0-hop matching is possible via the transition hop — §3.1).
-      rpid = make_rpid_source(id_, w.id, ++w.rpid_seq);
+      rpid = mint_rpid(w, group, lv);
       depth = 0;
     }
     const RpqControlPlan& rpq = sp.rpq;
@@ -189,6 +205,10 @@ bool MachineRuntime::enter_stage(Worker& w, RunState& rs, StageId stage,
           ++row.index_probes;
           switch (outcome) {
             case ReachOutcome::kNew: ++row.index_new; break;
+            case ReachOutcome::kSeededNew:
+              ++row.index_new;  // a seed hit IS a first visit
+              ++row.index_seed_hits;
+              break;
             case ReachOutcome::kDuplicated: ++row.index_duplicated; break;
             case ReachOutcome::kEliminated: ++row.index_eliminated; break;
           }
@@ -202,6 +222,7 @@ bool MachineRuntime::enter_stage(Worker& w, RunState& rs, StageId stage,
       }
       switch (outcome) {
         case ReachOutcome::kNew:
+        case ReachOutcome::kSeededNew:  // by construction: exactly kNew
           emit = true;
           explore = below_max;
           break;
@@ -1006,10 +1027,53 @@ RpqStageStats MachineRuntime::rpq_stats(unsigned group) const {
   stats.index_entries = idx.entries;
   stats.index_bytes = idx.dynamic_bytes;
   stats.index_hot_allocs = idx.hot_allocations;
+  stats.index_seeded = idx.seeded;
+  stats.index_seed_hits = idx.seed_hits;
   // Post-run duplicate audit (§3.5 invariant: one entry per (dst, rpid)).
   stats.index_duplicate_entries = indexes_[group]->duplicate_entries();
   stats.max_depth_observed = detector_.local_max_depth(group);
   return stats;
+}
+
+// -------------------------------------------- cross-query cache (§11) --
+
+std::uint64_t MachineRuntime::mint_rpid(Worker& w, int group,
+                                        LocalVertexId lv) {
+  if (cache_ != nullptr && cache_->cache != nullptr &&
+      (*cache_->keys)[static_cast<unsigned>(group)].eligible) {
+    const VertexId source = part_->to_global(lv);
+    if (stable_rpid_encodable(source)) {
+      std::lock_guard<std::mutex> lock(minted_mutex_);
+      if (minted_[static_cast<unsigned>(group)].insert(source).second) {
+        return make_stable_rpid(source);
+      }
+    }
+  }
+  return make_rpid_source(id_, w.id, ++w.rpid_seq);
+}
+
+std::uint64_t MachineRuntime::harvest_reach_cache() {
+  if (cache_ == nullptr || cache_->cache == nullptr) return 0;
+  std::uint64_t harvested = 0;
+  for (unsigned g = 0; g < indexes_.size(); ++g) {
+    const RpqGroupKey& key = (*cache_->keys)[g];
+    if (!key.eligible) continue;
+    indexes_[g]->for_each_entry(
+        [&](LocalVertexId dst, std::uint64_t rpid, Depth depth) {
+          if (!rpid_is_stable(rpid)) return;
+          if (cache_->cache->insert(key.hash, stable_rpid_vertex(rpid), dst,
+                                    depth, cache_->epoch)) {
+            ++harvested;
+          }
+        });
+  }
+  return harvested;
+}
+
+std::uint64_t MachineRuntime::reach_cache_seeded() const {
+  std::uint64_t sum = 0;
+  for (const auto& index : indexes_) sum += index->stats().seeded;
+  return sum;
 }
 
 }  // namespace rpqd

@@ -1,0 +1,158 @@
+#include "runtime/result_cache.h"
+
+namespace rpqd {
+
+std::uint64_t estimate_result_bytes(const QueryResult& result) {
+  // Fixed overhead covers stats/profile/explain plus container headers;
+  // the dominant variable cost is the rendered row text.
+  std::uint64_t bytes = 1024;
+  for (const auto& c : result.columns) bytes += 32 + c.size();
+  for (const auto& row : result.rows) {
+    bytes += 32;
+    for (const auto& cell : row) bytes += 32 + cell.size();
+  }
+  bytes += result.explain.size();
+  return bytes;
+}
+
+ResultCache::ResultCache(std::uint64_t max_bytes,
+                         std::uint64_t admit_max_bytes)
+    : max_bytes_(max_bytes), admit_max_bytes_(admit_max_bytes) {}
+
+std::uint64_t ResultCache::admit_ceiling_locked() const {
+  if (admit_max_bytes_ != 0) return admit_max_bytes_;
+  return max_bytes_ / 8;
+}
+
+ResultCache::Lookup ResultCache::acquire(const std::string& text,
+                                         bool profile) {
+  const Key key{text, profile};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    Lookup out;
+    out.role = Role::kHit;
+    out.result = it->second->result;
+    return out;
+  }
+  if (const auto it = flights_.find(key); it != flights_.end()) {
+    ++stats_.coalesced;
+    Lookup out;
+    out.role = Role::kFollower;
+    out.flight = it->second;
+    return out;
+  }
+  ++stats_.misses;
+  Lookup out;
+  out.role = Role::kLeader;
+  out.flight = std::make_shared<Flight>();
+  flights_.emplace(key, out.flight);
+  return out;
+}
+
+void ResultCache::retire_flight_locked(const Key& key,
+                                       const std::shared_ptr<Flight>& flight) {
+  // Only erase the registration if it is still ours: a concurrent
+  // invalidate() does not touch flights, but defensive identity checking
+  // keeps a double-complete from evicting a successor flight.
+  const auto it = flights_.find(key);
+  if (it != flights_.end() && it->second == flight) flights_.erase(it);
+}
+
+void ResultCache::complete(const std::shared_ptr<Flight>& flight,
+                           const std::string& text, bool profile,
+                           const QueryResult& result) {
+  const Key key{text, profile};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retire_flight_locked(key, flight);
+    if (result.aborted || result.truncated) {
+      ++stats_.rejected_dirty;
+    } else {
+      const std::uint64_t bytes = estimate_result_bytes(result);
+      if (bytes > admit_ceiling_locked() || bytes > max_bytes_) {
+        ++stats_.rejected_too_big;
+      } else if (const auto it = index_.find(key); it != index_.end()) {
+        // A racing leader of the same key already cached; refresh.
+        bytes_ -= it->second->bytes;
+        it->second->result = result;
+        it->second->bytes = bytes;
+        bytes_ += bytes;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        evict_to_budget_locked();
+      } else {
+        lru_.push_front(Node{key, result, bytes});
+        index_.emplace(key, lru_.begin());
+        bytes_ += bytes;
+        ++stats_.inserts;
+        evict_to_budget_locked();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> flock(flight->mutex);
+    flight->result = result;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+}
+
+void ResultCache::complete_error(const std::shared_ptr<Flight>& flight,
+                                 const std::string& text, bool profile,
+                                 std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retire_flight_locked(Key{text, profile}, flight);
+  }
+  {
+    std::lock_guard<std::mutex> flock(flight->mutex);
+    flight->error = std::move(error);
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+}
+
+QueryResult ResultCache::await(const std::shared_ptr<Flight>& flight) {
+  std::unique_lock<std::mutex> lock(flight->mutex);
+  flight->cv.wait(lock, [&] { return flight->done; });
+  if (flight->error) std::rethrow_exception(flight->error);
+  return flight->result;
+}
+
+void ResultCache::invalidate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.evicted += lru_.size();
+  ++stats_.invalidations;
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+void ResultCache::set_budget(std::uint64_t max_bytes,
+                             std::uint64_t admit_max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_bytes_ = max_bytes;
+  admit_max_bytes_ = admit_max_bytes;
+  evict_to_budget_locked();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ResultCacheStats out = stats_;
+  out.entries = lru_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+void ResultCache::evict_to_budget_locked() {
+  while (!lru_.empty() && bytes_ > max_bytes_) {
+    const Node& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evicted;
+  }
+}
+
+}  // namespace rpqd

@@ -1,0 +1,141 @@
+// Full-result cache with single-flight coalescing (DESIGN.md §11).
+//
+// Keyed by (normalized PGQL text, profile flag): `PROFILE Q` and `Q`
+// normalize to the same text but are distinct result-cache entries — a
+// profiled and an unprofiled ask must never share a result object (the
+// profile tree is part of the result).
+//
+// Single-flight protocol: the first asker of an uncached key becomes the
+// LEADER and executes; concurrent askers of the same key become
+// FOLLOWERS and block on the leader's flight instead of re-executing.
+// A flight is ALWAYS completed — with a result (including rejected and
+// aborted results, which are shared but never cached) or with an
+// exception — so followers share the leader's fate verbatim and can
+// never deadlock on an abandoned flight. Only clean results
+// (!aborted && !truncated) are admitted into the LRU store, and only
+// when they fit the per-entry admission ceiling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/engine.h"
+
+namespace rpqd {
+
+struct ResultCacheStats {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hits = 0;        // served straight from the store
+  std::uint64_t misses = 0;      // leader executions started
+  std::uint64_t coalesced = 0;   // followers attached to a live flight
+  std::uint64_t inserts = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t rejected_too_big = 0;  // clean but over the admit ceiling
+  std::uint64_t rejected_dirty = 0;    // aborted/truncated, never cached
+  std::uint64_t invalidations = 0;     // invalidate() calls
+};
+
+/// Conservative byte estimate of a QueryResult's cacheable payload
+/// (rendered rows + columns + fixed overhead). Used for both the LRU
+/// budget and the admission ceiling.
+std::uint64_t estimate_result_bytes(const QueryResult& result);
+
+class ResultCache {
+ public:
+  /// One in-flight execution of a key. Opaque to callers: obtained from
+  /// acquire(), passed back to complete()/complete_error()/await().
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    QueryResult result;
+    std::exception_ptr error;
+  };
+
+  enum class Role : std::uint8_t {
+    kHit,       // `result` is filled; no flight
+    kLeader,    // caller must execute and complete(...) the flight
+    kFollower,  // caller must await(...) the flight
+  };
+
+  struct Lookup {
+    Role role = Role::kLeader;
+    QueryResult result;                // kHit only
+    std::shared_ptr<Flight> flight;    // kLeader / kFollower
+  };
+
+  explicit ResultCache(std::uint64_t max_bytes,
+                       std::uint64_t admit_max_bytes = 0);
+
+  /// Looks up `(text, profile)`: cached → kHit with a copy of the stored
+  /// result; live flight → kFollower; otherwise registers a new flight
+  /// and returns kLeader.
+  Lookup acquire(const std::string& text, bool profile);
+
+  /// Leader hand-off: publishes `result` to every follower of `flight`
+  /// and admits it into the store when clean and within budget. The
+  /// flight is retired either way.
+  void complete(const std::shared_ptr<Flight>& flight,
+                const std::string& text, bool profile,
+                const QueryResult& result);
+
+  /// Leader hand-off for a throwing execution: every follower rethrows.
+  void complete_error(const std::shared_ptr<Flight>& flight,
+                      const std::string& text, bool profile,
+                      std::exception_ptr error);
+
+  /// Follower wait: blocks until the leader completes, then returns a
+  /// copy of its result (or rethrows its exception).
+  static QueryResult await(const std::shared_ptr<Flight>& flight);
+
+  /// Drops every cached entry (live flights are unaffected — they were
+  /// admitted under the old epoch and complete normally, but a flight
+  /// completing after invalidate() is still cached: its result was
+  /// computed from the current graph, which is immutable).
+  void invalidate();
+
+  void set_budget(std::uint64_t max_bytes, std::uint64_t admit_max_bytes);
+
+  ResultCacheStats stats() const;
+
+ private:
+  struct Key {
+    std::string text;
+    bool profile;
+    bool operator==(const Key& o) const {
+      return profile == o.profile && text == o.text;
+    }
+  };
+  struct KeyHasher {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::string>{}(k.text) ^ (k.profile ? 0x9e3779b97f4a7c15ULL : 0);
+    }
+  };
+  struct Node {
+    Key key;
+    QueryResult result;
+    std::uint64_t bytes = 0;
+  };
+
+  void evict_to_budget_locked();
+  std::uint64_t admit_ceiling_locked() const;
+  void retire_flight_locked(const Key& key,
+                            const std::shared_ptr<Flight>& flight);
+
+  mutable std::mutex mutex_;
+  std::uint64_t max_bytes_;
+  std::uint64_t admit_max_bytes_;  // 0 = auto (max_bytes_ / 8)
+  std::uint64_t bytes_ = 0;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Node>::iterator, KeyHasher> index_;
+  std::unordered_map<Key, std::shared_ptr<Flight>, KeyHasher> flights_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace rpqd

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "common/error.h"
+#include "pgql/normalize.h"
 
 namespace rpqd {
 
@@ -21,9 +22,17 @@ struct QueryJob {
   AdmissionReject reject = AdmissionReject::kNone;
   /// Created at submit so a cancel can never miss the run: before
   /// dispatch it records a pending reason the engine applies on attach.
+  /// Null for kCachedHit / kCoalesced tickets — they never run, so there
+  /// is nothing to cancel.
   std::shared_ptr<RunControl> run_control;
   Stopwatch queued_at;    // started at submit
   double queue_ms = 0.0;  // stamped at dispatch
+  // Result cache (DESIGN.md §11). A follower holds the leader's flight;
+  // a leader holds its own flight plus the cache key to complete it.
+  std::shared_ptr<ResultCache::Flight> flight;       // kCoalesced
+  std::shared_ptr<ResultCache::Flight> lead_flight;  // leader of a flight
+  std::string cache_text;
+  bool cache_profile = false;
 
   std::mutex m;
   std::condition_variable cv;
@@ -41,6 +50,8 @@ const char* to_string(AdmissionOutcome outcome) {
     case AdmissionOutcome::kAdmitted: return "admitted";
     case AdmissionOutcome::kQueued: return "queued";
     case AdmissionOutcome::kRejected: return "rejected";
+    case AdmissionOutcome::kCachedHit: return "cached-hit";
+    case AdmissionOutcome::kCoalesced: return "coalesced";
   }
   return "?";
 }
@@ -67,8 +78,9 @@ AdmissionReject QueryTicket::reject_reason() const {
 }
 
 QueryScheduler::QueryScheduler(DistributedEngine* engine,
-                               SchedulerConfig config)
-    : engine_(engine), config_(config) {
+                               SchedulerConfig config,
+                               ResultCache* result_cache)
+    : engine_(engine), config_(config), result_cache_(result_cache) {
   slots_ = std::max(1u, config_.max_inflight);
   // Budget-based admission at its coarsest: when the engine carries a
   // per-query budget, cap the slot count so a full wave of such queries
@@ -132,6 +144,45 @@ QueryTicket QueryScheduler::submit(std::string_view pgql) {
   auto job = std::make_shared<QueryJob>();
   job->plan = std::move(plan);
   job->profile = profile;
+
+  if (result_cache_ != nullptr) {
+    // Result-cache lookup AFTER compile (parse errors throw like the
+    // uncached path, never touching the cache) and BEFORE admission (a
+    // hit or coalesce consumes neither a slot nor a queue position).
+    pgql::NormalizedQuery norm = pgql::normalize_query(pgql);
+    const bool key_profile =
+        profile || norm.profile || engine_->config_snapshot().profile;
+    ResultCache::Lookup look = result_cache_->acquire(norm.text, key_profile);
+    if (look.role == ResultCache::Role::kHit) {
+      {
+        std::lock_guard lock(mutex_);
+        job->id = next_id_++;
+        ++stats_.submitted;
+        ++stats_.cache_hits;
+      }
+      job->outcome = AdmissionOutcome::kCachedHit;
+      look.result.stats.result_cache_hit = true;
+      look.result.stats.queue_ms = 0.0;
+      fulfill(*job, std::move(look.result));
+      return QueryTicket(std::move(job));
+    }
+    if (look.role == ResultCache::Role::kFollower) {
+      {
+        std::lock_guard lock(mutex_);
+        job->id = next_id_++;
+        ++stats_.submitted;
+        ++stats_.cache_coalesced;
+      }
+      job->outcome = AdmissionOutcome::kCoalesced;
+      job->flight = std::move(look.flight);
+      return QueryTicket(std::move(job));
+    }
+    // Leader: this job must complete the flight whatever happens to it
+    // (dispatch, rejection, cancel, shutdown) — fulfill()/fail() do.
+    job->lead_flight = std::move(look.flight);
+    job->cache_text = std::move(norm.text);
+    job->cache_profile = key_profile;
+  }
   job->run_control = std::make_shared<RunControl>();
 
   AdmissionReject reject = AdmissionReject::kNone;
@@ -188,6 +239,29 @@ QueryTicket QueryScheduler::submit(std::string_view pgql) {
 QueryResult QueryScheduler::await(const QueryTicket& ticket) {
   engine_check(ticket.valid(), "await on an empty QueryTicket");
   QueryJob& job = *ticket.job_;
+  if (job.flight != nullptr) {
+    // Follower: block on the leader's flight (this thread holds no
+    // dispatcher slot, so coalescing can never deadlock the pool), then
+    // stamp the shared result as coalesced. Idempotent across repeated
+    // and concurrent awaits of the same ticket.
+    try {
+      QueryResult result = ResultCache::await(job.flight);
+      result.stats.result_cache_coalesced = true;
+      result.stats.queue_ms = 0.0;
+      std::lock_guard lock(job.m);
+      if (!job.done) {
+        job.result = std::move(result);
+        job.done = true;
+      }
+    } catch (...) {
+      std::lock_guard lock(job.m);
+      if (!job.done) {
+        job.error = std::current_exception();
+        job.done = true;
+      }
+    }
+    job.cv.notify_all();
+  }
   std::unique_lock lock(job.m);
   job.cv.wait(lock, [&] { return job.done; });
   if (job.error != nullptr) std::rethrow_exception(job.error);
@@ -212,7 +286,8 @@ bool QueryScheduler::cancel(const QueryTicket& ticket, AbortReason reason) {
   }
   // Dispatched (or about to be): route through the run's cancellation
   // handle — a pre-attach cancel is remembered and applied on attach.
-  return job->run_control->cancel(reason);
+  // Cached-hit / coalesced tickets have no run of their own to cancel.
+  return job->run_control != nullptr && job->run_control->cancel(reason);
 }
 
 unsigned QueryScheduler::cancel_all_queued(AbortReason reason) {
@@ -274,9 +349,32 @@ EngineConfig QueryScheduler::job_config(const QueryJob& job) const {
 }
 
 void QueryScheduler::fulfill(QueryJob& job, QueryResult result) {
+  if (job.lead_flight != nullptr && result_cache_ != nullptr) {
+    // Leader hand-off: publish to every coalesced follower and admit
+    // into the cache when clean. A rejected/cancelled leader publishes
+    // its aborted result — followers share the leader's fate, the cache
+    // stores nothing.
+    result_cache_->complete(job.lead_flight, job.cache_text,
+                            job.cache_profile, result);
+    job.lead_flight.reset();
+  }
   {
     std::lock_guard lock(job.m);
     job.result = std::move(result);
+    job.done = true;
+  }
+  job.cv.notify_all();
+}
+
+void QueryScheduler::fail(QueryJob& job, std::exception_ptr error) {
+  if (job.lead_flight != nullptr && result_cache_ != nullptr) {
+    result_cache_->complete_error(job.lead_flight, job.cache_text,
+                                  job.cache_profile, error);
+    job.lead_flight.reset();
+  }
+  {
+    std::lock_guard lock(job.m);
+    job.error = std::move(error);
     job.done = true;
   }
   job.cv.notify_all();
@@ -304,12 +402,7 @@ void QueryScheduler::run_job(const std::shared_ptr<QueryJob>& job) {
                    running_.end());
   }
   if (error != nullptr) {
-    {
-      std::lock_guard lock(job->m);
-      job->error = error;
-      job->done = true;
-    }
-    job->cv.notify_all();
+    fail(*job, error);
   } else {
     fulfill(*job, std::move(result));
   }

@@ -46,14 +46,17 @@
 
 #include "common/stopwatch.h"
 #include "runtime/engine.h"
+#include "runtime/result_cache.h"
 
 namespace rpqd {
 
 /// What the admission controller decided at submit time.
 enum class AdmissionOutcome : std::uint8_t {
-  kAdmitted,  // a slot was free; dispatch is immediate
-  kQueued,    // all slots busy; waiting in the bounded queue
-  kRejected,  // never ran; see AdmissionReject
+  kAdmitted,   // a slot was free; dispatch is immediate
+  kQueued,     // all slots busy; waiting in the bounded queue
+  kRejected,   // never ran; see AdmissionReject
+  kCachedHit,  // served from the result cache; never dispatched
+  kCoalesced,  // attached to a live identical execution (single-flight)
 };
 
 /// Typed rejection reasons (AdmissionOutcome::kRejected).
@@ -106,6 +109,9 @@ struct SchedulerStats {
   std::uint64_t admitted = 0;  // dispatched with a free slot
   std::uint64_t queued = 0;    // waited in the admission queue
   std::uint64_t completed = 0;
+  // Result cache (DESIGN.md §11); 0 without a cache.
+  std::uint64_t cache_hits = 0;       // served without dispatching
+  std::uint64_t cache_coalesced = 0;  // followers of a live flight
   std::uint64_t cancelled_while_queued = 0;
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_context_budget = 0;
@@ -145,7 +151,16 @@ class QueryTicket {
 
 class QueryScheduler {
  public:
-  QueryScheduler(DistributedEngine* engine, SchedulerConfig config);
+  /// `result_cache` (optional, not owned, must outlive the scheduler)
+  /// enables the single-flight result cache on the serving path: a
+  /// submission whose normalized text is cached returns a kCachedHit
+  /// ticket without dispatching; one whose text is already executing
+  /// returns kCoalesced and its await() shares the leader's result —
+  /// including the leader's rejection, abort, or exception (a flight is
+  /// always completed, never abandoned). Hit/coalesced tickets hold no
+  /// dispatcher slot and no run_control (cancel() returns false).
+  QueryScheduler(DistributedEngine* engine, SchedulerConfig config,
+                 ResultCache* result_cache = nullptr);
 
   /// Shutdown: rejects everything still queued (their await returns an
   /// admission-reject result), cooperatively cancels in-flight runs
@@ -195,10 +210,16 @@ class QueryScheduler {
   /// Builds the job's effective per-query config: engine snapshot +
   /// profile flag + credit partition share + sliced budgets.
   EngineConfig job_config(const detail::QueryJob& job) const;
-  static void fulfill(detail::QueryJob& job, QueryResult result);
+  /// Completes the job — and, when it leads a result-cache flight, the
+  /// flight too (every follower observes the same result, cached only
+  /// when clean). Every path that finishes a job goes through here or
+  /// fail(), so a flight can never be left pending.
+  void fulfill(detail::QueryJob& job, QueryResult result);
+  void fail(detail::QueryJob& job, std::exception_ptr error);
 
   DistributedEngine* engine_;
   SchedulerConfig config_;
+  ResultCache* result_cache_;
   unsigned slots_ = 0;
   AdmissionReject zero_slots_reason_ = AdmissionReject::kNone;
 

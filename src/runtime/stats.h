@@ -22,6 +22,9 @@ struct RpqStageStats {
   std::uint64_t index_bytes = 0;
   std::uint64_t index_hot_allocs = 0;  // heap allocations on the hot path
   std::uint64_t index_duplicate_entries = 0;  // post-run audit; must be 0
+  // Cross-query reachability cache (DESIGN.md §11); 0 with the cache off.
+  std::uint64_t index_seeded = 0;     // sentinel entries planted pre-run
+  std::uint64_t index_seed_hits = 0;  // first visits that landed on a seed
   Depth max_depth_observed = 0;
   /// The §3.4 consensus value for unbounded RPQs (set when reached).
   std::optional<Depth> consensus_max_depth;
@@ -95,6 +98,14 @@ struct RuntimeStats {
   std::uint64_t peak_live_contexts = 0;
   /// run_with_retry attempts before this result (0 = first try).
   unsigned retries = 0;
+  // Cross-query caches (DESIGN.md §11); all 0/false with the caches off.
+  std::uint64_t reach_cache_seeded = 0;     // sum of rpq[].index_seeded
+  std::uint64_t reach_cache_seed_hits = 0;  // sum of rpq[].index_seed_hits
+  std::uint64_t reach_cache_harvested = 0;  // facts persisted post-run
+  /// This result was served from the result cache without executing.
+  bool result_cache_hit = false;
+  /// This result was coalesced onto a concurrent identical execution.
+  bool result_cache_coalesced = false;
   // Concurrent serving (runtime/scheduler.h); identity values when the
   // query ran through the blocking single-query path.
   /// Credit-partition share this query's flow control was built with

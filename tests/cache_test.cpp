@@ -1,0 +1,694 @@
+// Cross-query cache layer (DESIGN.md §11): unit tests for PGQL
+// normalization, the canonical automaton-group cache key, the
+// per-machine reachability cache (LRU byte budget, epoch invalidation),
+// the single-flight result cache, and the Database-level wiring
+// (seed/harvest counters, PROFILE-vs-plain keying, abort no-persist,
+// eviction pressure) — plus the cache regression corpus replay
+// (tests/corpus/cache/*.txt).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/rpqd.h"
+#include "baseline/reference.h"
+#include "ldbc/synthetic.h"
+#include "pgql/normalize.h"
+#include "pgql/parser.h"
+#include "plan/planner.h"
+#include "rpq/cache_key.h"
+#include "rpq/reach_cache.h"
+#include "runtime/result_cache.h"
+
+#ifndef RPQD_CACHE_CORPUS_DIR
+#error "RPQD_CACHE_CORPUS_DIR must point at tests/corpus/cache"
+#endif
+
+namespace rpqd {
+namespace {
+
+// ---- PGQL normalization (pgql/normalize.h) ------------------------------
+
+TEST(Normalize, CaseAndWhitespaceFoldToOneForm) {
+  const auto a = pgql::normalize_query(
+      "select   count(*)\n from\tmatch (a:L0) -/:e0*/-> (b)");
+  const auto b = pgql::normalize_query(
+      "SELECT COUNT(*) FROM MATCH (a:L0) -/:e0*/-> (b)");
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_FALSE(a.profile);
+  EXPECT_FALSE(b.profile);
+}
+
+TEST(Normalize, ProfilePrefixStrippedIntoFlag) {
+  const auto plain =
+      pgql::normalize_query("SELECT COUNT(*) FROM MATCH (a:L0)");
+  const auto profiled =
+      pgql::normalize_query("profile SELECT COUNT(*) FROM MATCH (a:L0)");
+  EXPECT_TRUE(profiled.profile);
+  EXPECT_FALSE(plain.profile);
+  // Same normalized text: PROFILE is a result-cache key FLAG, not text.
+  EXPECT_EQ(plain.text, profiled.text);
+}
+
+TEST(Normalize, IdentifierCasePreservedAfterColonAndDot) {
+  // Labels and properties are case-sensitive catalog names; a label or
+  // property spelled like a keyword must never be folded (tokens are
+  // single-space separated in the canonical rendering).
+  const auto q = pgql::normalize_query(
+      "select count(*) from match (a:match) where a.count = 1");
+  EXPECT_NE(q.text.find(": match"), std::string::npos) << q.text;
+  EXPECT_NE(q.text.find(". count"), std::string::npos) << q.text;
+  // The real keywords did fold.
+  EXPECT_EQ(q.text.find("select"), std::string::npos) << q.text;
+  EXPECT_NE(q.text.find("SELECT"), std::string::npos) << q.text;
+}
+
+TEST(Normalize, UnlexableTextFallsBackToTrimmedRaw) {
+  // An unterminated string literal fails the lexer; normalization must
+  // not throw and keys on the trimmed raw text (the engine rejects it
+  // identically on every ask, so the key is still sound).
+  const auto q = pgql::normalize_query("   SELECT 'unterminated   ");
+  EXPECT_FALSE(q.profile);
+  EXPECT_EQ(q.text, "SELECT 'unterminated");
+}
+
+// ---- automaton-group cache key (rpq/cache_key.h) ------------------------
+
+class CacheKeyTest : public ::testing::Test {
+ protected:
+  CacheKeyTest() {
+    synthetic::RandomGraphConfig cfg;
+    cfg.num_vertices = 16;
+    cfg.num_edges = 40;
+    cfg.num_vertex_labels = 2;
+    cfg.num_edge_labels = 2;
+    cfg.seed = 7;
+    graph_ = synthetic::make_random(cfg);
+  }
+
+  std::vector<RpqGroupKey> keys(const std::string& text) const {
+    return rpq_group_cache_keys(
+        plan_query(pgql::parse(text), graph_.catalog()));
+  }
+
+  Graph graph_;
+};
+
+TEST_F(CacheKeyTest, AlternationOrderIsCanonical) {
+  const auto ab = keys("SELECT COUNT(*) FROM MATCH (a) -/:e0|e1*/-> (b)");
+  const auto ba = keys("SELECT COUNT(*) FROM MATCH (a) -/:e1|e0*/-> (b)");
+  ASSERT_EQ(ab.size(), 1u);
+  ASSERT_EQ(ba.size(), 1u);
+  EXPECT_TRUE(ab[0].eligible);
+  EXPECT_EQ(ab[0].hash, ba[0].hash)
+      << "automaton-equivalent rewrites must share a cache key";
+}
+
+TEST_F(CacheKeyTest, HopWindowAndLabelsChangeTheKey) {
+  const auto star = keys("SELECT COUNT(*) FROM MATCH (a) -/:e0*/-> (b)");
+  const auto plus = keys("SELECT COUNT(*) FROM MATCH (a) -/:e0+/-> (b)");
+  const auto other = keys("SELECT COUNT(*) FROM MATCH (a) -/:e1*/-> (b)");
+  ASSERT_EQ(star.size(), 1u);
+  EXPECT_NE(star[0].hash, plus[0].hash);
+  EXPECT_NE(star[0].hash, other[0].hash);
+}
+
+TEST_F(CacheKeyTest, DestinationLabelIsConservativelyPartOfTheKey) {
+  // The planner places the destination-label check INSIDE the RPQ group
+  // (a vertex filter on the group's emit stage), so it lands in the
+  // hashed filter set. Conservative — `(b)` and `(b:L1)` could in
+  // principle share exploration facts — but sound by construction: any
+  // filter that might prune inside the group separates the keys.
+  const auto open = keys("SELECT COUNT(*) FROM MATCH (a) -/:e0*/-> (b)");
+  const auto gated =
+      keys("SELECT COUNT(*) FROM MATCH (a) -/:e0*/-> (b:L1)");
+  ASSERT_EQ(open.size(), 1u);
+  ASSERT_EQ(gated.size(), 1u);
+  EXPECT_NE(open[0].hash, gated[0].hash);
+}
+
+TEST_F(CacheKeyTest, SourceLabelOutsideTheGroupSharesTheKey) {
+  // The source-label filter runs in the scan stage BEFORE the RPQ group,
+  // so it is excluded from the key — sound, because facts are keyed per
+  // source vertex and a source's reachable set is independent of which
+  // other sources start: seeds for sources this run never visits stay
+  // inert sentinels and are skipped at harvest.
+  const auto l0 = keys("SELECT COUNT(*) FROM MATCH (a:L0) -/:e0*/-> (b)");
+  const auto l1 = keys("SELECT COUNT(*) FROM MATCH (a:L1) -/:e0*/-> (b)");
+  ASSERT_EQ(l0.size(), 1u);
+  ASSERT_EQ(l1.size(), 1u);
+  EXPECT_EQ(l0[0].hash, l1[0].hash);
+}
+
+// ---- ReachCache (rpq/reach_cache.h) -------------------------------------
+
+TEST(ReachCache, InsertSnapshotRoundTrip) {
+  ReachCache cache(/*max_bytes=*/1 << 16);
+  EXPECT_TRUE(cache.insert_now(0xabc, /*src=*/1, /*dst=*/2, /*depth=*/3));
+  EXPECT_FALSE(cache.insert_now(0xabc, 1, 2, 5))
+      << "same key refreshes, not inserts";
+  const auto entries = cache.snapshot(0xabc);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].src, 1u);
+  EXPECT_EQ(entries[0].dst, 2u);
+  EXPECT_EQ(entries[0].depth, 5u);  // refreshed
+  EXPECT_TRUE(cache.snapshot(0xdef).empty());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.refreshed, 1u);
+  EXPECT_EQ(s.seed_reads, 1u);
+}
+
+TEST(ReachCache, LruByteBudgetNeverExceeded) {
+  const std::uint64_t budget = 4 * ReachCache::kEntryBytes;
+  ReachCache cache(budget);
+  for (VertexId v = 0; v < 100; ++v) {
+    cache.insert_now(0x1, v, static_cast<LocalVertexId>(v), 1);
+    EXPECT_LE(cache.bytes(), budget);
+  }
+  EXPECT_EQ(cache.entries(), 4u);
+  EXPECT_EQ(cache.stats().evicted, 96u);
+}
+
+TEST(ReachCache, SnapshotRefreshesRecency) {
+  const std::uint64_t budget = 2 * ReachCache::kEntryBytes;
+  ReachCache cache(budget);
+  cache.insert_now(/*hash=*/1, /*src=*/10, /*dst=*/0, 1);
+  cache.insert_now(/*hash=*/2, /*src=*/20, /*dst=*/0, 1);
+  // Touch group 1, then insert a third entry: group 2 is the LRU victim.
+  (void)cache.snapshot(1);
+  cache.insert_now(/*hash=*/3, /*src=*/30, /*dst=*/0, 1);
+  EXPECT_EQ(cache.snapshot(1).size(), 1u);
+  EXPECT_EQ(cache.snapshot(2).size(), 0u);
+  EXPECT_EQ(cache.snapshot(3).size(), 1u);
+}
+
+TEST(ReachCache, EpochBumpDropsEverythingEagerly) {
+  ReachCache cache(1 << 16);
+  cache.insert_now(1, 1, 1, 1);
+  cache.insert_now(2, 2, 2, 2);
+  const std::uint64_t epoch_before = cache.epoch();
+  cache.bump_epoch();
+  EXPECT_EQ(cache.epoch(), epoch_before + 1);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ReachCache, StaleEpochHarvestRejected) {
+  ReachCache cache(1 << 16);
+  const std::uint64_t old_epoch = cache.epoch();
+  cache.bump_epoch();
+  EXPECT_FALSE(cache.insert(1, 1, 1, 1, old_epoch));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stats().epoch_rejects, 1u);
+  // The current epoch still works.
+  EXPECT_TRUE(cache.insert(1, 1, 1, 1, cache.epoch()));
+}
+
+TEST(ReachCache, SetBudgetEvictsEagerly) {
+  ReachCache cache(1 << 16);
+  for (VertexId v = 0; v < 10; ++v) cache.insert_now(1, v, 0, 1);
+  cache.set_budget(3 * ReachCache::kEntryBytes);
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_LE(cache.bytes(), 3 * ReachCache::kEntryBytes);
+}
+
+TEST(ReachCache, ConcurrentInsertsRespectBudget) {
+  const std::uint64_t budget = 16 * ReachCache::kEntryBytes;
+  ReachCache cache(budget);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  std::atomic<bool> over_budget{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        cache.insert_now(static_cast<std::uint64_t>(t + 1),
+                         static_cast<VertexId>(i),
+                         static_cast<LocalVertexId>(t), 1);
+        if (cache.bytes() > budget) over_budget.store(true);
+        if (i % 64 == 0) (void)cache.snapshot(static_cast<std::uint64_t>(t + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(over_budget.load()) << "LRU byte budget exceeded mid-insert";
+  EXPECT_LE(cache.bytes(), budget);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.inserts, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ReachCache, PoisonOverwritesDepthsOnly) {
+  ReachCache cache(1 << 16);
+  cache.insert_now(1, 1, 1, 7);
+  cache.insert_now(1, 2, 2, 9);
+  cache.poison_depths(1);
+  for (const auto& e : cache.snapshot(1)) EXPECT_EQ(e.depth, 1u);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+// ---- ResultCache (runtime/result_cache.h) -------------------------------
+
+QueryResult make_result(std::uint64_t count, std::size_t padding = 0) {
+  QueryResult r;
+  r.count = count;
+  if (padding > 0) {
+    r.rows.push_back({std::string(padding, 'x')});
+  }
+  return r;
+}
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(/*max_bytes=*/1 << 20, /*admit_max_bytes=*/0);
+  auto look = cache.acquire("Q", false);
+  ASSERT_EQ(look.role, ResultCache::Role::kLeader);
+  cache.complete(look.flight, "Q", false, make_result(42));
+  auto again = cache.acquire("Q", false);
+  ASSERT_EQ(again.role, ResultCache::Role::kHit);
+  EXPECT_EQ(again.result.count, 42u);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+}
+
+TEST(ResultCache, ProfileFlagIsPartOfTheKey) {
+  ResultCache cache(1 << 20, 0);
+  auto look = cache.acquire("Q", false);
+  cache.complete(look.flight, "Q", false, make_result(1));
+  // The profiled ask of the same text is a distinct entry: miss.
+  auto profiled = cache.acquire("Q", true);
+  EXPECT_EQ(profiled.role, ResultCache::Role::kLeader);
+  cache.complete(profiled.flight, "Q", true, make_result(1));
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCache, DirtyResultsShareButNeverCache) {
+  ResultCache cache(1 << 20, 0);
+  auto look = cache.acquire("Q", false);
+  QueryResult aborted = make_result(3);
+  aborted.aborted = true;
+  cache.complete(look.flight, "Q", false, aborted);
+  EXPECT_EQ(cache.stats().rejected_dirty, 1u);
+  EXPECT_EQ(cache.acquire("Q", false).role, ResultCache::Role::kLeader)
+      << "an aborted result must not be served to later askers";
+}
+
+TEST(ResultCache, OversizedResultsExecuteButNeverCache) {
+  ResultCache cache(/*max_bytes=*/1 << 20, /*admit_max_bytes=*/2048);
+  auto look = cache.acquire("Q", false);
+  cache.complete(look.flight, "Q", false, make_result(1, /*padding=*/4096));
+  EXPECT_EQ(cache.stats().rejected_too_big, 1u);
+  EXPECT_EQ(cache.acquire("Q", false).role, ResultCache::Role::kLeader);
+}
+
+TEST(ResultCache, EvictsLruUnderByteBudget) {
+  // Each empty result estimates ~1KB; budget fits roughly two.
+  ResultCache cache(/*max_bytes=*/2200, /*admit_max_bytes=*/2200);
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "Q" + std::to_string(i);
+    auto look = cache.acquire(key, false);
+    cache.complete(look.flight, key, false, make_result(i));
+  }
+  const auto s = cache.stats();
+  EXPECT_LE(s.bytes, 2200u);
+  EXPECT_GT(s.evicted, 0u);
+  // The most recent key survived.
+  EXPECT_EQ(cache.acquire("Q7", false).role, ResultCache::Role::kHit);
+}
+
+TEST(ResultCache, InvalidateClearsStore) {
+  ResultCache cache(1 << 20, 0);
+  auto look = cache.acquire("Q", false);
+  cache.complete(look.flight, "Q", false, make_result(5));
+  cache.invalidate();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.acquire("Q", false).role, ResultCache::Role::kLeader);
+}
+
+TEST(ResultCache, FollowerSharesTheLeadersResult) {
+  ResultCache cache(1 << 20, 0);
+  auto leader = cache.acquire("Q", false);
+  ASSERT_EQ(leader.role, ResultCache::Role::kLeader);
+  auto follower = cache.acquire("Q", false);
+  ASSERT_EQ(follower.role, ResultCache::Role::kFollower);
+  std::uint64_t seen = 0;
+  std::thread waiter([&] { seen = ResultCache::await(follower.flight).count; });
+  cache.complete(leader.flight, "Q", false, make_result(99));
+  waiter.join();
+  EXPECT_EQ(seen, 99u);
+  EXPECT_EQ(cache.stats().coalesced, 1u);
+}
+
+TEST(ResultCache, FollowerSharesTheLeadersException) {
+  ResultCache cache(1 << 20, 0);
+  auto leader = cache.acquire("Q", false);
+  auto follower = cache.acquire("Q", false);
+  ASSERT_EQ(follower.role, ResultCache::Role::kFollower);
+  cache.complete_error(
+      leader.flight, "Q", false,
+      std::make_exception_ptr(std::runtime_error("leader failed")));
+  EXPECT_THROW(ResultCache::await(follower.flight), std::runtime_error);
+  // A failed flight caches nothing; the next asker leads again.
+  EXPECT_EQ(cache.acquire("Q", false).role, ResultCache::Role::kLeader);
+}
+
+// ---- Database-level wiring ----------------------------------------------
+
+EngineConfig small_engine_config() {
+  EngineConfig ec;
+  ec.workers_per_machine = 2;
+  ec.buffers_per_machine = 48;
+  ec.buffer_bytes = 256;
+  return ec;
+}
+
+constexpr const char* kChainStar =
+    "SELECT COUNT(*) FROM MATCH (a) -/:next*/-> (b)";
+
+TEST(CrossQueryCache, WarmRunSeedsAndAgreesWithCold) {
+  EngineConfig ec = small_engine_config();
+  ec.reach_cache_max_bytes = 1 << 20;
+  Database db(synthetic::make_chain(24), 3, ec);
+
+  const QueryResult cold = db.query(kChainStar);
+  EXPECT_EQ(cold.stats.reach_cache_seeded, 0u);
+  EXPECT_GT(cold.stats.reach_cache_harvested, 0u);
+
+  const QueryResult warm = db.query(kChainStar);
+  EXPECT_EQ(warm.count, cold.count);
+  EXPECT_GT(warm.stats.reach_cache_seeded, 0u);
+  EXPECT_GT(warm.stats.reach_cache_seed_hits, 0u);
+
+  // Seeds are semantically inert: the per-depth emit/eliminate/duplicate
+  // accounting of the warm run is bit-identical to the cold run.
+  ASSERT_EQ(warm.stats.rpq.size(), cold.stats.rpq.size());
+  for (std::size_t g = 0; g < warm.stats.rpq.size(); ++g) {
+    EXPECT_EQ(warm.stats.rpq[g].matches_per_depth,
+              cold.stats.rpq[g].matches_per_depth);
+    EXPECT_EQ(warm.stats.rpq[g].eliminated_per_depth,
+              cold.stats.rpq[g].eliminated_per_depth);
+    EXPECT_EQ(warm.stats.rpq[g].duplicated_per_depth,
+              cold.stats.rpq[g].duplicated_per_depth);
+    EXPECT_LE(warm.stats.rpq[g].index_seed_hits,
+              warm.stats.rpq[g].index_seeded);
+  }
+
+  const ReachCacheStats rs = db.reach_cache_stats();
+  EXPECT_GT(rs.inserts, 0u);
+  EXPECT_GT(rs.seed_reads, 0u);
+  EXPECT_GT(rs.entries, 0u);
+}
+
+TEST(CrossQueryCache, ProfileSharesReachEntriesButNotResults) {
+  EngineConfig ec = small_engine_config();
+  ec.reach_cache_max_bytes = 1 << 20;
+  ec.result_cache_max_bytes = 1 << 20;
+  Database db(synthetic::make_chain(24), 3, ec);
+
+  const QueryResult plain = db.query(kChainStar);
+  ASSERT_GT(plain.stats.reach_cache_harvested, 0u);
+  EXPECT_FALSE(plain.profile.enabled);
+
+  // `PROFILE Q` misses the result cache (distinct key) but seeds from
+  // Q's reachability facts (same automaton-group hash).
+  const QueryResult profiled =
+      db.query(std::string("PROFILE ") + kChainStar);
+  EXPECT_TRUE(profiled.profile.enabled);
+  EXPECT_FALSE(profiled.stats.result_cache_hit);
+  EXPECT_EQ(profiled.count, plain.count);
+  EXPECT_GT(profiled.stats.reach_cache_seeded, 0u);
+
+  // Re-asking each form hits its own result-cache entry, with the
+  // profile tree present exactly when asked for.
+  const QueryResult plain_again = db.query(kChainStar);
+  EXPECT_TRUE(plain_again.stats.result_cache_hit);
+  EXPECT_FALSE(plain_again.profile.enabled);
+  const QueryResult profiled_again =
+      db.query(std::string("profile ") + kChainStar);
+  EXPECT_TRUE(profiled_again.stats.result_cache_hit);
+  EXPECT_TRUE(profiled_again.profile.enabled);
+  EXPECT_EQ(db.result_cache_stats().entries, 2u);
+}
+
+TEST(CrossQueryCache, NormalizedTextSharesOneResultEntry) {
+  EngineConfig ec = small_engine_config();
+  ec.result_cache_max_bytes = 1 << 20;
+  Database db(synthetic::make_chain(12), 2, ec);
+
+  const QueryResult first =
+      db.query("select count(*) from match (a) -/:next*/-> (b)");
+  EXPECT_FALSE(first.stats.result_cache_hit);
+  const QueryResult second = db.query(kChainStar);
+  EXPECT_TRUE(second.stats.result_cache_hit);
+  EXPECT_EQ(second.count, first.count);
+  EXPECT_EQ(db.result_cache_stats().entries, 1u);
+}
+
+TEST(CrossQueryCache, RetryPathBypassesTheResultCache) {
+  EngineConfig ec = small_engine_config();
+  ec.result_cache_max_bytes = 1 << 20;
+  Database db(synthetic::make_chain(12), 2, ec);
+  const QueryResult cached = db.query(kChainStar);
+  const std::uint64_t hits_before = db.result_cache_stats().hits;
+  const QueryResult retried = db.run_with_retry(kChainStar);
+  EXPECT_EQ(retried.count, cached.count);
+  EXPECT_FALSE(retried.stats.result_cache_hit);
+  EXPECT_EQ(db.result_cache_stats().hits, hits_before);
+}
+
+TEST(CrossQueryCache, AbortedRunNeverHarvests) {
+  EngineConfig ec = small_engine_config();
+  ec.reach_cache_max_bytes = 1 << 20;
+  // A context budget of 1 per machine trips immediately on the chain.
+  ec.max_live_contexts = 1;
+  Database db(synthetic::make_chain(48), 2, ec);
+  const QueryResult result = db.query(kChainStar);
+  ASSERT_TRUE(result.aborted);
+  EXPECT_EQ(db.reach_cache_stats().inserts, 0u)
+      << "an aborted run's partial facts must not be persisted";
+  EXPECT_EQ(db.reach_cache_stats().entries, 0u);
+}
+
+TEST(CrossQueryCache, EpochBumpInvalidatesBothCaches) {
+  EngineConfig ec = small_engine_config();
+  ec.reach_cache_max_bytes = 1 << 20;
+  ec.result_cache_max_bytes = 1 << 20;
+  Database db(synthetic::make_chain(24), 3, ec);
+
+  const QueryResult cold = db.query(kChainStar);
+  ASSERT_GT(db.reach_cache_stats().entries, 0u);
+  db.invalidate_caches();
+  EXPECT_EQ(db.reach_cache_stats().entries, 0u);
+  EXPECT_EQ(db.result_cache_stats().entries, 0u);
+
+  const QueryResult after = db.query(kChainStar);
+  EXPECT_FALSE(after.stats.result_cache_hit);
+  EXPECT_EQ(after.stats.reach_cache_seeded, 0u);
+  EXPECT_EQ(after.count, cold.count);
+}
+
+TEST(CrossQueryCache, HarvestKnobOffRunsReadOnly) {
+  EngineConfig ec = small_engine_config();
+  ec.reach_cache_max_bytes = 1 << 20;
+  ec.reach_cache_harvest = false;
+  Database db(synthetic::make_chain(24), 2, ec);
+  const QueryResult r = db.query(kChainStar);
+  EXPECT_EQ(r.stats.reach_cache_harvested, 0u);
+  EXPECT_EQ(db.reach_cache_stats().entries, 0u);
+}
+
+TEST(CrossQueryCache, EvictionPressureKeepsResultsCorrect) {
+  EngineConfig ec = small_engine_config();
+  // Two entries per machine: constant eviction churn.
+  ec.reach_cache_max_bytes = 2 * ReachCache::kEntryBytes;
+  Database db(synthetic::make_chain(24), 3, ec);
+  const QueryResult cold = db.query(kChainStar);
+  const QueryResult warm = db.query(kChainStar);
+  EXPECT_EQ(warm.count, cold.count);
+  const ReachCacheStats rs = db.reach_cache_stats();
+  EXPECT_LE(rs.bytes, 3 * 2 * ReachCache::kEntryBytes);
+  EXPECT_GT(rs.evicted, 0u);
+  for (unsigned m = 0; m < db.num_machines(); ++m) {
+    ASSERT_NE(db.reach_cache(m), nullptr);
+    EXPECT_LE(db.reach_cache(m)->bytes(), ec.reach_cache_max_bytes);
+  }
+}
+
+TEST(CrossQueryCache, SchedulerServesCachedHitsWithoutDispatch) {
+  EngineConfig ec = small_engine_config();
+  ec.result_cache_max_bytes = 1 << 20;
+  Database db(synthetic::make_chain(24), 2, ec);
+  SchedulerConfig sc;
+  sc.max_inflight = 2;
+  db.configure_scheduler(sc);
+
+  QueryTicket first = db.submit(kChainStar);
+  const QueryResult executed = db.await(first);
+  EXPECT_FALSE(executed.stats.result_cache_hit);
+
+  QueryTicket second = db.submit(kChainStar);
+  EXPECT_EQ(second.admission(), AdmissionOutcome::kCachedHit);
+  const QueryResult cached = db.await(second);
+  EXPECT_TRUE(cached.stats.result_cache_hit);
+  EXPECT_EQ(cached.count, executed.count);
+  // A cached-hit ticket holds no run: cancel has nothing to do.
+  EXPECT_FALSE(db.cancel(second));
+  const SchedulerStats ss = db.scheduler_stats();
+  EXPECT_EQ(ss.cache_hits, 1u);
+}
+
+// ---- cache regression corpus (tests/corpus/cache/*.txt) -----------------
+//
+// Line format (whitespace-separated, '#' starts a comment; the query
+// separator is ';;' because '|' appears inside label alternations):
+//   <graph-spec> <machines> <schedule> <fault-seed> <mode> | <q1> ;; <q2>
+// Modes: reask (q2 re-asks warm), rewrite (q2 is an automaton-equivalent
+// rewrite of q1), epoch-bump (invalidate between q1 and q2), evict (run
+// under a 2-entry/machine reach-cache budget). Both runs must match the
+// oracle; warm seeding is asserted where the mode guarantees it.
+
+Graph corpus_graph(const std::string& spec) {
+  const std::string kind = spec.substr(0, spec.find(':'));
+  std::vector<std::uint64_t> args;
+  {
+    std::istringstream in(spec);
+    in.ignore(static_cast<std::streamsize>(spec.find(':')) + 1);
+    std::string field;
+    while (std::getline(in, field, ':')) args.push_back(std::stoull(field));
+  }
+  if (kind == "chain") return synthetic::make_chain(args.at(0));
+  if (kind == "cycle") return synthetic::make_cycle(args.at(0));
+  if (kind == "complete") return synthetic::make_complete(args.at(0));
+  if (kind == "tree") {
+    return synthetic::make_tree(static_cast<unsigned>(args.at(0)),
+                                static_cast<unsigned>(args.at(1)));
+  }
+  if (kind == "random") {
+    synthetic::RandomGraphConfig cfg;
+    cfg.num_vertices = args.at(0);
+    cfg.num_edges = args.at(1);
+    cfg.num_vertex_labels = static_cast<unsigned>(args.at(2));
+    cfg.num_edge_labels = static_cast<unsigned>(args.at(3));
+    cfg.allow_self_loops = args.at(4) != 0;
+    cfg.seed = args.at(5);
+    return synthetic::make_random(cfg);
+  }
+  ADD_FAILURE() << "unknown cache-corpus graph spec: " << spec;
+  return Graph{};
+}
+
+struct CacheCorpusEntry {
+  std::string graph_spec;
+  unsigned machines = 1;
+  std::string schedule;
+  std::uint64_t fault_seed = 0;
+  std::string mode;
+  std::string q1;
+  std::string q2;
+  std::string source;
+};
+
+std::vector<CacheCorpusEntry> load_cache_corpus() {
+  std::vector<CacheCorpusEntry> entries;
+  for (const auto& file :
+       std::filesystem::directory_iterator(RPQD_CACHE_CORPUS_DIR)) {
+    if (file.path().extension() != ".txt") continue;
+    std::ifstream in(file.path());
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      const auto bar = line.find('|');
+      const auto sep =
+          bar == std::string::npos ? bar : line.find(";;", bar + 1);
+      if (sep == std::string::npos) {
+        ADD_FAILURE() << "malformed cache corpus line " << file.path()
+                      << ":" << lineno;
+        continue;
+      }
+      CacheCorpusEntry e;
+      std::istringstream head(line.substr(0, bar));
+      head >> e.graph_spec >> e.machines >> e.schedule >> e.fault_seed >>
+          e.mode;
+      if (head.fail()) {
+        ADD_FAILURE() << "malformed cache corpus line " << file.path()
+                      << ":" << lineno;
+        continue;
+      }
+      auto trim = [](std::string s) {
+        s.erase(0, s.find_first_not_of(' '));
+        const auto last = s.find_last_not_of(' ');
+        if (last != std::string::npos) s.erase(last + 1);
+        return s;
+      };
+      e.q1 = trim(line.substr(bar + 1, sep - bar - 1));
+      e.q2 = trim(line.substr(sep + 2));
+      e.source = file.path().filename().string() + ":" +
+                 std::to_string(lineno);
+      entries.push_back(std::move(e));
+    }
+  }
+  return entries;
+}
+
+TEST(CacheCorpusReplay, AllEntriesAgreeWithOracleColdAndWarm) {
+  const auto entries = load_cache_corpus();
+  ASSERT_FALSE(entries.empty()) << "cache corpus directory empty: "
+                                << RPQD_CACHE_CORPUS_DIR;
+  for (const auto& e : entries) {
+    SCOPED_TRACE(e.source + " mode=" + e.mode + " q1=" + e.q1 +
+                 " q2=" + e.q2);
+    const Graph oracle = corpus_graph(e.graph_spec);
+    std::uint64_t expected1 = 0;
+    std::uint64_t expected2 = 0;
+    try {
+      expected1 = baseline::reference_evaluate(e.q1, oracle).count;
+      expected2 = baseline::reference_evaluate(e.q2, oracle).count;
+    } catch (const UnsupportedError&) {
+      GTEST_FAIL() << "cache corpus entry outside the oracle subset";
+    }
+    EngineConfig ec = small_engine_config();
+    ec.reach_cache_max_bytes =
+        e.mode == "evict" ? 2 * ReachCache::kEntryBytes : (1 << 20);
+    Database db(corpus_graph(e.graph_spec), e.machines, ec);
+    db.set_fault_schedule(e.schedule, e.fault_seed);
+
+    const QueryResult r1 = db.query(e.q1);
+    EXPECT_FALSE(r1.aborted);
+    EXPECT_EQ(r1.count, expected1);
+
+    if (e.mode == "epoch-bump") db.invalidate_caches();
+
+    const QueryResult r2 = db.query(e.q2);
+    EXPECT_FALSE(r2.aborted);
+    EXPECT_EQ(r2.count, expected2);
+
+    if (e.mode == "epoch-bump") {
+      EXPECT_EQ(r2.stats.reach_cache_seeded, 0u)
+          << "epoch bump must drop every seedable entry";
+    } else if (e.mode == "reask" || e.mode == "rewrite") {
+      if (r1.stats.reach_cache_harvested > 0) {
+        EXPECT_GT(r2.stats.reach_cache_seeded, 0u)
+            << "warm re-ask found nothing to seed";
+      }
+    } else if (e.mode == "evict") {
+      for (unsigned m = 0; m < db.num_machines(); ++m) {
+        if (db.reach_cache(m) != nullptr) {
+          EXPECT_LE(db.reach_cache(m)->bytes(), ec.reach_cache_max_bytes);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpqd

@@ -351,6 +351,164 @@ TEST(DifferentialFault, ConcurrentCrashStopHasAtMostOneVictim) {
   }
 }
 
+// ---- cross-query cache differentials (DESIGN.md §11) ------------------
+//
+// The cache layer's correctness bar: every fuzzed query must produce the
+// oracle count cache-COLD (first ask on an empty cache), cache-WARM
+// (re-ask seeded from the harvest), warm UNDER an adversarial fault
+// schedule, and warm after every machine's cache has been adversarially
+// POISONED (all stored depths overwritten). A stale or poisoned cache
+// entry may only ever move hit counters, never a result — seeds enter
+// the run as inert sentinels (rpq/reach_cache.h). The warm runs' emit /
+// eliminate / duplicate accounting must be bit-identical to cold.
+
+struct CacheHarnessConfig {
+  int num_queries = 12;
+  std::vector<std::string> schedules;  // applied to the faulted warm run
+  unsigned machines = 3;
+  std::uint64_t base_seed = 61;
+};
+
+void run_cache_differential(const CacheHarnessConfig& hc) {
+  constexpr int kQueriesPerGraph = 4;
+  testgen::QueryGenConfig qcfg;
+  qcfg.num_vertex_labels = 2;
+  qcfg.num_edge_labels = 2;
+  qcfg.conjunction_prob = 0.2;
+
+  Graph oracle_graph;
+  std::unique_ptr<Database> db;
+  std::uint64_t gseed = 0;
+  for (int q = 0; q < hc.num_queries; ++q) {
+    if (q % kQueriesPerGraph == 0) {
+      synthetic::RandomGraphConfig gcfg;
+      gcfg.num_vertices = 24;
+      gcfg.num_edges = 55;
+      gcfg.num_vertex_labels = 2;
+      gcfg.num_edge_labels = 2;
+      gcfg.allow_self_loops = (q / kQueriesPerGraph) % 2 == 1;
+      gseed = hc.base_seed * 1000 + static_cast<std::uint64_t>(q);
+      gcfg.seed = gseed;
+      oracle_graph = synthetic::make_random(gcfg);
+      EngineConfig ec;
+      ec.workers_per_machine = 2;
+      ec.buffers_per_machine = 48;
+      ec.buffer_bytes = 256;
+      ec.profile = true;
+      ec.reach_cache_max_bytes = 1 << 20;
+      db = std::make_unique<Database>(synthetic::make_random(gcfg),
+                                      hc.machines, ec);
+    }
+    const std::uint64_t qseed =
+        hc.base_seed * 100003 + static_cast<std::uint64_t>(q);
+    Rng rng(qseed);
+    const std::string query = testgen::random_query(rng, qcfg);
+    std::uint64_t expected = 0;
+    try {
+      expected = baseline::reference_evaluate(query, oracle_graph).count;
+    } catch (const UnsupportedError&) {
+      continue;  // oracle limitation, not an engine bug
+    }
+    const std::string repro = "repro: cache qseed=" + std::to_string(qseed) +
+                              " gseed=" + std::to_string(gseed) +
+                              " machines=" + std::to_string(hc.machines) +
+                              " query=" + query;
+
+    // Cold (whatever earlier queries cached belongs to other automata;
+    // an accidental same-automaton hit is exactly what must be benign).
+    db->set_fault_schedule("none", 0);
+    const QueryResult cold = db->query(query);
+    EXPECT_EQ(cold.count, expected) << "cold; " << repro;
+    check_invariants(cold, repro);
+
+    // Warm, fault-free. Per-depth exploration accounting is NOT compared
+    // here: for automata with re-exploration (shallower CAS-min revisits)
+    // the depth attribution depends on message arrival order, which varies
+    // run to run on random graphs with or without the cache (the very
+    // first query on a fresh Database already interleaves differently
+    // from steady state). Bit-identical cold/warm accounting is asserted
+    // only where exploration is order-free — the deterministic chain in
+    // CrossQueryCache.WarmRunSeedsAndAgreesWithCold. The coherence bar
+    // for arbitrary graphs is: exact oracle count + stats invariants,
+    // cold, warm, faulted, and poisoned alike.
+    const QueryResult warm = db->query(query);
+    EXPECT_EQ(warm.count, expected) << "warm; " << repro;
+    check_invariants(warm, repro);
+    ASSERT_EQ(warm.stats.rpq.size(), cold.stats.rpq.size()) << repro;
+
+    // Warm under each adversarial schedule.
+    for (const auto& schedule : hc.schedules) {
+      const std::uint64_t fseed = qseed ^ 0x7f4a7u;
+      db->set_fault_schedule(schedule, fseed);
+      const QueryResult faulted = db->query(query);
+      EXPECT_EQ(faulted.count, expected)
+          << "warm under " << schedule << " fseed=" << fseed << "; " << repro;
+      check_invariants(faulted, repro);
+    }
+
+    // Poison sweep: overwrite every cached depth, then re-ask. Seeds are
+    // depth-blind sentinels, so the answer cannot move.
+    for (unsigned m = 0; m < db->num_machines(); ++m) {
+      if (ReachCache* cache = db->reach_cache(m)) cache->poison_depths(1);
+    }
+    db->set_fault_schedule("none", 0);
+    const QueryResult poisoned = db->query(query);
+    EXPECT_EQ(poisoned.count, expected) << "poisoned; " << repro;
+    check_invariants(poisoned, repro);
+  }
+}
+
+TEST(DifferentialFault, CacheColdWarmPoisonAgreeUnderFaults) {
+  CacheHarnessConfig hc;
+  hc.num_queries = env_int("RPQD_DIFF_QUERIES", 32) / 2;
+  hc.schedules = {"reorder", "chaos"};
+  run_cache_differential(hc);
+}
+
+// Crash-stop x cache: the victim run aborts and must persist NOTHING
+// into the cross-query cache (complete-at-depth or not at all — we
+// persist only from clean drains); survivor re-asks stay exact.
+TEST(DifferentialFault, CacheCrashStopNeverPersistsPartialFacts) {
+  EngineConfig ec;
+  ec.workers_per_machine = 2;
+  ec.buffers_per_machine = 48;
+  ec.buffer_bytes = 256;
+  ec.reach_cache_max_bytes = 1 << 20;
+  const std::string query =
+      "SELECT COUNT(*) FROM MATCH (a) -/:next*/-> (b)";
+  for (std::uint64_t fseed : {3u, 19u, 101u}) {
+    Database db(synthetic::make_chain(48), 3, ec);
+    const std::uint64_t expected =
+        baseline::reference_evaluate(query, db.graph()).count;
+    db.set_fault_schedule("crash-stop", fseed);
+    const QueryResult first = db.query(query);
+    if (first.aborted) {
+      EXPECT_EQ(db.reach_cache_stats().inserts, 0u)
+          << "aborted run persisted partial facts; fseed=" << fseed;
+      EXPECT_EQ(db.reach_cache_stats().entries, 0u) << "fseed=" << fseed;
+    } else {
+      EXPECT_EQ(first.count, expected) << "fseed=" << fseed;
+    }
+    // The re-ask (crash schedule arms run 0 only) must be exact, warm or
+    // cold alike.
+    const QueryResult second = db.query(query);
+    EXPECT_FALSE(second.aborted) << "fseed=" << fseed;
+    EXPECT_EQ(second.count, expected) << "fseed=" << fseed;
+  }
+}
+
+// Acceptance-scale cache sweep, registered under `tier2-cache`.
+TEST(DifferentialFault, Tier2CacheColdWarmPoison) {
+  if (std::getenv("RPQD_TIER2_CACHE") == nullptr) {
+    GTEST_SKIP() << "set RPQD_TIER2_CACHE=1 (or run ctest -L tier2-cache)";
+  }
+  CacheHarnessConfig hc;
+  hc.num_queries = 80;
+  hc.schedules = {"none", "reorder", "dup-storm", "credit-jitter", "chaos"};
+  hc.base_seed = 67;
+  run_cache_differential(hc);
+}
+
 // Acceptance-scale concurrent sweep: every schedule (including
 // crash-free ones at higher K), registered under `tier2-concurrent`.
 TEST(DifferentialFault, Tier2ConcurrentWaves) {
