@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/rng.h"
+#include "graph/update.h"
 #include "ldbc/synthetic.h"
 #include "workloads/queries.h"
 
@@ -131,6 +133,20 @@ struct CacheRow {
   std::uint64_t result_hits;
   std::uint64_t result_misses;
   std::uint64_t reach_seeded;
+};
+
+/// One update-rate point of the online-update serving sweep
+/// (bench_update_serving is the standalone sibling with the full rate
+/// axis): query latency under edge churn plus the merge pause.
+struct UpdateRow {
+  unsigned updates_per_16;  // update slots per 16 stream slots
+  double mean_ms;
+  double p50_ms;
+  double p95_ms;
+  std::uint64_t result_hits;
+  std::uint64_t evicted_by_update;
+  std::uint64_t batches;
+  double merge_pause_ms;
 };
 
 }  // namespace
@@ -343,6 +359,93 @@ int main() {
     }
   }
 
+  // Online-update serving (DESIGN.md §12): the cache-warm Zipf stream
+  // again, now interleaved with seeded edge-churn batches. Tracks what
+  // update load does to serving latency (label-scoped invalidation
+  // forces re-warms) and what a delta merge pauses for.
+  std::vector<UpdateRow> update_rows;
+  print_header("online update serving (random:48:160, 3 machines, zipf 1.2)");
+  {
+    synthetic::RandomGraphConfig gcfg;
+    gcfg.num_vertices = 48;
+    gcfg.num_edges = 160;
+    gcfg.num_vertex_labels = 2;
+    gcfg.num_edge_labels = 2;
+    gcfg.allow_self_loops = false;
+    gcfg.seed = bench_seed();
+    const Graph update_graph = synthetic::make_random(gcfg);
+    const std::vector<std::string> pool = {
+        "SELECT COUNT(*) FROM MATCH (a) -/:e0*/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:e1*/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:e0|e1{1,4}/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:e0+/-> (b)",
+        "SELECT COUNT(*) FROM MATCH (a) <-/:e0*/- (b)",
+        "SELECT COUNT(*) FROM MATCH (a) -/:e1+/-> (b)"};
+    const std::size_t update_ops =
+        static_cast<std::size_t>(env_int("RPQD_BENCH_UPDATE_OPS", 64));
+    for (const unsigned rate : {0u, 2u, 8u}) {
+      EngineConfig ucfg;
+      ucfg.workers_per_machine = 2;
+      ucfg.reach_cache_max_bytes = 4u << 20;
+      ucfg.reach_cache_harvest = true;
+      ucfg.result_cache_max_bytes = 8u << 20;
+      Database db(update_graph, 3, ucfg);
+      const LabelId e0 = *db.graph().catalog().find_edge_label("e0");
+      const LabelId e1 = *db.graph().catalog().find_edge_label("e1");
+      const std::vector<std::size_t> stream = zipf_stream(
+          update_ops, pool.size(), 1.2, bench_seed() * 1000003 + rate);
+      Rng churn(bench_seed() ^ (0xc4u * (rate + 1)));
+      std::vector<EdgeInsert> added;
+      std::vector<double> latencies;
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        if (i % 16 < rate) {
+          UpdateBatch batch;
+          if (!added.empty() && churn.next_below(3) == 0) {
+            const std::size_t pick = churn.next_below(added.size());
+            batch.edge_deletes.push_back(
+                {added[pick].src, added[pick].dst, added[pick].elabel});
+            added.erase(added.begin() + static_cast<std::ptrdiff_t>(pick));
+          } else {
+            batch.edge_inserts.push_back(
+                {static_cast<VertexId>(churn.next_below(gcfg.num_vertices)),
+                 static_cast<VertexId>(churn.next_below(gcfg.num_vertices)),
+                 churn.next_below(2) == 0 ? e0 : e1});
+            // One delete removes every parallel copy, so record each
+            // (src, dst, elabel) key at most once.
+            const EdgeInsert& ins = batch.edge_inserts.back();
+            const bool dup = std::any_of(
+                added.begin(), added.end(), [&](const EdgeInsert& e) {
+                  return e.src == ins.src && e.dst == ins.dst &&
+                         e.elabel == ins.elabel;
+                });
+            if (!dup) added.push_back(ins);
+          }
+          db.apply_update(batch);
+          continue;
+        }
+        Stopwatch timer;
+        const QueryResult r = db.query(pool[stream[i]]);
+        if (!r.aborted) latencies.push_back(timer.elapsed_ms());
+      }
+      const std::uint64_t batches = db.update_stats().batches_applied;
+      double merge_ms = 0.0;
+      if (db.merge_deltas()) merge_ms = db.update_stats().last_merge_ms;
+      const ResultCacheStats rs = db.result_cache_stats();
+      double mean = 0.0;
+      for (const double v : latencies) mean += v;
+      if (!latencies.empty()) mean /= static_cast<double>(latencies.size());
+      update_rows.push_back({rate, mean, percentile(latencies, 50.0),
+                             percentile(latencies, 95.0), rs.hits,
+                             rs.evicted_by_update, batches, merge_ms});
+      std::printf("  upd %u/16  mean %8.3f ms  p95 %8.3f ms  hits %llu  "
+                  "evicted %llu  merge %7.3f ms\n",
+                  rate, mean, update_rows.back().p95_ms,
+                  static_cast<unsigned long long>(rs.hits),
+                  static_cast<unsigned long long>(rs.evicted_by_update),
+                  merge_ms);
+    }
+  }
+
   std::string json = "{\n";
   {
     char buf[128];
@@ -409,6 +512,24 @@ int main() {
         static_cast<unsigned long long>(c.result_misses),
         static_cast<unsigned long long>(c.reach_seeded),
         i + 1 == cache_rows.size() ? "" : ",");
+    json += buf;
+  }
+  json += "  ],\n";
+  json += "  \"online_updates\": [\n";
+  for (std::size_t i = 0; i < update_rows.size(); ++i) {
+    const UpdateRow& u = update_rows[i];
+    char buf[288];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"updates_per_16\": %u, \"mean_ms\": %.3f, \"p50_ms\": %.3f, "
+        "\"p95_ms\": %.3f, \"result_hits\": %llu, "
+        "\"evicted_by_update\": %llu, \"batches\": %llu, "
+        "\"merge_pause_ms\": %.3f}%s\n",
+        u.updates_per_16, u.mean_ms, u.p50_ms, u.p95_ms,
+        static_cast<unsigned long long>(u.result_hits),
+        static_cast<unsigned long long>(u.evicted_by_update),
+        static_cast<unsigned long long>(u.batches), u.merge_pause_ms,
+        i + 1 == update_rows.size() ? "" : ",");
     json += buf;
   }
   json += "  ]\n}\n";

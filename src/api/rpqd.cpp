@@ -6,6 +6,7 @@
 
 #include "common/fault.h"
 #include "pgql/normalize.h"
+#include "rpq/cache_key.h"
 
 namespace rpqd {
 
@@ -14,6 +15,7 @@ Database::Database(Graph graph, unsigned num_machines, EngineConfig config) {
   partitioned_ = std::make_shared<const PartitionedGraph>(std::move(shared),
                                                           num_machines);
   engine_ = std::make_unique<DistributedEngine>(partitioned_, config);
+  store_ = std::make_unique<GraphStore>(partitioned_);
 }
 
 QueryResult Database::query(std::string_view pgql) {
@@ -22,9 +24,23 @@ QueryResult Database::query(std::string_view pgql) {
 
   // Single-flight result cache, leader-inline on the blocking path: the
   // first asker executes; concurrent identical asks block on its flight.
+  // Compile first (parse errors never touch the cache), then pin the
+  // snapshot, then probe with the pinned epoch — the probe order is the
+  // coherence handshake: acquire() aborts loudly if the pin is newer
+  // than the cache's last invalidation (a mutation that skipped it).
+  bool profile_prefix = false;
+  const std::shared_ptr<const ExecPlan> plan =
+      engine_->compile(pgql, &profile_prefix);
   const pgql::NormalizedQuery norm = pgql::normalize_query(pgql);
-  const bool profile = norm.profile || engine_->config_snapshot().profile;
-  ResultCache::Lookup look = cache->acquire(norm.text, profile);
+  const bool profile =
+      profile_prefix || norm.profile || engine_->config_snapshot().profile;
+  std::shared_ptr<const GraphSnapshot> snap = engine_->current_snapshot();
+  ResultCache::Lookup look = cache->acquire(norm.text, profile, snap->epoch());
+  if (look.role == ResultCache::Role::kBypass) {
+    // An update published between the pin and the probe; re-pin once.
+    snap = engine_->current_snapshot();
+    look = cache->acquire(norm.text, profile, snap->epoch());
+  }
   if (look.role == ResultCache::Role::kHit) {
     look.result.stats.result_cache_hit = true;
     return std::move(look.result);
@@ -34,9 +50,18 @@ QueryResult Database::query(std::string_view pgql) {
     result.stats.result_cache_coalesced = true;
     return result;
   }
+  EngineConfig cfg = engine_->config_snapshot();
+  if (profile_prefix) cfg.profile = true;
+  if (look.role == ResultCache::Role::kBypass) {
+    // Still racing updates after the retry: run uncached on the pin.
+    QueryResult result = engine_->execute_plan(*plan, cfg, nullptr, snap);
+    result.stats.result_cache_bypassed = true;
+    return result;
+  }
   try {
-    QueryResult result = engine_->execute(pgql);
-    cache->complete(look.flight, norm.text, profile, result);
+    QueryResult result = engine_->execute_plan(*plan, cfg, nullptr, snap);
+    cache->complete(look.flight, norm.text, profile, result,
+                    result_cache_scope(*plan));
     return result;
   } catch (...) {
     // Followers of a throwing leader rethrow the same error.
@@ -51,14 +76,69 @@ ResultCache* Database::result_cache() {
   if (cfg.result_cache_max_bytes == 0) return nullptr;
   std::lock_guard lock(scheduler_mutex_);
   if (result_cache_ == nullptr) {
+    // Born coherent: the cache starts at the store's current epoch, so a
+    // database that saw updates before its first cached query never
+    // trips the probe-from-the-future check.
     result_cache_ = std::make_unique<ResultCache>(
-        cfg.result_cache_max_bytes, cfg.result_cache_admit_max_bytes);
+        cfg.result_cache_max_bytes, cfg.result_cache_admit_max_bytes,
+        store_->epoch());
   } else {
     // The knobs may have moved between queries; re-apply (evicts eagerly).
     result_cache_->set_budget(cfg.result_cache_max_bytes,
                               cfg.result_cache_admit_max_bytes);
   }
   return result_cache_.get();
+}
+
+UpdateResult Database::apply_update(const UpdateBatch& batch) {
+  std::lock_guard ulock(update_mutex_);
+  UpdateResult receipt = store_->apply(batch);
+  // Coherence ordering (DESIGN.md §12) — caches first, snapshot last.
+  // Between the notifications and install_snapshot, new queries still
+  // pin the OLD snapshot: their probes carry the old epoch and at worst
+  // take the kBypass path. The reverse order would let a query pin the
+  // new epoch before the caches heard of it — exactly the
+  // mutation-without-invalidation hole acquire() aborts on.
+  engine_->bump_reach_cache_epochs(receipt.dirty.partitions);
+  {
+    std::lock_guard lock(scheduler_mutex_);
+    if (result_cache_ != nullptr) {
+      result_cache_->on_graph_update(receipt.epoch, receipt.dirty);
+    }
+  }
+  engine_->install_snapshot(store_->snapshot());
+  const EngineConfig cfg = engine_->config_snapshot();
+  if (cfg.delta_merge_entries > 0 &&
+      store_->stats().delta_entries >= cfg.delta_merge_entries) {
+    merge_locked();
+  }
+  return receipt;
+}
+
+bool Database::merge_deltas() {
+  std::lock_guard ulock(update_mutex_);
+  return merge_locked();
+}
+
+bool Database::merge_locked() {
+  if (!store_->merge()) return false;
+  // The rebuild remaps local vertex ids (dead vertices drop out of the
+  // partitions), so reachability facts — keyed per machine by local
+  // structure — must flush everywhere. The result cache is untouched: a
+  // merge changes representation, never visible data, and keeps the
+  // epoch.
+  engine_->bump_reach_cache_epoch();
+  engine_->install_snapshot(store_->snapshot());
+  return true;
+}
+
+std::uint64_t Database::graph_epoch() const { return store_->epoch(); }
+
+GraphStoreStats Database::update_stats() const { return store_->stats(); }
+
+std::shared_ptr<const Graph> Database::materialize_snapshot(
+    std::uint64_t epoch) const {
+  return store_->materialize(epoch);
 }
 
 void Database::invalidate_caches() {

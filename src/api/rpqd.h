@@ -8,10 +8,13 @@
 //   auto result = db.query(
 //       "SELECT COUNT(*) FROM MATCH (a:Person) -/:knows{1,3}/- (b:Person)");
 //
-// A Database owns an immutable property graph, hash-partitioned across a
-// simulated cluster of `num_machines` machines, and executes PGQL-subset
-// queries with the distributed asynchronous RPQ runtime described in the
-// paper (see README.md for the supported grammar).
+// A Database owns a property graph, hash-partitioned across a simulated
+// cluster of `num_machines` machines, and executes PGQL-subset queries
+// with the distributed asynchronous RPQ runtime described in the paper
+// (see README.md for the supported grammar). The graph is mutable
+// through apply_update() with snapshot isolation (DESIGN.md §12): every
+// query runs against the immutable snapshot it pinned at admission, so
+// concurrent updates never tear a running traversal.
 #pragma once
 
 #include <memory>
@@ -22,6 +25,8 @@
 #include "common/config.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
+#include "graph/store.h"
+#include "graph/update.h"
 #include "runtime/engine.h"
 #include "runtime/result_cache.h"
 #include "runtime/scheduler.h"
@@ -150,6 +155,40 @@ class Database {
     return run_with_retry(pgql, RetryPolicy{});
   }
 
+  // ---- online updates (DESIGN.md §12) -----------------------------------
+  // Partitioned delta segments over the flat CSR base, one monotonic
+  // graph epoch per applied batch. Queries admitted before a batch keep
+  // their pinned snapshot; queries admitted after see the new one. The
+  // update path keeps every cache coherent BEFORE publishing the new
+  // snapshot: touched partitions' reachability-cache generations bump,
+  // and result-cache entries whose plan footprint intersects the dirtied
+  // labels are evicted (everything else survives).
+
+  /// Applies one update batch atomically and publishes epoch + 1.
+  /// Throws QueryError when the batch references unknown vertices,
+  /// labels, or same-batch-deleted inserts; the graph is unchanged then.
+  /// Safe concurrently with queries (blocking and scheduled) and with
+  /// other apply_update calls (serialized internally). May trigger a
+  /// delta merge per config().delta_merge_entries.
+  UpdateResult apply_update(const UpdateBatch& batch);
+
+  /// Folds the accumulated delta segments into a fresh flat base at the
+  /// current epoch. False when there were no deltas to fold. Runs at a
+  /// quiescent point automatically: in-flight queries keep their pinned
+  /// snapshot alive until they drain.
+  bool merge_deltas();
+
+  /// The current graph epoch (0 = seed, +1 per applied batch).
+  std::uint64_t graph_epoch() const;
+
+  /// Update/merge counters (graph/store.h).
+  GraphStoreStats update_stats() const;
+
+  /// Replays the seed graph plus the first `epoch` batches into a
+  /// standalone flat Graph — the differential harness evaluates the
+  /// reference oracle on the exact snapshot a query pinned.
+  std::shared_ptr<const Graph> materialize_snapshot(std::uint64_t epoch) const;
+
   // ---- cross-query caches (DESIGN.md §11) -------------------------------
   // Enabled by config().reach_cache_max_bytes (per-machine reachability
   // facts reused across queries) and config().result_cache_max_bytes
@@ -184,8 +223,16 @@ class Database {
   /// use; guarded so concurrent first submits race safely.
   QueryScheduler& scheduler();
 
+  /// Holds update_mutex_; folds deltas and reconciles the caches.
+  bool merge_locked();
+
   std::shared_ptr<const PartitionedGraph> partitioned_;
   std::unique_ptr<DistributedEngine> engine_;
+  /// Online updates: batch log + snapshot publication (DESIGN.md §12).
+  /// update_mutex_ serializes apply/merge so the cache-coherence
+  /// notifications of different epochs can never interleave.
+  std::unique_ptr<GraphStore> store_;
+  mutable std::mutex update_mutex_;
   mutable std::mutex scheduler_mutex_;
   // Declared before scheduler_: the scheduler borrows the cache pointer,
   // so it must be destroyed first (reverse declaration order).

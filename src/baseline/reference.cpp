@@ -285,6 +285,9 @@ class Evaluator {
     }
 
     const auto try_candidate = [&](VertexId v, std::uint64_t base_weight) {
+      // Tombstoned vertices (online deletes) are unaddressable, exactly
+      // as in the engine's partitions.
+      if (!g_.alive(v)) return;
       if (!label_ok(g_, v, var_labels_[var])) return;
       bind[var] = v;
       std::uint64_t w = base_weight;

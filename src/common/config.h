@@ -160,6 +160,16 @@ struct EngineConfig {
   /// read-only (seed from whatever is cached, never write back).
   bool reach_cache_harvest = true;
 
+  // ---- online updates (DESIGN.md §12) ------------------------------------
+
+  /// Auto-merge trigger: after Database::apply_update, when the snapshot
+  /// holds at least this many delta adjacency entries, the deltas are
+  /// folded into a fresh flat base (Database::merge_deltas). 0 = merge
+  /// only on explicit request. A merge keeps the epoch — it changes the
+  /// representation, never the visible graph — but flushes the
+  /// reachability caches (partition rebuild remaps local vertex ids).
+  std::uint64_t delta_merge_entries = 0;
+
   /// Deterministic seed for any randomized tie-breaking.
   std::uint64_t seed = 42;
 

@@ -91,6 +91,12 @@ EdgeId GraphBuilder::add_edge(VertexId src, VertexId dst, LabelId elabel) {
   return edges_.size() - 1;
 }
 
+void GraphBuilder::mark_deleted(VertexId v) {
+  engine_check(v < labels_.size(), "mark_deleted on unknown vertex");
+  if (dead_.empty()) dead_.resize(labels_.size(), 0);
+  dead_[v] = 1;
+}
+
 void GraphBuilder::set_edge_property(EdgeId e, PropId prop, Value value) {
   engine_check(e < edges_.size(), "set_edge_property on unknown edge");
   if (prop >= edge_columns_.size()) {
@@ -168,6 +174,12 @@ Graph GraphBuilder::build() && {
   g.labels_ = std::move(labels_);
   g.columns_ = std::move(columns_);
   g.catalog_ = std::move(catalog_);
+  if (!dead_.empty()) {
+    dead_.resize(g.labels_.size(), 0);
+    g.num_dead_ = static_cast<std::size_t>(
+        std::count(dead_.begin(), dead_.end(), std::uint8_t{1}));
+    g.dead_ = std::move(dead_);
+  }
   return g;
 }
 

@@ -120,12 +120,20 @@ class Adjacency {
 };
 
 /// Immutable global property graph.
+///
+/// Vertices may be TOMBSTONED (GraphBuilder::mark_deleted): the id keeps
+/// its slot — so vertex ids stay stable across online-update merges
+/// (DESIGN.md §12) — but alive() is false, scans must skip it, and a
+/// materialized graph carries no edges incident to it.
 class Graph {
  public:
   const Catalog& catalog() const { return catalog_; }
 
   std::size_t num_vertices() const { return labels_.size(); }
   std::size_t num_edges() const { return num_edges_; }
+
+  bool alive(VertexId v) const { return dead_.empty() || !dead_[v]; }
+  std::size_t num_dead() const { return num_dead_; }
 
   LabelId label(VertexId v) const { return labels_[v]; }
 
@@ -148,6 +156,8 @@ class Graph {
   Adjacency out_;
   Adjacency in_;
   std::size_t num_edges_ = 0;
+  std::vector<std::uint8_t> dead_;  // empty = every vertex alive
+  std::size_t num_dead_ = 0;
 };
 
 /// Mutable construction interface producing an immutable Graph.
@@ -176,6 +186,11 @@ class GraphBuilder {
     return add_edge(src, dst, catalog_.edge_label(elabel_name));
   }
 
+  /// Tombstones a vertex (online-update materialization, DESIGN.md §12):
+  /// the id stays allocated, alive() reports false. The caller must not
+  /// add edges incident to a tombstoned vertex.
+  void mark_deleted(VertexId v);
+
   void set_edge_property(EdgeId e, PropId prop, Value value);
 
   std::size_t num_vertices() const { return labels_.size(); }
@@ -195,6 +210,7 @@ class GraphBuilder {
   std::vector<PropertyColumn> columns_;
   std::vector<EdgeRec> edges_;
   std::vector<PropertyColumn> edge_columns_;  // indexed by PropId, by EdgeId
+  std::vector<std::uint8_t> dead_;
 };
 
 }  // namespace rpqd

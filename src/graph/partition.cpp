@@ -55,6 +55,9 @@ PartitionedGraph::PartitionedGraph(std::shared_ptr<const Graph> graph,
 
   std::vector<std::vector<VertexId>> locals(num_machines);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    // Tombstoned vertices (online-update merges, DESIGN.md §12) keep
+    // their global id but get no local slot: they are unaddressable.
+    if (!g.alive(v)) continue;
     locals[Partition::owner(v, num_machines)].push_back(v);
   }
 

@@ -86,6 +86,7 @@ class PartitionedGraph {
   }
   const Partition& partition(MachineId m) const { return partitions_[m]; }
   const Graph& global() const { return *graph_; }
+  std::shared_ptr<const Graph> global_ptr() const { return graph_; }
   const Catalog& catalog() const { return graph_->catalog(); }
 
   MachineId owner(VertexId v) const {

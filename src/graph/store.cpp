@@ -1,0 +1,177 @@
+#include "graph/store.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace rpqd {
+
+namespace {
+
+/// Flat edge record used by materialize(): seed edges remember their
+/// out-CSR entry index so edge properties can be copied; inserted edges
+/// carry none (frozen-catalog v1 rule, update.h).
+struct MatEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  LabelId elabel = 0;
+  std::size_t seed_idx = 0;  // out-CSR entry index, seed edges only
+  bool from_seed = false;
+  bool dead = false;
+};
+
+}  // namespace
+
+GraphStore::GraphStore(std::shared_ptr<const PartitionedGraph> seed) {
+  engine_check(seed != nullptr, "GraphStore requires a seed graph");
+  seed_graph_ = seed->global_ptr();
+  num_machines_ = seed->num_machines();
+  snap_ = GraphSnapshot::initial(std::move(seed));
+}
+
+std::shared_ptr<const GraphSnapshot> GraphStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_;
+}
+
+std::uint64_t GraphStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_->epoch();
+}
+
+UpdateResult GraphStore::apply(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  UpdateResult receipt;
+  // Throws QueryError on validation failure, before any state changes.
+  auto next = GraphSnapshot::apply(snap_, batch, &receipt);
+  log_.push_back(batch);
+  snap_ = std::move(next);
+  ++stats_.batches_applied;
+  stats_.vertices_inserted += receipt.new_vertices.size();
+  stats_.edges_inserted += receipt.new_edges.size();
+  stats_.edges_deleted += receipt.edges_deleted;
+  stats_.vertices_deleted += batch.vertex_deletes.size();
+  return receipt;
+}
+
+std::shared_ptr<const Graph> GraphStore::materialize(
+    std::uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return materialize_locked(epoch);
+}
+
+std::shared_ptr<const Graph> GraphStore::materialize_locked(
+    std::uint64_t epoch) const {
+  engine_check(epoch <= log_.size(), "materialize past the current epoch");
+  const Graph& seed = *seed_graph_;
+  const std::size_t num_props = seed.catalog().num_properties();
+
+  std::vector<LabelId> vlabels(seed.num_vertices());
+  std::vector<std::uint8_t> vdead(seed.num_vertices(), 0);
+  for (VertexId v = 0; v < seed.num_vertices(); ++v) {
+    vlabels[v] = seed.label(v);
+    if (!seed.alive(v)) vdead[v] = 1;
+  }
+
+  std::vector<MatEdge> edges;
+  edges.reserve(seed.num_edges());
+  for (VertexId v = 0; v < seed.num_vertices(); ++v) {
+    const auto [b, e] = seed.out().range(v);
+    for (std::size_t idx = b; idx < e; ++idx) {
+      const AdjEntry& entry = seed.out().entry(idx);
+      edges.push_back(MatEdge{v, entry.other, entry.elabel, idx, true, false});
+    }
+  }
+
+  // Replay in the batch-internal op order apply() uses: vertex inserts,
+  // edge inserts, edge deletes (which therefore see same-batch inserts),
+  // vertex deletes cascading over everything still alive.
+  for (std::uint64_t e = 0; e < epoch; ++e) {
+    const UpdateBatch& batch = log_[e];
+    for (const VertexInsert& vi : batch.vertex_inserts) {
+      vlabels.push_back(vi.label);
+      vdead.push_back(0);
+    }
+    for (const EdgeInsert& ei : batch.edge_inserts) {
+      edges.push_back(MatEdge{ei.src, ei.dst, ei.elabel, 0, false, false});
+    }
+    for (const EdgeDelete& ed : batch.edge_deletes) {
+      for (MatEdge& me : edges) {
+        if (!me.dead && me.src == ed.src && me.dst == ed.dst &&
+            me.elabel == ed.elabel) {
+          me.dead = true;
+        }
+      }
+    }
+    for (const VertexDelete& vd : batch.vertex_deletes) {
+      vdead[vd.v] = 1;
+      for (MatEdge& me : edges) {
+        if (!me.dead && (me.src == vd.v || me.dst == vd.v)) me.dead = true;
+      }
+    }
+  }
+
+  GraphBuilder builder;
+  builder.catalog() = seed.catalog();
+  for (std::size_t v = 0; v < vlabels.size(); ++v) {
+    builder.add_vertex(vlabels[v]);
+  }
+  for (VertexId v = 0; v < seed.num_vertices(); ++v) {
+    for (PropId p = 0; p < num_props; ++p) {
+      const Value val = seed.property(v, p);
+      if (!is_null(val)) builder.set_property(v, p, val);
+    }
+  }
+  VertexId cursor = seed.num_vertices();
+  for (std::uint64_t e = 0; e < epoch; ++e) {
+    for (const VertexInsert& vi : log_[e].vertex_inserts) {
+      for (const auto& [p, val] : vi.props) {
+        if (!is_null(val)) builder.set_property(cursor, p, val);
+      }
+      ++cursor;
+    }
+  }
+  for (std::size_t v = 0; v < vdead.size(); ++v) {
+    if (vdead[v]) builder.mark_deleted(static_cast<VertexId>(v));
+  }
+  // Edge ids are renumbered densely here — they only link edge-property
+  // columns inside the builder, nothing persists them.
+  for (const MatEdge& me : edges) {
+    if (me.dead) continue;
+    const EdgeId ne = builder.add_edge(me.src, me.dst, me.elabel);
+    if (me.from_seed) {
+      for (PropId p = 0; p < num_props; ++p) {
+        const Value val = seed.out().edge_property(me.seed_idx, p);
+        if (!is_null(val)) builder.set_edge_property(ne, p, val);
+      }
+    }
+  }
+  return std::make_shared<const Graph>(std::move(builder).build());
+}
+
+bool GraphStore::merge() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!snap_->has_deltas()) return false;
+  Stopwatch sw;
+  auto merged = materialize_locked(snap_->epoch());
+  auto base = std::make_shared<const PartitionedGraph>(merged, num_machines_);
+  // Same epoch, same id spaces: a merge changes no visible data, only
+  // folds delta segments into a flat base. Old snapshot stays alive for
+  // queries that pinned it (RCU quiescence).
+  snap_ = GraphSnapshot::rebased(std::move(base), snap_->epoch(),
+                                 snap_->num_vertices(), snap_->num_edges());
+  ++stats_.merges;
+  stats_.last_merge_ms = sw.elapsed_ms();
+  return true;
+}
+
+GraphStoreStats GraphStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GraphStoreStats s = stats_;
+  s.epoch = snap_->epoch();
+  s.delta_entries = snap_->delta_entries();
+  s.dead_vertices = snap_->dead_vertices();
+  return s;
+}
+
+}  // namespace rpqd

@@ -18,14 +18,16 @@
 #include <vector>
 
 #include "common/types.h"
-#include "graph/partition.h"
+#include "graph/snapshot.h"
 #include "pgql/ast.h"
 
 namespace rpqd {
 
-/// Everything an expression may read at evaluation time.
+/// Everything an expression may read at evaluation time. Graph access
+/// goes through the snapshot view types (graph/snapshot.h) so filters
+/// evaluate against the exact epoch the query pinned at admission.
 struct EvalCtx {
-  const Partition* part = nullptr;
+  const PartitionView* part = nullptr;
   const Catalog* catalog = nullptr;
   /// Local id of the vertex currently being matched (kInvalidLocalVertex
   /// when the expression must not touch the current vertex).
@@ -33,7 +35,7 @@ struct EvalCtx {
   /// Context slots of the traversal.
   const Value* slots = nullptr;
   /// Edge access for edge-property references (nullptr outside hops).
-  const Adjacency* adj = nullptr;
+  const ViewAdjacency* adj = nullptr;
   std::size_t entry_idx = 0;
 };
 

@@ -26,6 +26,7 @@
 
 #include <vector>
 
+#include "graph/update.h"
 #include "plan/plan.h"
 #include "rpq/reach_cache.h"
 
@@ -34,5 +35,11 @@ namespace rpqd {
 /// One RpqGroupKey per reachability-index instance of the plan
 /// (index_id-indexed, size plan.num_rpq_indexes).
 std::vector<RpqGroupKey> rpq_group_cache_keys(const ExecPlan& plan);
+
+/// Label footprint of the whole plan, for update-driven result-cache
+/// eviction (DESIGN.md §12): the stage-0 scan's vertex labels plus every
+/// kNeighbor/kEdge hop's edge labels, each dimension a wildcard when any
+/// contributing alternation is unlabeled.
+ResultCacheScope result_cache_scope(const ExecPlan& plan);
 
 }  // namespace rpqd

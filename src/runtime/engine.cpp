@@ -18,6 +18,20 @@ DistributedEngine::DistributedEngine(
     std::shared_ptr<const PartitionedGraph> graph, EngineConfig config)
     : graph_(std::move(graph)), config_(config) {
   config_.num_machines = graph_->num_machines();
+  snapshot_ = GraphSnapshot::initial(graph_);
+}
+
+std::shared_ptr<const GraphSnapshot> DistributedEngine::current_snapshot()
+    const {
+  std::lock_guard lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+void DistributedEngine::install_snapshot(
+    std::shared_ptr<const GraphSnapshot> snapshot) {
+  engine_check(snapshot != nullptr, "install_snapshot(nullptr)");
+  std::lock_guard lock(snapshot_mutex_);
+  snapshot_ = std::move(snapshot);
 }
 
 // ------------------------------------------------------------ RunControl --
@@ -116,7 +130,13 @@ QueryResult DistributedEngine::execute_plan(const ExecPlan& plan) {
 QueryResult DistributedEngine::execute_plan(const ExecPlan& plan,
                                             const EngineConfig& cfg,
                                             RunControl* rc) {
-  return run_plan_cfg(plan, cfg, rc);
+  return run_plan_cfg(plan, cfg, rc, nullptr);
+}
+
+QueryResult DistributedEngine::execute_plan(
+    const ExecPlan& plan, const EngineConfig& cfg, RunControl* rc,
+    std::shared_ptr<const GraphSnapshot> snapshot) {
+  return run_plan_cfg(plan, cfg, rc, std::move(snapshot));
 }
 
 QueryResult DistributedEngine::run_plan(const ExecPlan& plan, bool profile) {
@@ -125,12 +145,17 @@ QueryResult DistributedEngine::run_plan(const ExecPlan& plan, bool profile) {
   // shared configuration under concurrent executions.
   EngineConfig cfg = config_snapshot();
   cfg.profile = profile;
-  return run_plan_cfg(plan, std::move(cfg), nullptr);
+  return run_plan_cfg(plan, std::move(cfg), nullptr, nullptr);
 }
 
-QueryResult DistributedEngine::run_plan_cfg(const ExecPlan& plan,
-                                            EngineConfig cfg,
-                                            RunControl* rc) {
+QueryResult DistributedEngine::run_plan_cfg(
+    const ExecPlan& plan, EngineConfig cfg, RunControl* rc,
+    std::shared_ptr<const GraphSnapshot> snap) {
+  // Pin the snapshot for the whole run (blocking path pins here; the
+  // scheduler pins earlier, at admission, and passes it in). Every
+  // machine traverses exactly this epoch; concurrent apply_update builds
+  // new snapshots without touching this one.
+  if (snap == nullptr) snap = current_snapshot();
   const unsigned num_machines = graph_->num_machines();
   const bool profile = cfg.profile;
   Stopwatch timer;
@@ -177,7 +202,7 @@ QueryResult DistributedEngine::run_plan_cfg(const ExecPlan& plan,
   machines.reserve(num_machines);
   for (unsigned m = 0; m < num_machines; ++m) {
     machines.push_back(std::make_unique<MachineRuntime>(
-        static_cast<MachineId>(m), &graph_->partition(m), &plan, &cfg,
+        static_cast<MachineId>(m), &snap->view(m), &plan, &cfg,
         &net, &abort, cache_on ? &cache_ctx[m] : nullptr));
   }
 
@@ -309,6 +334,7 @@ QueryResult DistributedEngine::run_plan_cfg(const ExecPlan& plan,
 
   RuntimeStats& stats = result.stats;
   stats.elapsed_ms = timer.elapsed_ms();
+  stats.snapshot_epoch = snap->epoch();
   stats.credit_partition_share = cfg.credit_partition_share;
   stats.output_rows = result.count;
   stats.data_messages = net.stats().data_messages.load();
@@ -426,6 +452,14 @@ void DistributedEngine::ensure_reach_caches(
 void DistributedEngine::bump_reach_cache_epoch() {
   std::lock_guard lock(reach_cache_mutex_);
   for (auto& cache : reach_caches_) cache->bump_epoch();
+}
+
+void DistributedEngine::bump_reach_cache_epochs(
+    const std::vector<MachineId>& machines) {
+  std::lock_guard lock(reach_cache_mutex_);
+  for (const MachineId m : machines) {
+    if (m < reach_caches_.size()) reach_caches_[m]->bump_epoch();
+  }
 }
 
 ReachCacheStats DistributedEngine::reach_cache_stats() const {

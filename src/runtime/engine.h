@@ -12,7 +12,7 @@
 
 #include "common/abort.h"
 #include "common/config.h"
-#include "graph/partition.h"
+#include "graph/snapshot.h"
 #include "plan/plan.h"
 #include "rpq/reach_cache.h"
 #include "runtime/profile.h"
@@ -115,6 +115,22 @@ class DistributedEngine {
   QueryResult execute_plan(const ExecPlan& plan, const EngineConfig& cfg,
                            RunControl* rc);
 
+  /// Same, against an explicit pinned snapshot (online updates,
+  /// DESIGN.md §12). The scheduler pins the snapshot at ADMISSION — before
+  /// its result-cache probe — so a cached entry admitted for this query's
+  /// epoch and the execution it may lead both describe the same graph.
+  /// Null runs against the engine's current snapshot.
+  QueryResult execute_plan(const ExecPlan& plan, const EngineConfig& cfg,
+                           RunControl* rc,
+                           std::shared_ptr<const GraphSnapshot> snapshot);
+
+  /// The snapshot new queries pin at admission.
+  std::shared_ptr<const GraphSnapshot> current_snapshot() const;
+  /// Publishes a snapshot (Database::apply_update / merge). Must happen
+  /// AFTER the cache coherence notifications for the same epoch, so a
+  /// query can never pin an epoch the caches have not yet heard about.
+  void install_snapshot(std::shared_ptr<const GraphSnapshot> snapshot);
+
   /// Compiles a query and returns its EXPLAIN text without running it.
   std::string explain(std::string_view pgql) const;
 
@@ -148,6 +164,11 @@ class DistributedEngine {
   /// Epoch-based invalidation: drops every cached fact on every machine
   /// and rejects harvests from runs seeded under the old epoch.
   void bump_reach_cache_epoch();
+  /// Partition-granular variant (online updates): bumps only the listed
+  /// machines' caches. Correctness does not depend on it — seeds are
+  /// inert sentinels — but stale facts on a dirtied partition waste
+  /// probes and would be re-harvested, so they are dropped eagerly.
+  void bump_reach_cache_epochs(const std::vector<MachineId>& machines);
   /// Aggregated counters over the per-machine caches (zeroes before the
   /// first cache-enabled run).
   ReachCacheStats reach_cache_stats() const;
@@ -165,11 +186,16 @@ class DistributedEngine {
  private:
   QueryResult run_plan(const ExecPlan& plan, bool profile);
   QueryResult run_plan_cfg(const ExecPlan& plan, EngineConfig cfg,
-                           RunControl* rc);
+                           RunControl* rc,
+                           std::shared_ptr<const GraphSnapshot> snapshot);
   /// Lazily builds (or re-budgets) the per-machine caches.
   void ensure_reach_caches(std::uint64_t max_bytes_per_machine);
 
   std::shared_ptr<const PartitionedGraph> graph_;
+  // Current graph snapshot (RCU-style): swapped by install_snapshot,
+  // pinned (shared_ptr copy) by every run at admission.
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const GraphSnapshot> snapshot_;
   // Engine configuration. config_mutex_ covers the snapshot taken at the
   // start of every run and the mid-serving mutations (set_fault_plan);
   // mutable_config() writes are only legal while no query is in flight.

@@ -33,7 +33,7 @@ void bump(std::vector<std::uint64_t>& v, Depth depth) {
 
 }  // namespace
 
-MachineRuntime::MachineRuntime(MachineId id, const Partition* partition,
+MachineRuntime::MachineRuntime(MachineId id, const PartitionView* partition,
                                const ExecPlan* plan,
                                const EngineConfig* config, Network* network,
                                AbortController* abort,
@@ -322,11 +322,11 @@ void MachineRuntime::unwind(RunState& rs) {
 
 bool MachineRuntime::next_neighbor(Frame& f, const StagePlan& sp,
                                    std::size_t& out_idx,
-                                   const Adjacency** out_adj) {
+                                   const ViewAdjacency** out_adj) {
   while (true) {
     if (f.cursor < f.end) {
       const Direction dir = effective_dir(sp.hop.dir, f.dir_phase);
-      const Adjacency& adj = part_->adjacency(dir);
+      const ViewAdjacency& adj = part_->adjacency(dir);
       const std::size_t idx = f.cursor++;
       // An undirected hop visits out- then in-entries; a self-loop would
       // appear in both, so skip it on the reverse leg.
@@ -340,7 +340,7 @@ bool MachineRuntime::next_neighbor(Frame& f, const StagePlan& sp,
     }
     // Advance to the next (label, direction) range.
     const Direction dir = effective_dir(sp.hop.dir, f.dir_phase);
-    const Adjacency& adj = part_->adjacency(dir);
+    const ViewAdjacency& adj = part_->adjacency(dir);
     const std::size_t nlabels = std::max<std::size_t>(1, sp.hop.elabels.size());
     if (f.label_idx < nlabels) {
       if (sp.hop.elabels.empty()) {
@@ -369,7 +369,7 @@ std::size_t MachineRuntime::edge_multiplicity(
     LocalVertexId lv, Direction dir, const std::vector<LabelId>& labels,
     VertexId target) const {
   const auto count_dir = [&](Direction d) -> std::size_t {
-    const Adjacency& adj = part_->adjacency(d);
+    const ViewAdjacency& adj = part_->adjacency(d);
     if (labels.empty()) return adj.count_edges_to(lv, target, std::nullopt);
     std::size_t count = 0;
     for (const LabelId l : labels) {
@@ -470,7 +470,7 @@ void MachineRuntime::step(Worker& w, RunState& rs) {
   switch (sp.hop.kind) {
     case HopKind::kNeighbor: {
       std::size_t idx = 0;
-      const Adjacency* adj = nullptr;
+      const ViewAdjacency* adj = nullptr;
       if (!next_neighbor(f, sp, idx, &adj)) {
         pop_frame(rs);
         return;
@@ -867,8 +867,12 @@ void MachineRuntime::worker_main(unsigned worker_index) {
         const LocalVertexId lv =
             static_cast<LocalVertexId>(w.bootstrap_cursor);
         w.bootstrap_cursor += stride;
-        run_context(w, 0, part_->to_global(lv), 0, 0,
-                    std::vector<Value>(plan_->num_slots));
+        // Tombstoned locals keep their slot until a merge but are not
+        // part of this snapshot: the scan skips them.
+        if (part_->alive(lv)) {
+          run_context(w, 0, part_->to_global(lv), 0, 0,
+                      std::vector<Value>(plan_->num_slots));
+        }
       } else {
         w.bootstrap_done = true;
       }

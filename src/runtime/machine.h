@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "common/config.h"
-#include "graph/partition.h"
+#include "graph/snapshot.h"
 #include "net/network.h"
 #include "plan/plan.h"
 #include "rpq/reach_cache.h"
@@ -48,7 +48,7 @@ class MachineRuntime {
   /// cache (DESIGN.md §11): the ctor seeds eligible groups' indexes from
   /// the machine's persistent cache; the engine calls
   /// harvest_reach_cache() after a clean drain.
-  MachineRuntime(MachineId id, const Partition* partition,
+  MachineRuntime(MachineId id, const PartitionView* partition,
                  const ExecPlan* plan, const EngineConfig* config,
                  Network* network, AbortController* abort,
                  const RunCacheContext* cache = nullptr);
@@ -170,7 +170,7 @@ class MachineRuntime {
                    Depth depth, std::uint64_t rpid, bool from_increment);
   void step(Worker& w, RunState& rs);
   bool next_neighbor(Frame& f, const StagePlan& sp, std::size_t& out_idx,
-                     const Adjacency** out_adj);
+                     const ViewAdjacency** out_adj);
   std::size_t edge_multiplicity(LocalVertexId lv, Direction dir,
                                 const std::vector<LabelId>& labels,
                                 VertexId target) const;
@@ -247,7 +247,7 @@ class MachineRuntime {
                        std::uint64_t rpid, const std::vector<Value>& slots);
 
   MachineId id_;
-  const Partition* part_;
+  const PartitionView* part_;
   const ExecPlan* plan_;
   const EngineConfig* config_;
   Network* net_;

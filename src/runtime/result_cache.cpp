@@ -16,8 +16,13 @@ std::uint64_t estimate_result_bytes(const QueryResult& result) {
 }
 
 ResultCache::ResultCache(std::uint64_t max_bytes,
-                         std::uint64_t admit_max_bytes)
-    : max_bytes_(max_bytes), admit_max_bytes_(admit_max_bytes) {}
+                         std::uint64_t admit_max_bytes,
+                         std::uint64_t coherent_epoch)
+    : max_bytes_(max_bytes),
+      admit_max_bytes_(admit_max_bytes),
+      coherent_epoch_(coherent_epoch) {
+  stats_.coherent_epoch = coherent_epoch_;
+}
 
 std::uint64_t ResultCache::admit_ceiling_locked() const {
   if (admit_max_bytes_ != 0) return admit_max_bytes_;
@@ -25,9 +30,25 @@ std::uint64_t ResultCache::admit_ceiling_locked() const {
 }
 
 ResultCache::Lookup ResultCache::acquire(const std::string& text,
-                                         bool profile) {
+                                         bool profile, std::uint64_t epoch) {
   const Key key{text, profile};
   std::lock_guard<std::mutex> lock(mutex_);
+  // Coherence invariant (DESIGN.md §12): the update path notifies this
+  // cache BEFORE publishing the new snapshot, so no query can pin an
+  // epoch the cache has not heard of. A probe from the future means a
+  // graph mutation skipped invalidation — fail loudly, the alternative
+  // is silently serving results of a graph that no longer exists.
+  engine_check(epoch <= coherent_epoch_,
+               "result-cache probe pinned an epoch newer than the cache's "
+               "coherent epoch: graph mutated without cache invalidation");
+  if (epoch < coherent_epoch_) {
+    // The probe's snapshot predates the last update: a stored entry or a
+    // live flight describes a newer graph. Execute uncached.
+    ++stats_.bypassed_stale;
+    Lookup out;
+    out.role = Role::kBypass;
+    return out;
+  }
   if (const auto it = index_.find(key); it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     ++stats_.hits;
@@ -37,16 +58,26 @@ ResultCache::Lookup ResultCache::acquire(const std::string& text,
     return out;
   }
   if (const auto it = flights_.find(key); it != flights_.end()) {
-    ++stats_.coalesced;
-    Lookup out;
-    out.role = Role::kFollower;
-    out.flight = it->second;
-    return out;
+    if (it->second->epoch == epoch) {
+      ++stats_.coalesced;
+      Lookup out;
+      out.role = Role::kFollower;
+      out.flight = it->second;
+      return out;
+    }
+    // The live flight pinned an older snapshot (an update landed while
+    // it executed). Its result is wrong for THIS asker: replace the
+    // registration — the old leader still publishes to its own
+    // followers, but its completion will fail the identity gate and
+    // never reach the store.
+    ++stats_.flights_restarted;
+    flights_.erase(it);
   }
   ++stats_.misses;
   Lookup out;
   out.role = Role::kLeader;
   out.flight = std::make_shared<Flight>();
+  out.flight->epoch = epoch;
   flights_.emplace(key, out.flight);
   return out;
 }
@@ -62,12 +93,22 @@ void ResultCache::retire_flight_locked(const Key& key,
 
 void ResultCache::complete(const std::shared_ptr<Flight>& flight,
                            const std::string& text, bool profile,
-                           const QueryResult& result) {
+                           const QueryResult& result,
+                           const ResultCacheScope& scope) {
   const Key key{text, profile};
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    retire_flight_locked(key, flight);
-    if (result.aborted || result.truncated) {
+    // Admission gates, in order: the flight must still be the registered
+    // one for its key (a stale flight replaced by a newer-epoch leader
+    // lost its registration), its epoch must still be coherent (an
+    // update may have landed while it executed — its result describes a
+    // graph that no longer exists), and the result must be clean.
+    const auto fit = flights_.find(key);
+    const bool registered = fit != flights_.end() && fit->second == flight;
+    if (registered) flights_.erase(fit);
+    if (!registered || flight->epoch != coherent_epoch_) {
+      ++stats_.stale_flight_drops;
+    } else if (result.aborted || result.truncated) {
       ++stats_.rejected_dirty;
     } else {
       const std::uint64_t bytes = estimate_result_bytes(result);
@@ -78,11 +119,13 @@ void ResultCache::complete(const std::shared_ptr<Flight>& flight,
         bytes_ -= it->second->bytes;
         it->second->result = result;
         it->second->bytes = bytes;
+        it->second->scope = scope;
+        it->second->epoch = flight->epoch;
         bytes_ += bytes;
         lru_.splice(lru_.begin(), lru_, it->second);
         evict_to_budget_locked();
       } else {
-        lru_.push_front(Node{key, result, bytes});
+        lru_.push_front(Node{key, result, bytes, scope, flight->epoch});
         index_.emplace(key, lru_.begin());
         bytes_ += bytes;
         ++stats_.inserts;
@@ -129,6 +172,26 @@ void ResultCache::invalidate() {
   bytes_ = 0;
 }
 
+void ResultCache::on_graph_update(std::uint64_t epoch,
+                                  const DirtyScope& dirty) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  engine_check(epoch > coherent_epoch_,
+               "result-cache update notification out of order");
+  coherent_epoch_ = epoch;
+  stats_.coherent_epoch = epoch;
+  ++stats_.updates_observed;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (scope_affected(it->scope, dirty)) {
+      bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.evicted_by_update;
+    } else {
+      ++it;
+    }
+  }
+}
+
 void ResultCache::set_budget(std::uint64_t max_bytes,
                              std::uint64_t admit_max_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -142,6 +205,7 @@ ResultCacheStats ResultCache::stats() const {
   ResultCacheStats out = stats_;
   out.entries = lru_.size();
   out.bytes = bytes_;
+  out.coherent_epoch = coherent_epoch_;
   return out;
 }
 

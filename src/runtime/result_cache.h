@@ -1,4 +1,5 @@
-// Full-result cache with single-flight coalescing (DESIGN.md §11).
+// Full-result cache with single-flight coalescing (DESIGN.md §11) and
+// epoch coherence for online updates (DESIGN.md §12).
 //
 // Keyed by (normalized PGQL text, profile flag): `PROFILE Q` and `Q`
 // normalize to the same text but are distinct result-cache entries — a
@@ -14,6 +15,20 @@
 // never deadlock on an abandoned flight. Only clean results
 // (!aborted && !truncated) are admitted into the LRU store, and only
 // when they fit the per-entry admission ceiling.
+//
+// Epoch coherence: every probe carries the graph epoch its query pinned
+// at admission, and the cache tracks the last epoch it was notified of
+// (on_graph_update). The update path notifies the cache BEFORE the new
+// snapshot is installed, so probe_epoch <= coherent_epoch is an
+// invariant — a probe from the future means a graph mutation reached a
+// query before it reached this cache, and acquire() aborts loudly
+// (engine_check) instead of serving a possibly-stale entry. A probe from
+// the PAST (an update published between the query's snapshot pin and its
+// cache probe) gets Role::kBypass: execute uncached, admit nothing.
+// Flights are stamped with their leader's epoch; an asker with a NEWER
+// epoch replaces a stale flight (it becomes the new leader), and a stale
+// flight's completion is published to its followers but never admitted
+// to the store.
 #pragma once
 
 #include <condition_variable>
@@ -24,6 +39,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "graph/update.h"
 #include "runtime/engine.h"
 
 namespace rpqd {
@@ -39,6 +55,13 @@ struct ResultCacheStats {
   std::uint64_t rejected_too_big = 0;  // clean but over the admit ceiling
   std::uint64_t rejected_dirty = 0;    // aborted/truncated, never cached
   std::uint64_t invalidations = 0;     // invalidate() calls
+  // Online-update coherence (DESIGN.md §12).
+  std::uint64_t updates_observed = 0;    // on_graph_update() calls
+  std::uint64_t evicted_by_update = 0;   // entries dropped by scope match
+  std::uint64_t bypassed_stale = 0;      // probes older than coherent epoch
+  std::uint64_t flights_restarted = 0;   // stale flights replaced by newer
+  std::uint64_t stale_flight_drops = 0;  // completions refused admission
+  std::uint64_t coherent_epoch = 0;      // last epoch the cache heard of
 };
 
 /// Conservative byte estimate of a QueryResult's cacheable payload
@@ -56,12 +79,16 @@ class ResultCache {
     bool done = false;
     QueryResult result;
     std::exception_ptr error;
+    /// Snapshot epoch the leader pinned; set at acquire() registration,
+    /// immutable afterwards (admission + follower-attach gate).
+    std::uint64_t epoch = 0;
   };
 
   enum class Role : std::uint8_t {
     kHit,       // `result` is filled; no flight
     kLeader,    // caller must execute and complete(...) the flight
     kFollower,  // caller must await(...) the flight
+    kBypass,    // stale-epoch probe: execute uncached, admit nothing
   };
 
   struct Lookup {
@@ -71,19 +98,29 @@ class ResultCache {
   };
 
   explicit ResultCache(std::uint64_t max_bytes,
-                       std::uint64_t admit_max_bytes = 0);
+                       std::uint64_t admit_max_bytes = 0,
+                       std::uint64_t coherent_epoch = 0);
 
-  /// Looks up `(text, profile)`: cached → kHit with a copy of the stored
-  /// result; live flight → kFollower; otherwise registers a new flight
-  /// and returns kLeader.
-  Lookup acquire(const std::string& text, bool profile);
+  /// Looks up `(text, profile)` on behalf of a query that pinned
+  /// snapshot `epoch`: cached → kHit with a copy of the stored result;
+  /// live same-epoch flight → kFollower; stale probe → kBypass;
+  /// otherwise registers a new flight (replacing a stale one) and
+  /// returns kLeader. engine_check-aborts when `epoch` is NEWER than the
+  /// last on_graph_update notification — that is a graph mutation that
+  /// bypassed cache invalidation, never a legal interleaving.
+  Lookup acquire(const std::string& text, bool profile,
+                 std::uint64_t epoch = 0);
 
   /// Leader hand-off: publishes `result` to every follower of `flight`
-  /// and admits it into the store when clean and within budget. The
-  /// flight is retired either way.
+  /// and admits it into the store when clean, within budget, still the
+  /// registered flight for its key, and current (flight epoch ==
+  /// coherent epoch). `scope` is the plan's label footprint for
+  /// update-driven eviction; the default (empty) is a wildcard — evicted
+  /// by ANY update, the conservative choice.
   void complete(const std::shared_ptr<Flight>& flight,
                 const std::string& text, bool profile,
-                const QueryResult& result);
+                const QueryResult& result,
+                const ResultCacheScope& scope = {});
 
   /// Leader hand-off for a throwing execution: every follower rethrows.
   void complete_error(const std::shared_ptr<Flight>& flight,
@@ -94,11 +131,19 @@ class ResultCache {
   /// copy of its result (or rethrows its exception).
   static QueryResult await(const std::shared_ptr<Flight>& flight);
 
-  /// Drops every cached entry (live flights are unaffected — they were
-  /// admitted under the old epoch and complete normally, but a flight
-  /// completing after invalidate() is still cached: its result was
-  /// computed from the current graph, which is immutable).
+  /// Drops every cached entry unconditionally (budget reconfiguration,
+  /// tests). Live flights still publish to their followers; whether
+  /// their completion is admitted is governed by the epoch gate in
+  /// complete(), not by this call.
   void invalidate();
+
+  /// Update-coherence notification: `epoch` was just created by an
+  /// applied batch with dirty scope `dirty`. Evicts exactly the entries
+  /// whose footprint intersects the dirty scope and advances the
+  /// coherent epoch. MUST be called before the new snapshot is published
+  /// to queries (Database::apply_update ordering) — acquire() treats a
+  /// probe beyond the coherent epoch as a coherence hole and aborts.
+  void on_graph_update(std::uint64_t epoch, const DirtyScope& dirty);
 
   void set_budget(std::uint64_t max_bytes, std::uint64_t admit_max_bytes);
 
@@ -121,6 +166,8 @@ class ResultCache {
     Key key;
     QueryResult result;
     std::uint64_t bytes = 0;
+    ResultCacheScope scope;       // label footprint for update eviction
+    std::uint64_t epoch = 0;      // epoch the result was computed at
   };
 
   void evict_to_budget_locked();
@@ -136,6 +183,7 @@ class ResultCache {
   std::unordered_map<Key, std::list<Node>::iterator, KeyHasher> index_;
   std::unordered_map<Key, std::shared_ptr<Flight>, KeyHasher> flights_;
   ResultCacheStats stats_;
+  std::uint64_t coherent_epoch_ = 0;
 };
 
 }  // namespace rpqd

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "pgql/normalize.h"
+#include "rpq/cache_key.h"
 
 namespace rpqd {
 
@@ -18,6 +19,15 @@ struct QueryJob {
   std::uint64_t id = 0;
   std::shared_ptr<const ExecPlan> plan;
   bool profile = false;
+  /// Snapshot pinned at submit (DESIGN.md §12): the query executes on
+  /// this graph version no matter how many updates land while it queues,
+  /// and its epoch keys the result-cache probe.
+  std::shared_ptr<const GraphSnapshot> snapshot;
+  /// Leader only: the plan's label footprint, for update-driven
+  /// result-cache eviction of the entry this job may admit.
+  ResultCacheScope scope;
+  /// The probe raced an update (stale epoch): execute uncached.
+  bool cache_bypass = false;
   AdmissionOutcome outcome = AdmissionOutcome::kRejected;
   AdmissionReject reject = AdmissionReject::kNone;
   /// Created at submit so a cancel can never miss the run: before
@@ -144,6 +154,10 @@ QueryTicket QueryScheduler::submit(std::string_view pgql) {
   auto job = std::make_shared<QueryJob>();
   job->plan = std::move(plan);
   job->profile = profile;
+  // Pin the snapshot at submission (DESIGN.md §12), BEFORE the cache
+  // probe — the probe's epoch is the coherence handshake: the cache
+  // aborts loudly if the pin is newer than its last invalidation.
+  job->snapshot = engine_->current_snapshot();
 
   if (result_cache_ != nullptr) {
     // Result-cache lookup AFTER compile (parse errors throw like the
@@ -152,8 +166,19 @@ QueryTicket QueryScheduler::submit(std::string_view pgql) {
     pgql::NormalizedQuery norm = pgql::normalize_query(pgql);
     const bool key_profile =
         profile || norm.profile || engine_->config_snapshot().profile;
-    ResultCache::Lookup look = result_cache_->acquire(norm.text, key_profile);
-    if (look.role == ResultCache::Role::kHit) {
+    ResultCache::Lookup look =
+        result_cache_->acquire(norm.text, key_profile, job->snapshot->epoch());
+    if (look.role == ResultCache::Role::kBypass) {
+      // An update published between the pin and the probe. Re-pin once
+      // and retry; if another update races the retry too, run this
+      // submission uncached rather than loop.
+      job->snapshot = engine_->current_snapshot();
+      look = result_cache_->acquire(norm.text, key_profile,
+                                    job->snapshot->epoch());
+    }
+    if (look.role == ResultCache::Role::kBypass) {
+      job->cache_bypass = true;
+    } else if (look.role == ResultCache::Role::kHit) {
       {
         std::lock_guard lock(mutex_);
         job->id = next_id_++;
@@ -165,8 +190,7 @@ QueryTicket QueryScheduler::submit(std::string_view pgql) {
       look.result.stats.queue_ms = 0.0;
       fulfill(*job, std::move(look.result));
       return QueryTicket(std::move(job));
-    }
-    if (look.role == ResultCache::Role::kFollower) {
+    } else if (look.role == ResultCache::Role::kFollower) {
       {
         std::lock_guard lock(mutex_);
         job->id = next_id_++;
@@ -176,12 +200,14 @@ QueryTicket QueryScheduler::submit(std::string_view pgql) {
       job->outcome = AdmissionOutcome::kCoalesced;
       job->flight = std::move(look.flight);
       return QueryTicket(std::move(job));
+    } else {
+      // Leader: this job must complete the flight whatever happens to it
+      // (dispatch, rejection, cancel, shutdown) — fulfill()/fail() do.
+      job->lead_flight = std::move(look.flight);
+      job->cache_text = std::move(norm.text);
+      job->cache_profile = key_profile;
+      job->scope = result_cache_scope(*job->plan);
     }
-    // Leader: this job must complete the flight whatever happens to it
-    // (dispatch, rejection, cancel, shutdown) — fulfill()/fail() do.
-    job->lead_flight = std::move(look.flight);
-    job->cache_text = std::move(norm.text);
-    job->cache_profile = key_profile;
   }
   job->run_control = std::make_shared<RunControl>();
 
@@ -190,6 +216,7 @@ QueryTicket QueryScheduler::submit(std::string_view pgql) {
     std::lock_guard lock(mutex_);
     job->id = next_id_++;
     ++stats_.submitted;
+    if (job->cache_bypass) ++stats_.cache_bypassed;
     if (stopping_) {
       reject = AdmissionReject::kShutdown;
     } else if (slots_ == 0) {
@@ -355,7 +382,7 @@ void QueryScheduler::fulfill(QueryJob& job, QueryResult result) {
     // its aborted result — followers share the leader's fate, the cache
     // stores nothing.
     result_cache_->complete(job.lead_flight, job.cache_text,
-                            job.cache_profile, result);
+                            job.cache_profile, result, job.scope);
     job.lead_flight.reset();
   }
   {
@@ -383,14 +410,32 @@ void QueryScheduler::fail(QueryJob& job, std::exception_ptr error) {
 void QueryScheduler::run_job(const std::shared_ptr<QueryJob>& job) {
   QueryResult result;
   std::exception_ptr error;
-  try {
-    result = engine_->execute_plan(*job->plan, job_config(*job),
-                                   job->run_control.get());
+  const EngineConfig cfg = job_config(*job);
+  bool lapsed_in_queue = false;
+  if (cfg.query_deadline_ms > 0 &&
+      job->queue_ms >= static_cast<double>(cfg.query_deadline_ms)) {
+    // The deadline lapsed while the submission sat in the admission
+    // queue. The engine's watchdog measures only execution time, so
+    // without this check a long-queued query would START after its
+    // deadline, run its full course, and only then get aborted — or
+    // worse, complete. Abort at dispatch, before spending the slot.
+    lapsed_in_queue = true;
+    result.aborted = true;
+    result.abort_reason = AbortReason::kDeadline;
     result.stats.queue_ms = job->queue_ms;
-  } catch (...) {
-    // Engine invariant failures surface on the awaiting thread, exactly
-    // like the blocking path's propagation to the caller.
-    error = std::current_exception();
+    result.stats.snapshot_epoch =
+        job->snapshot != nullptr ? job->snapshot->epoch() : 0;
+  } else {
+    try {
+      result = engine_->execute_plan(*job->plan, cfg, job->run_control.get(),
+                                     job->snapshot);
+      result.stats.queue_ms = job->queue_ms;
+      result.stats.result_cache_bypassed = job->cache_bypass;
+    } catch (...) {
+      // Engine invariant failures surface on the awaiting thread, exactly
+      // like the blocking path's propagation to the caller.
+      error = std::current_exception();
+    }
   }
   // Retire BEFORE fulfilling: an awaiter that observed the result must
   // also observe balanced books (completed + cancelled == submitted).
@@ -398,6 +443,7 @@ void QueryScheduler::run_job(const std::shared_ptr<QueryJob>& job) {
     std::lock_guard lock(mutex_);
     --busy_;
     ++stats_.completed;
+    if (lapsed_in_queue) ++stats_.deadline_lapsed_in_queue;
     running_.erase(std::remove(running_.begin(), running_.end(), job),
                    running_.end());
   }

@@ -112,6 +112,11 @@ struct SchedulerStats {
   // Result cache (DESIGN.md §11); 0 without a cache.
   std::uint64_t cache_hits = 0;       // served without dispatching
   std::uint64_t cache_coalesced = 0;  // followers of a live flight
+  std::uint64_t cache_bypassed = 0;   // stale-epoch probes, ran uncached
+  // Deadline lapsed while queued: aborted kDeadline at dispatch, never
+  // executed (DESIGN.md §12 — the scheduler re-checks the deadline when
+  // the job leaves the FIFO, not just during execution).
+  std::uint64_t deadline_lapsed_in_queue = 0;
   std::uint64_t cancelled_while_queued = 0;
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_context_budget = 0;

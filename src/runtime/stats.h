@@ -106,6 +106,14 @@ struct RuntimeStats {
   bool result_cache_hit = false;
   /// This result was coalesced onto a concurrent identical execution.
   bool result_cache_coalesced = false;
+  /// This query probed the result cache while the cache's coherent epoch
+  /// lagged its pinned snapshot (an update was mid-publication): it
+  /// executed uncached rather than risk admitting a stale entry.
+  bool result_cache_bypassed = false;
+  // Online updates (DESIGN.md §12).
+  /// Graph epoch this query pinned at admission; every traversal step
+  /// observed exactly this snapshot.
+  std::uint64_t snapshot_epoch = 0;
   // Concurrent serving (runtime/scheduler.h); identity values when the
   // query ran through the blocking single-query path.
   /// Credit-partition share this query's flow control was built with

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/partition.h"
+#include "graph/snapshot.h"
 #include "plan/expr.h"
 
 namespace rpqd {
@@ -22,13 +23,14 @@ class ExprTest : public ::testing::Test {
                    int_value(30));
     b.set_string_property(v, "name", "alice");
     graph_ = std::make_shared<const Graph>(std::move(b).build());
-    pg_ = std::make_unique<PartitionedGraph>(graph_, 1);
+    pg_ = std::make_shared<const PartitionedGraph>(graph_, 1);
+    snap_ = GraphSnapshot::initial(pg_);
     slots_.assign(4, null_value());
   }
 
   EvalCtx ctx() {
     EvalCtx c;
-    c.part = &pg_->partition(0);
+    c.part = &snap_->view(0);
     c.catalog = &graph_->catalog();
     c.current = 0;
     c.slots = slots_.data();
@@ -36,7 +38,8 @@ class ExprTest : public ::testing::Test {
   }
 
   std::shared_ptr<const Graph> graph_;
-  std::unique_ptr<PartitionedGraph> pg_;
+  std::shared_ptr<const PartitionedGraph> pg_;
+  std::shared_ptr<const GraphSnapshot> snap_;
   std::vector<Value> slots_;
 };
 
