@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "graph/update.h"
 #include "ldbc/synthetic.h"
@@ -147,6 +148,19 @@ struct UpdateRow {
   std::uint64_t evicted_by_update;
   std::uint64_t batches;
   double merge_pause_ms;
+};
+
+/// One lossy-transport point (§13 reliable delivery): a paper query at
+/// a given loss rate, plus the loss-free "armed but idle" overhead row
+/// (loss_pct 0, reliable true) whose overhead_vs_plain is the <=1.05x
+/// acceptance budget.
+struct LossRow {
+  std::string id;
+  double loss_pct;
+  double median_latency_ms;
+  std::uint64_t retransmits;
+  std::uint64_t acks_sent;
+  double overhead_vs_plain;
 };
 
 }  // namespace
@@ -446,6 +460,60 @@ int main() {
     }
   }
 
+  // Lossy-transport rows (§13 reliable delivery): the two paper point
+  // queries re-run over a fabric that drops a seeded fraction of every
+  // message class, so BENCH_RPQD.json tracks both the retransmission
+  // path's latency factor and the loss-free overhead of arming the
+  // layer at all (acceptance budget <= 1.05x the plain fabric).
+  std::vector<LossRow> loss_rows;
+  print_header("lossy transport (reliable delivery, 4 machines)");
+  {
+    struct LossQuery {
+      const char* id;
+      const char* text;
+    };
+    const LossQuery loss_queries[] = {
+        {"table2/Q9",
+         "SELECT COUNT(*) FROM MATCH (post:Post) <-/:replyOf*/- (m)"},
+        {"table3/Q10",
+         "SELECT COUNT(*) FROM MATCH (p1:Person) -/:knows{2,3}/- "
+         "(p2:Person) WHERE p1.id = 7"},
+    };
+    for (const auto& lq : loss_queries) {
+      double plain_ms = 0.0;
+      {
+        Database db(ldbc::generate_ldbc(cfg), 4);
+        QueryResult r;
+        plain_ms = median_ms([&] { r = db.query(lq.text); }, repeats);
+      }
+      for (const double pct : {0.0, 0.1, 1.0, 5.0}) {
+        EngineConfig ec;
+        if (pct == 0.0) {
+          // Armed but idle: sequence stamps, CRCs, and the unacked
+          // ring with nothing ever lost.
+          ec.reliable_transport = true;
+        } else {
+          FaultPlan plan;
+          plan.seed = 7;
+          plan.loss_rate = pct / 100.0;
+          plan.loss_classes = kFaultClassAll;
+          ec.fault_plan = plan;
+        }
+        Database db(ldbc::generate_ldbc(cfg), 4, ec);
+        QueryResult r;
+        const double ms = median_ms([&] { r = db.query(lq.text); }, repeats);
+        loss_rows.push_back({lq.id, pct, ms, r.stats.retransmits,
+                             r.stats.acks_sent,
+                             plain_ms > 0.0 ? ms / plain_ms : 0.0});
+        std::printf(
+            "  %-12s loss %4.1f%%  %10.2f ms  retx %6llu  (%.2fx plain)\n",
+            lq.id, pct, ms,
+            static_cast<unsigned long long>(r.stats.retransmits),
+            loss_rows.back().overhead_vs_plain);
+      }
+    }
+  }
+
   std::string json = "{\n";
   {
     char buf[128];
@@ -530,6 +598,22 @@ int main() {
         static_cast<unsigned long long>(u.evicted_by_update),
         static_cast<unsigned long long>(u.batches), u.merge_pause_ms,
         i + 1 == update_rows.size() ? "" : ",");
+    json += buf;
+  }
+  json += "  ],\n";
+  json += "  \"lossy_transport\": [\n";
+  for (std::size_t i = 0; i < loss_rows.size(); ++i) {
+    const LossRow& l = loss_rows[i];
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"id\": \"%s\", \"loss_pct\": %.1f, \"median_ms\": %.3f, "
+        "\"retransmits\": %llu, \"acks_sent\": %llu, "
+        "\"overhead_vs_plain\": %.3f}%s\n",
+        l.id.c_str(), l.loss_pct, l.median_latency_ms,
+        static_cast<unsigned long long>(l.retransmits),
+        static_cast<unsigned long long>(l.acks_sent),
+        l.overhead_vs_plain, i + 1 == loss_rows.size() ? "" : ",");
     json += buf;
   }
   json += "  ]\n}\n";

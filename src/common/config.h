@@ -170,6 +170,39 @@ struct EngineConfig {
   /// reachability caches (partition rebuild remaps local vertex ids).
   std::uint64_t delta_merge_entries = 0;
 
+  // ---- reliable delivery over a lossy fabric (DESIGN.md §13) -------------
+  // The reliability layer (per-link seq + acks + retransmission + CRC32)
+  // arms automatically when fault_plan.lossy(); `reliable_transport`
+  // forces it on over a healthy fabric (the 0%-loss overhead bench and
+  // a forward-compatibility switch for real sockets). When off and the
+  // plan is not lossy, the transport is byte-for-byte the pre-§13 one.
+
+  /// Force the reliable-delivery machinery on even without loss faults.
+  bool reliable_transport = false;
+
+  /// Retransmission attempts per message before the link is declared
+  /// dead and the run escalates to AbortReason::kMachineFailure. Any ack
+  /// progress on a link refunds the budget of its remaining in-flight
+  /// messages (pump ticks advance at wildly different rates on busy vs
+  /// idle machines, so raw attempt counts only condemn links that make
+  /// no progress at all). Sized so a merely-lossy link is never
+  /// mistaken for a dead one: each attempt rolls fresh dice, so the
+  /// chance a live link eats the whole budget is loss_rate^60 —
+  /// negligible even at 80% sustained loss (~1e-6). Tests that want
+  /// fast dead-link detection configure a small budget explicitly.
+  unsigned max_retransmits = 60;
+
+  /// Base retransmission timeout in pump ticks (one tick per worker
+  /// main-loop / credit-wait iteration, cluster-global; idle workers
+  /// burst-pump so ticks track wall pace while the cluster drains).
+  /// Doubles per attempt (capped at 16x) plus a seeded jitter term.
+  unsigned retransmit_timeout_ticks = 128;
+
+  /// A receiver owing an ack for longer than this many pump ticks emits
+  /// a standalone kAck instead of waiting for reverse traffic to
+  /// piggyback on.
+  unsigned ack_idle_ticks = 16;
+
   /// Deterministic seed for any randomized tie-breaking.
   std::uint64_t seed = 42;
 

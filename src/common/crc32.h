@@ -1,0 +1,48 @@
+// CRC32 (ISO-HDLC polynomial, the zlib/PNG one) over message payloads.
+//
+// The reliable-delivery layer (DESIGN.md §13) stamps every sequenced
+// message with a payload checksum at send time; the receiving inbox
+// recomputes it and treats a mismatch exactly like a lost message — the
+// corrupted copy is dropped and the sender's retransmission timer
+// recovers it. Software table implementation: the fabric is simulated,
+// so a few cycles per byte is far below the noise floor, and keeping it
+// dependency-free matters more than SSE4 crc32c throughput.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rpqd {
+
+namespace detail {
+
+inline constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC32 of `data` (initial value 0, standard pre/post inversion).
+inline std::uint32_t crc32(std::span<const std::byte> data) {
+  std::uint32_t c = 0xffffffffu;
+  for (const std::byte b : data) {
+    c = detail::kCrc32Table[(c ^ static_cast<std::uint8_t>(b)) & 0xffu] ^
+        (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace rpqd

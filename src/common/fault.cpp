@@ -52,12 +52,35 @@ FaultPlan FaultPlan::named(std::string_view name, std::uint64_t seed) {
     plan.crash_tick = 2 + fault_hash(seed, 0, kFaultSaltCrash) % 40;
     return plan;
   }
+  if (name == "loss") {
+    plan.loss_rate = 0.05;
+    plan.loss_classes = kFaultClassAll;
+    return plan;
+  }
+  if (name == "corrupt-storm") {
+    plan.corrupt_rate = 0.4;
+    plan.corrupt_classes = kFaultClassAll;
+    return plan;
+  }
+  if (name == "lossy-chaos") {
+    plan.loss_rate = 0.05;
+    plan.corrupt_rate = 0.05;
+    plan.delay_prob = 0.25;
+    plan.delay_window = 4;
+    plan.dup_data_prob = 0.2;
+    plan.dup_done_prob = 0.2;
+    plan.dup_term_prob = 0.2;
+    plan.crash_machine = -2;
+    plan.crash_tick = 2 + fault_hash(seed, 0, kFaultSaltCrash) % 40;
+    return plan;
+  }
   throw QueryError("unknown fault schedule: " + std::string(name));
 }
 
 std::vector<std::string> FaultPlan::schedule_names() {
   return {"none",          "reorder",      "dup-storm",   "credit-jitter",
-          "slow-machine",  "chaos",        "crash-stop"};
+          "slow-machine",  "chaos",        "crash-stop",  "loss",
+          "corrupt-storm", "lossy-chaos"};
 }
 
 }  // namespace rpqd

@@ -9,13 +9,24 @@
 // single uint64 seed — the replay key printed by the differential test
 // harness on failure.
 //
-// The fabric stays *reliable* under a FaultPlan: duplicated data and DONE
+// Jitter-only plans leave the fabric *reliable*: duplicated data and DONE
 // messages are filtered by a receiver-side sequence-number dedup (the
 // simulation's stand-in for the reliable-connection transport the paper's
 // InfiniBand deployment gets in hardware), so the engine still observes
 // exactly-once delivery — just late, reordered, and slow. Termination
 // status broadcasts are deliberately NOT deduplicated: the §3.4 protocol
 // must tolerate duplicated and stale statuses on its own.
+//
+// Plans with `loss_rate` / `corrupt_rate` set drop the reliability
+// pretense: each transmission attempt can vanish or have a payload byte
+// flipped. Arming either knob switches the Network onto the reliable
+// delivery layer (DESIGN.md §13) — per-link sequence numbers, cumulative
+// + selective acks, CRC32 checksums, and retransmission with seeded
+// exponential backoff — which restores exactly-once delivery or, when a
+// link stays dead past the retransmit budget, escalates into the typed
+// machine-failure abort path instead of hanging. Loss and corruption
+// decisions are keyed on a per-transmission-attempt id (never the
+// message's own seq), so a retransmitted copy rolls fresh dice.
 #pragma once
 
 #include <cstdint>
@@ -73,7 +84,25 @@ struct FaultPlan {
   /// Stamped by the engine on each run; NOT part of the replay key.
   std::uint64_t run_index = 0;
 
+  /// Message loss / payload corruption, rolled independently per
+  /// transmission attempt (originals, injected duplicates, and
+  /// retransmissions each roll their own dice). `loss_classes` /
+  /// `corrupt_classes` restrict the fault to a subset of message classes
+  /// (kFaultClass* bits below) so a schedule can, e.g., drop only DONE
+  /// credit returns. A corrupted payload is detected by the receiver's
+  /// CRC32 check and dropped, so corruption is observably identical to
+  /// loss — it just also exercises the checksum path.
+  double loss_rate = 0.0;
+  double corrupt_rate = 0.0;
+  unsigned loss_classes = 0x1f;
+  unsigned corrupt_classes = 0x1f;
+
   bool crash_enabled() const { return crash_machine != -1; }
+
+  /// True when the fabric can drop or corrupt messages — this is what
+  /// arms the reliable delivery layer (independently of `any()`, which
+  /// governs the jitter/dup/crash machinery and its seq stamping).
+  bool lossy() const { return loss_rate > 0.0 || corrupt_rate > 0.0; }
 
   /// True when any knob is active (the fabric's fast path checks this
   /// once per call; a default plan adds no overhead).
@@ -93,6 +122,9 @@ struct FaultPlan {
   ///   "slow-machine"  half the machines stall on pickups
   ///   "chaos"         everything at once
   ///   "crash-stop"    a seed-selected machine dies early in the run
+  ///   "loss"          5% of every transmission attempt vanishes
+  ///   "corrupt-storm" 40% of payloads get a byte flipped in flight
+  ///   "lossy-chaos"   loss + corruption + reorder + dup + crash-stop
   /// Throws QueryError on an unknown name.
   static FaultPlan named(std::string_view name, std::uint64_t seed);
 
@@ -121,5 +153,17 @@ inline constexpr std::uint64_t kFaultSaltSlowMachine = 4;
 inline constexpr std::uint64_t kFaultSaltStall = 5;
 inline constexpr std::uint64_t kFaultSaltStallTicks = 6;
 inline constexpr std::uint64_t kFaultSaltCrash = 7;
+inline constexpr std::uint64_t kFaultSaltLoss = 8;
+inline constexpr std::uint64_t kFaultSaltCorrupt = 9;
+inline constexpr std::uint64_t kFaultSaltCorruptByte = 10;
+inline constexpr std::uint64_t kFaultSaltRetransmit = 11;
+
+// Message-class bits for FaultPlan::loss_classes / corrupt_classes.
+inline constexpr unsigned kFaultClassData = 1u << 0;
+inline constexpr unsigned kFaultClassDone = 1u << 1;
+inline constexpr unsigned kFaultClassTermination = 1u << 2;
+inline constexpr unsigned kFaultClassAbort = 1u << 3;
+inline constexpr unsigned kFaultClassAck = 1u << 4;
+inline constexpr unsigned kFaultClassAll = 0x1f;
 
 }  // namespace rpqd

@@ -10,6 +10,13 @@
 //
 // A credit is acquired before sending to a destination machine and
 // released when that machine reports the buffer processed (DONE message).
+// Under a lossy fault plan a DONE can be dropped or corrupted in flight;
+// the §13 reliable-delivery layer sequences and retransmits it, so a
+// blocked sender recovers once the retransmission lands (the blocked
+// acquire loop pumps the transport timers while it waits). A link that
+// never recovers escalates to a machine-failure abort rather than
+// starving the sender forever; the starvation-abort deadline here is an
+// independent, coarser backstop and is unchanged.
 //
 // Hot path: dedicated and shared credits live in flat arrays of atomic
 // counters indexed by (stage, destination, depth); acquire and release

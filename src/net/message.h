@@ -18,6 +18,7 @@ enum class MessageType : std::uint8_t {
   kDone,         // flow-control credit return
   kTermination,  // termination-protocol status broadcast
   kAbort,        // cooperative-abort broadcast (common/abort.h)
+  kAck,          // standalone reliable-delivery ack (DESIGN.md §13)
 };
 
 /// Which flow-control credit a data message consumed; echoed back in the
@@ -48,6 +49,19 @@ struct MessageHeader {
   /// from a different epoch, so in-flight data of an aborted run can
   /// never seed work in a later one.
   std::uint32_t epoch = 0;
+  /// Reliable-delivery fields (DESIGN.md §13), populated only when the
+  /// reliability layer is armed (lossy plan or cfg.reliable_transport).
+  /// `link_seq` is per-(src, dest) and 1-based; 0 marks an unsequenced
+  /// message (kAbort, kAck, and everything on a reliable=off fabric).
+  std::uint64_t link_seq = 0;
+  /// CRC32 of the payload, verified by the receiving inbox; a mismatch
+  /// (injected corruption) drops the copy exactly like a loss.
+  std::uint32_t crc = 0;
+  /// Piggybacked ack for the *reverse* link (dest -> src): receiver has
+  /// every link_seq <= ack_cum, plus bit i of ack_bits set means
+  /// ack_cum + 1 + i was received out of order.
+  std::uint64_t ack_cum = 0;
+  std::uint64_t ack_bits = 0;
 };
 
 struct Message {

@@ -19,13 +19,33 @@
 // worker advances whenever it polls, so limbo always drains as long as
 // the query is live. Termination statuses are duplicated verbatim (never
 // deduped or delayed): the §3.4 protocol must tolerate them by itself.
+//
+// Reliable delivery (DESIGN.md §13): when the plan is lossy() — or
+// EngineConfig::reliable_transport forces it — the fabric can drop or
+// corrupt transmission attempts, and the Network layers a reliable
+// transport on top: per-link monotone sequence numbers with a
+// sender-side unacked ring, CRC32 payload checksums (a corrupt copy is
+// detected and dropped, observably identical to loss), cumulative +
+// selective acks piggybacked on reverse traffic (standalone kAck after
+// an idle timeout), and retransmission with seeded exponential backoff
+// driven by the pump tick clock. A link whose messages exhaust
+// max_retransmits with zero ack progress is declared dead and escalates
+// into the AbortReason::kMachineFailure path — a typed retryable abort,
+// never a hang. Pump ticks advance only inside Network::pump, which
+// every worker calls once per main-loop / credit-wait iteration; any
+// live worker services every link's timers and every inbox's owed acks
+// (shared-memory simulation: thread identity is already blurred — the
+// sender's thread executes the receiver's push).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/abort.h"
@@ -67,6 +87,19 @@ struct NetStats {
   std::atomic<std::uint64_t> blackholed_messages{0};  // data sent to a crashed
                                                       // machine (synth-DONEd)
   std::atomic<std::uint64_t> epoch_dropped{0};    // stale-epoch messages
+  // Reliable-delivery accounting (DESIGN.md §13; all zero unless the
+  // reliability layer is armed). Injection counters (faults_lost /
+  // faults_corrupted) count what the adversarial fabric did; the other
+  // four count what the transport did about it. Message/byte counters
+  // above stay exactly-once under retransmission: a duplicate delivery
+  // is dropped by the link-seq dedup *before* any counting.
+  std::atomic<std::uint64_t> faults_lost{0};       // transmission attempts
+                                                   // dropped in flight
+  std::atomic<std::uint64_t> faults_corrupted{0};  // attempts corrupted
+  std::atomic<std::uint64_t> retransmits{0};       // re-sent copies
+  std::atomic<std::uint64_t> acks_sent{0};         // standalone kAck sends
+  std::atomic<std::uint64_t> payload_corruptions_detected{0};  // CRC catches
+  std::atomic<std::uint64_t> dedup_drops{0};       // link-seq duplicate drops
 
   void note_queued(std::uint64_t delta_add);
   void note_dequeued(std::uint64_t delta_sub);
@@ -93,6 +126,17 @@ class Inbox {
   /// check). In-flight data of an aborted run can never leak into a
   /// later query: its epoch no longer matches.
   void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+
+  /// Arms receiver-side reliable delivery (DESIGN.md §13): per-source
+  /// link-seq dedup windows, CRC verification, and ack-owed tracking.
+  /// `clock` is the Network's pump tick counter (read-only here), used
+  /// to timestamp owed acks. `undelivered` is the Network's count of
+  /// stamped-but-not-yet-delivered kData/kTermination messages; this
+  /// inbox decrements it when it accepts such a message for the first
+  /// time. Call before any push.
+  void arm_reliable(unsigned num_machines,
+                    const std::atomic<std::uint64_t>* clock,
+                    std::atomic<std::uint64_t>* undelivered);
 
   // ---- cooperative abort (common/abort.h) ----
   /// This machine's view of the query abort, set on receipt of a kAbort
@@ -150,7 +194,26 @@ class Inbox {
   /// aborted or crashed machine stops consuming its inbox.
   std::vector<Message> drain_aborted(NetStats& stats);
 
+  // ---- reliable delivery, receiver side (DESIGN.md §13) ----
+
+  /// Fills the cumulative + selective ack fields describing what this
+  /// inbox has received from `src`, and clears the owed-ack flag for
+  /// that link (the ack is about to ride out on some message).
+  void fill_ack(MachineId src, std::uint64_t& ack_cum,
+                std::uint64_t& ack_bits);
+
+  /// Links whose owed ack has aged past `idle_ticks` without reverse
+  /// traffic to piggyback on; the caller emits standalone kAcks.
+  std::vector<MachineId> take_due_acks(std::uint64_t now,
+                                       std::uint64_t idle_ticks);
+
+  /// Whether (src, link_seq) was ever accepted by this inbox — the
+  /// post-run ground truth that lets Network::drain_reliable resolve
+  /// unacked ring entries without double-applying their effects.
+  bool reliable_delivered(MachineId src, std::uint64_t link_seq) const;
+
  private:
+  friend class Network;  // drain_reliable delivers stranded DONE credits
   struct Entry {
     Message msg;
     std::uint64_t seq = 0;  // FIFO tiebreak / FIFO-mode key
@@ -174,6 +237,22 @@ class Inbox {
     }
     return a.seq > b.seq;  // older messages win ties / FIFO mode
   }
+
+  // Reliable-delivery receiver state, one per source machine. Guarded by
+  // rx_mutex_ (never held together with mutex_; push takes rx_mutex_,
+  // releases it, then takes mutex_ for the heap).
+  struct LinkRx {
+    std::uint64_t cum = 0;            // every link_seq <= cum received
+    std::set<std::uint64_t> ooo;      // received out of order, > cum
+    bool ack_owed = false;
+    std::uint64_t owed_since = 0;     // pump tick the debt started
+  };
+
+  /// Dedup + receipt recording for a sequenced message; counts
+  /// dedup_drops and re-marks the owed ack on a duplicate (a duplicate
+  /// usually means the previous ack was lost). Returns false to drop.
+  bool reliable_accept(MachineId src, std::uint64_t link_seq,
+                       NetStats& stats);
 
   // Fault internals (mutex_ held unless stated otherwise).
   bool fault_dedup_or_delay(Message& msg, NetStats& stats);  // true=consumed
@@ -205,12 +284,27 @@ class Inbox {
   // path pays; everything below is untouched without a plan.
   bool faults_on_ = false;
   bool slow_machine_ = false;
+  // Reliable-delivery receiver state (armed by arm_reliable).
+  bool reliable_on_ = false;
+  mutable std::mutex rx_mutex_;
+  std::vector<LinkRx> rx_;
+  const std::atomic<std::uint64_t>* reliable_clock_ = nullptr;
+  std::atomic<std::uint64_t>* reliable_undelivered_ = nullptr;
   FaultPlan plan_;
   MachineId self_ = 0;
   std::uint64_t tick_ = 0;
   std::vector<Limbo> limbo_;
   std::size_t limbo_data_ = 0;  // data messages currently in limbo
   std::unordered_set<std::uint64_t> seen_;  // transport dedup (data+DONE)
+};
+
+/// Knobs of the reliable-delivery layer, mirrored from EngineConfig by
+/// the engine (the Network constructor never sees an EngineConfig).
+struct ReliableConfig {
+  bool enabled = false;
+  unsigned max_retransmits = 20;
+  std::uint64_t retransmit_timeout_ticks = 128;
+  std::uint64_t ack_idle_ticks = 16;
 };
 
 /// The interconnect: owns one inbox per machine plus global statistics.
@@ -228,6 +322,58 @@ class Network {
   /// any traffic.
   void set_fault_plan(const FaultPlan& plan);
   const FaultPlan& fault_plan() const { return plan_; }
+
+  /// Arms the reliable-delivery layer (DESIGN.md §13) on sender and
+  /// receiver sides. Call after set_fault_plan and before any traffic.
+  /// With cfg.enabled false and a non-lossy plan this is a no-op and the
+  /// transport is byte-for-byte the pre-§13 one.
+  void configure_reliability(const ReliableConfig& cfg);
+  bool reliable() const { return reliable_on_; }
+
+  /// True when no sequenced count-bearing or status message (kData,
+  /// kTermination) is sitting in a retransmission ring awaiting first
+  /// delivery. The §3.4 termination decision gates on this: the
+  /// two-wave stability argument assumes every broadcast issued before
+  /// the decision instant has been delivered (and therefore ingested by
+  /// the decider's status pop loop), which a lossy fabric only
+  /// guarantees once the retransmission backlog is empty. kDone credit
+  /// returns are deliberately excluded — they carry no termination
+  /// counters and the post-run drain reconciles stragglers. Always true
+  /// on a non-reliable fabric.
+  bool quiescent() const {
+    return seq_undelivered_.load(std::memory_order_seq_cst) == 0;
+  }
+
+  /// Number of stamped kData/kTermination messages not yet delivered to
+  /// their inbox (diagnostics; `quiescent()` is this reaching zero).
+  std::uint64_t undelivered_count() const {
+    return seq_undelivered_.load(std::memory_order_seq_cst);
+  }
+
+  /// Escalation target for dead links: a link that exhausts its
+  /// retransmit budget requests AbortReason::kMachineFailure here (and
+  /// broadcasts it), converting a partitioned/dead fabric into a typed
+  /// retryable abort instead of a hang. Optional — without a controller
+  /// the dead link is only recorded and the post-run drain still
+  /// reconciles its credits.
+  void attach_abort(AbortController* abort) { abort_ = abort; }
+
+  /// One reliability tick: every worker calls this once per main-loop
+  /// and per credit-wait iteration. Advances the cluster-global tick
+  /// clock and services (striding across calls) standalone owed acks,
+  /// due retransmissions on every link, and kAbort re-broadcast to
+  /// machines that lost the first copy. No-op when reliability is off.
+  void pump(MachineId self);
+
+  /// Post-run (workers joined): resolves every entry still in the
+  /// unacked rings. Delivered-but-unacked entries are skipped (their
+  /// effects are in the inboxes already); an undelivered DONE has its
+  /// credit delivered now (clean termination proves sent == processed,
+  /// not credits-home, so a lost in-flight DONE is legal); undelivered
+  /// data — possible only on aborted runs — is returned with its
+  /// destination so the engine can release the sender's credit and
+  /// count the discarded contexts, exactly like drain_aborted leftovers.
+  std::vector<std::pair<MachineId, Message>> drain_reliable();
 
   /// Stamps every subsequent send with this query epoch and arms the
   /// inboxes' stale-epoch filter.
@@ -271,12 +417,72 @@ class Network {
   }
 
  private:
+  // Sender-side unacked ring, one per directed (from, to) link. Each
+  // link has its own mutex; no two link mutexes are ever held at once,
+  // and a link mutex is never held across a push (lock, mutate, unlock,
+  // then transmit).
+  struct Pending {
+    Message msg;                    // pristine copy for retransmission
+    unsigned attempts = 0;          // transmissions so far
+    std::uint64_t next_retry = 0;   // pump tick of the next retransmit
+    bool dead = false;              // budget exhausted; stop retrying
+  };
+  struct LinkTx {
+    std::mutex mutex;
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, Pending> pending;
+  };
+
+  /// True for message types that get a link_seq + crc + ring entry.
+  static bool sequenced(MessageType type) {
+    return type == MessageType::kData || type == MessageType::kDone ||
+           type == MessageType::kTermination;
+  }
+  LinkTx& tx(MachineId from, MachineId to) {
+    return tx_[static_cast<std::size_t>(from) * inboxes_.size() + to];
+  }
+  /// Assigns the link_seq, computes the CRC, and stores the pristine
+  /// copy in the unacked ring.
+  void stamp_reliable(MachineId dest, Message& msg);
+  /// One transmission attempt: refresh piggybacked acks, roll loss /
+  /// corruption for this attempt, apply the (surviving) acks to the
+  /// reverse link's ring, then deliver. kAck terminates here.
+  void transmit(MachineId dest, Message msg);
+  /// Applies an ack about messages `from` sent `to`: erases acked ring
+  /// entries and, on any progress, refunds the retransmit budget of the
+  /// link's remaining entries (tick rates vary wildly between busy and
+  /// idle phases — only a link with zero progress may be declared dead).
+  void ack_apply(MachineId from, MachineId to, std::uint64_t cum,
+                 std::uint64_t bits);
+  /// Retransmission timer service for one link; escalates a dead link.
+  void scan_link(MachineId from, MachineId to, std::uint64_t now);
+  void escalate_dead_link();
+  std::uint64_t backoff_ticks(MachineId from, MachineId to,
+                              std::uint64_t link_seq,
+                              unsigned attempts) const;
+
   std::vector<Inbox> inboxes_;
   NetStats stats_;
   FaultPlan plan_;
   bool faults_on_ = false;
   std::uint32_t epoch_ = 0;
   std::atomic<std::uint64_t> send_seq_{0};
+
+  // Reliable-delivery sender state.
+  bool reliable_on_ = false;
+  bool lossy_ = false;  // loss/corrupt injection armed (plan_.lossy())
+  ReliableConfig rcfg_;
+  std::vector<LinkTx> tx_;  // row-major (from * N + to)
+  std::atomic<std::uint64_t> pump_tick_{0};
+  std::atomic<std::uint64_t> xmit_seq_{0};  // per-attempt fault-roll key
+  // Stamped kData/kTermination messages not yet accepted by their
+  // destination inbox (see quiescent()).
+  std::atomic<std::uint64_t> seq_undelivered_{0};
+  AbortController* abort_ = nullptr;
+  // Loss-tolerant kAbort: the pending reason re-broadcast by pump until
+  // every live inbox has observed it (the inbox's aborted flag is the
+  // implicit ack; the CAS there makes re-delivery idempotent).
+  std::atomic<std::uint8_t> abort_pending_{0};
 };
 
 }  // namespace rpqd

@@ -177,6 +177,15 @@ QueryResult DistributedEngine::run_plan_cfg(
   // picked up by a later query on this engine (its epoch won't match).
   net.set_epoch(epoch_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
   AbortController abort;
+  // Reliable delivery (DESIGN.md §13): armed when the plan can drop or
+  // corrupt messages, or when cfg forces it for overhead measurement.
+  // Must follow set_fault_plan (it reads the plan's lossiness) and
+  // precede any traffic. The abort controller is the escalation target
+  // for links whose retransmit budget runs dry.
+  net.configure_reliability(ReliableConfig{
+      cfg.reliable_transport, cfg.max_retransmits,
+      cfg.retransmit_timeout_ticks, cfg.ack_idle_ticks});
+  net.attach_abort(&abort);
 
   // Cross-query reachability cache (DESIGN.md §11): build this run's
   // per-machine contexts before the machines — their ctors seed eligible
@@ -286,6 +295,23 @@ QueryResult DistributedEngine::run_plan_cfg(
       net.inbox(m).drain_faults(net.stats());
     }
   }
+  // Reliable-transport drain (both paths): resolve the unacked rings.
+  // Undelivered DONEs release their credits inside drain_reliable (legal
+  // even on clean runs — termination proves sent == processed, not
+  // credits-home); undelivered data is only possible when the run
+  // aborted, and its senders' credits are released here exactly like
+  // drain_aborted leftovers.
+  {
+    auto undelivered = net.drain_reliable();
+    engine_check(was_aborted || undelivered.empty(),
+                 "data message lost in flight survived clean termination");
+    for (auto& [dest, msg] : undelivered) {
+      machines[msg.header.src]->flow().release(dest, msg.header.stage,
+                                               msg.header.credit_depth,
+                                               msg.header.credit);
+      net_discarded += msg.header.count;
+    }
+  }
 
   QueryResult result;
   result.explain = plan.explain;
@@ -353,6 +379,13 @@ QueryResult DistributedEngine::run_plan_cfg(
   stats.abort_messages = net.stats().abort_messages.load();
   stats.blackholed_messages = net.stats().blackholed_messages.load();
   stats.epoch_dropped = net.stats().epoch_dropped.load();
+  stats.faults_lost = net.stats().faults_lost.load();
+  stats.faults_corrupted = net.stats().faults_corrupted.load();
+  stats.retransmits = net.stats().retransmits.load();
+  stats.acks_sent = net.stats().acks_sent.load();
+  stats.payload_corruptions_detected =
+      net.stats().payload_corruptions_detected.load();
+  stats.dedup_drops = net.stats().dedup_drops.load();
   stats.contexts_discarded = net_discarded;
   for (auto& machine : machines) {
     stats.contexts_discarded += machine->discarded_contexts();
@@ -429,6 +462,15 @@ QueryResult DistributedEngine::run_plan_cfg(
     }
     prof.machines.resize(num_machines);
     for (auto& machine : machines) machine->merge_profile(prof);
+    // Transport work is query-global, not stage-resolved (§13): copy the
+    // run's NetStats counters rather than merging worker slots.
+    prof.transport.faults_lost = stats.faults_lost;
+    prof.transport.faults_corrupted = stats.faults_corrupted;
+    prof.transport.retransmits = stats.retransmits;
+    prof.transport.acks_sent = stats.acks_sent;
+    prof.transport.payload_corruptions_detected =
+        stats.payload_corruptions_detected;
+    prof.transport.dedup_drops = stats.dedup_drops;
     prof.finish();
   }
   return result;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <thread>
 
@@ -681,6 +683,11 @@ std::optional<CreditClass> MachineRuntime::acquire_credit_blocking(
   std::optional<Stopwatch> stall;
   unsigned backoff = 0;
   while (true) {
+    // Reliable-delivery tick: a worker blocked on credits is exactly the
+    // victim of a lost DONE, and this is what retransmits it (or, for a
+    // dead link, escalates to the machine-failure abort) instead of the
+    // starvation wedging forever.
+    net_->pump(id_);
     // Halt poll of the blocking path: an abort (possibly broadcast by the
     // very machine whose DONE we are waiting for) releases this worker —
     // kAbort delivery pokes the flow-control condvar, so a sleeping
@@ -840,6 +847,11 @@ void MachineRuntime::worker_main(unsigned worker_index) {
 
   unsigned idle_iterations = 0;
   while (!done_.load(std::memory_order_acquire)) {
+    // Reliable-delivery tick (no-op on a reliable fabric): advances the
+    // retransmission / standalone-ack / abort-rebroadcast timers. Time
+    // passes only while some worker is looping — a cluster fully buried
+    // in traversals freezes the timers instead of spuriously escalating.
+    net_->pump(id_);
     // Halt poll of the main loop (same cadence as the credit checks):
     // on abort or crash this worker stops consuming work immediately.
     if (halted()) break;
@@ -884,15 +896,41 @@ void MachineRuntime::worker_main(unsigned worker_index) {
     w.busy.store(false, std::memory_order_seq_cst);
     ++idle_iterations;
     if (worker_index == 0) {
+      // Quiescence snapshot BEFORE ingesting statuses: if the fabric
+      // held no undelivered kData/kTermination at this instant, then
+      // every status broadcast before it has been delivered — and is
+      // therefore ingested by the pop loop below before we decide. That
+      // ordering is what lets the two-wave stability argument survive
+      // retransmission delay (DESIGN.md §13); deciding while a status
+      // or data message is still parked in a retransmission ring could
+      // commit to a stale cut.
+      const bool quiescent = net_->quiescent();
       while (auto status = inbox.try_pop_term()) {
         detector_.on_status(*status);
       }
       const bool idle = machine_idle();
       detector_.set_idle(idle);
       // Re-broadcast periodically while idle: the repeated identical
-      // status is the protocol's second confirmation wave.
-      detector_.maybe_broadcast(*net_, idle && idle_iterations % 4 == 0);
-      if (idle && detector_.globally_terminated()) {
+      // status is the protocol's second confirmation wave. Forced
+      // rounds additionally wait for fabric quiescence — flooding a
+      // heavily-corrupting fabric with fresh statuses while earlier
+      // ones are still being retransmitted would re-arm the backlog
+      // faster than it drains and starve the decision gate above of a
+      // quiescent instant (counter-changed broadcasts stay ungated).
+      detector_.maybe_broadcast(
+          *net_, idle && quiescent && idle_iterations % 4 == 0);
+      static const bool term_debug =
+          std::getenv("RPQD_TERM_DEBUG") != nullptr;
+      if (term_debug && idle_iterations % 4096 == 0) {
+        std::fprintf(stderr,
+                     "[term m%u] idle=%d quiescent=%d undelivered=%llu "
+                     "gt=%d %s\n",
+                     static_cast<unsigned>(id_), (int)idle, (int)quiescent,
+                     (unsigned long long)net_->undelivered_count(),
+                     (int)detector_.globally_terminated(),
+                     detector_.debug_string().c_str());
+      }
+      if (idle && quiescent && detector_.globally_terminated()) {
         done_.store(true, std::memory_order_release);
         break;
       }
@@ -902,8 +940,17 @@ void MachineRuntime::worker_main(unsigned worker_index) {
     if (idle_iterations < 8) {
       std::this_thread::yield();
     } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(
-          std::min<unsigned>(50u * (idle_iterations - 7), 500u)));
+      const unsigned us = std::min<unsigned>(50u * (idle_iterations - 7), 500u);
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+      // Idle wall time is transport time: with every worker parked in
+      // this sleep, the pump tick would otherwise advance only once per
+      // (slack-stretched) sleep cycle, pushing a backed-off
+      // retransmission many real seconds away and starving the lossy-
+      // fabric drain. Burst-pump in proportion to the sleep just taken
+      // so timers track wall pace while idle; busy phases still tick
+      // once per loop iteration, preserving the timers-freeze-under-
+      // load property.
+      for (unsigned k = us / 60; k > 0; --k) net_->pump(id_);
     }
   }
   if (halted()) abort_drain(w);

@@ -64,6 +64,15 @@ std::string RuntimeStats::summary() const {
         << " stalls=" << faults_stalls
         << " outstanding_credits=" << flow_outstanding;
   }
+  if (faults_lost + faults_corrupted + retransmits + acks_sent +
+          payload_corruptions_detected + dedup_drops >
+      0) {
+    out << "\n  transport: lost=" << faults_lost
+        << " corrupted=" << faults_corrupted
+        << " retransmits=" << retransmits << " acks=" << acks_sent
+        << " crc_detected=" << payload_corruptions_detected
+        << " dedup_drops=" << dedup_drops;
+  }
   if (abort_messages + blackholed_messages + epoch_dropped +
           contexts_discarded + retries >
       0) {

@@ -86,6 +86,14 @@ struct RuntimeStats {
   std::uint64_t faults_duplicated = 0;
   std::uint64_t faults_dup_dropped = 0;
   std::uint64_t faults_stalls = 0;
+  // Reliable delivery over a lossy fabric (DESIGN.md §13); all 0 unless
+  // the reliability layer is armed (lossy plan or reliable_transport).
+  std::uint64_t faults_lost = 0;       // transmission attempts dropped
+  std::uint64_t faults_corrupted = 0;  // transmission attempts corrupted
+  std::uint64_t retransmits = 0;       // copies re-sent by the timers
+  std::uint64_t acks_sent = 0;         // standalone kAck messages
+  std::uint64_t payload_corruptions_detected = 0;  // CRC32 catches
+  std::uint64_t dedup_drops = 0;       // link-seq duplicate deliveries dropped
   // aDFS work sharing (when enabled).
   std::uint64_t adfs_shared_tasks = 0;
   // Query lifecycle (common/abort.h); all 0 on a normally-finishing run.

@@ -134,9 +134,21 @@ void TerminationDetector::store_status(MachineId machine, TermStatus status) {
   std::lock_guard lock(status_mutex_);
   auto& last = last_[machine];
   auto& prev = prev_[machine];
-  if (last && status.seq <= last->seq) return;  // stale / reordered
-  prev = std::move(last);
-  last = std::move(status);
+  if (last && status.seq == last->seq) return;  // duplicate
+  if (prev && status.seq <= prev->seq) return;  // stale
+  if (!last || status.seq > last->seq) {
+    prev = std::move(last);
+    last = std::move(status);
+    return;
+  }
+  // Reordered but novel: newer than `prev` (or `prev` is empty) yet
+  // older than `last`. The §13 retransmission layer can deliver a lost
+  // broadcast after its successor; it still fills the
+  // second-confirmation slot. Dropping it instead wedges the decision:
+  // a sender whose final two (identical) statuses arrive inverted would
+  // be judged unstable forever once it terminates and stops
+  // broadcasting.
+  prev = std::move(status);
 }
 
 void TerminationDetector::on_status(const Message& msg) {
@@ -303,6 +315,39 @@ Depth TerminationDetector::local_max_depth(unsigned group) const {
     return 0;
   }
   return static_cast<Depth>(group_counters_[group].size() - 1);
+}
+
+std::string TerminationDetector::debug_string() const {
+  std::lock_guard lock(status_mutex_);
+  std::string out;
+  char buf[128];
+  for (unsigned m = 0; m < num_machines_; ++m) {
+    const auto sum = [](const std::optional<TermStatus>& s) {
+      std::array<std::uint64_t, 3> t{0, 0, 0};
+      if (s) {
+        for (const auto& st : s->stages) {
+          t[0] += st[0];
+          t[1] += st[1];
+          t[2] += st[2];
+        }
+      }
+      return t;
+    };
+    const auto l = sum(last_[m]);
+    const auto p = sum(prev_[m]);
+    std::snprintf(
+        buf, sizeof(buf), "m%u{last=#%llu i%d %llu/%llu/%llu prev=#%llu} ", m,
+        last_[m] ? (unsigned long long)last_[m]->seq : 0ull,
+        last_[m] ? (int)last_[m]->idle : -1, (unsigned long long)l[0],
+        (unsigned long long)l[1], (unsigned long long)l[2],
+        prev_[m] ? (unsigned long long)prev_[m]->seq : 0ull);
+    out += buf;
+    if (prev_[m] && last_[m] && !last_[m]->counters_equal(*prev_[m])) {
+      out += "!eq ";
+    }
+    (void)p;
+  }
+  return out;
 }
 
 }  // namespace rpqd

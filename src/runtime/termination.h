@@ -14,6 +14,15 @@
 // observed depth (implicitly: the length of its per-depth counter
 // vector). Once every machine is stable and idle, the maximum over all
 // reports is the consensus maximum depth (§3.4 "Unbounded RPQs").
+//
+// Loss tolerance: status broadcasts are kTermination messages, which the
+// §13 reliable-delivery layer sequences, checksums, and retransmits until
+// acked — a dropped or corrupted status is re-delivered in order, so the
+// two-wave stability argument holds unmodified over a lossy fabric. The
+// periodic forced re-broadcast (`maybe_broadcast(force=true)`) remains as
+// the protocol-level second confirmation wave; it is not a substitute for
+// transport retransmission (it sends the *current* counters, not the
+// in-flight snapshot a peer's decision may be waiting on).
 #pragma once
 
 #include <array>
@@ -21,6 +30,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -74,6 +84,9 @@ class TerminationDetector {
   /// §3.4 consensus on the maximum observed depth of group `g`; set once
   /// every machine is stable and idle.
   std::optional<Depth> consensus_max_depth(unsigned group) const;
+  /// Compact one-line summary of the stored per-machine statuses
+  /// (diagnostics; used by the RPQD_TERM_DEBUG idle-loop dump).
+  std::string debug_string() const;
 
   Depth local_max_depth(unsigned group) const;
 

@@ -199,8 +199,11 @@ TEST(Termination, DuplicatedStatusIsNotASecondWave) {
 }
 
 // Delayed delivery reorders statuses: when waves A,B,C arrive as C,B,A,
-// the stale ones must be dropped, and redelivering the newest (a
-// duplicate) must not fabricate stability.
+// redelivering the newest (a duplicate) must not fabricate stability, and
+// anything older than the two stored waves must be dropped. A reordered
+// wave that lands *between* the stored pair is a genuine confirmation:
+// sent/processed counters are monotone, so an identical (B, C) pair proves
+// every intermediate wave was identical too (DESIGN.md §13).
 TEST(Termination, ReorderedAndReplayedStatusesAreSafe) {
   Network net(2);
   TerminationDetector d0(0, 2, 1, 0);
@@ -219,19 +222,21 @@ TEST(Termination, ReorderedAndReplayedStatusesAreSafe) {
     captured.push_back(*msg);
   }
   ASSERT_EQ(captured.size(), 3u);
-  // Newest-first delivery: only C may be stored; B and A are stale.
+  d0.maybe_broadcast(net, true);
+  d0.maybe_broadcast(net, true);  // d0's own two stable waves
+  // Only the newest wave C has arrived: one status of d1 != stable.
   d0.on_status(captured[2]);
-  d0.on_status(captured[1]);
-  d0.on_status(captured[0]);
-  d0.maybe_broadcast(net, true);
-  d0.maybe_broadcast(net, true);
-  EXPECT_FALSE(d0.globally_terminated());  // one status of d1 != stable
+  EXPECT_FALSE(d0.globally_terminated());
   // Replaying C must not pair with itself as two identical waves.
   d0.on_status(captured[2]);
   EXPECT_FALSE(d0.globally_terminated());
-  // A genuine fresh wave from d1 completes the protocol.
-  d1.maybe_broadcast(net, true);
-  pump(net, {&d0, &d1});
+  // The reordered older wave B arrives late and fills the confirmation
+  // slot: (B, C) is a genuine identical pair, so the protocol completes.
+  d0.on_status(captured[1]);
+  EXPECT_TRUE(d0.globally_terminated());
+  // Wave A (older than both stored waves, pre-stability counters) replayed
+  // afterwards is stale and must not perturb the decision.
+  d0.on_status(captured[0]);
   EXPECT_TRUE(d0.globally_terminated());
 }
 

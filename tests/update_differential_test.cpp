@@ -225,7 +225,7 @@ void run_update_differential(const UpdateHarnessConfig& uc) {
 TEST(UpdateDifferential, InterleavedBatchesAgreeWithPinnedEpochOracle) {
   UpdateHarnessConfig uc;
   uc.rounds = env_int("RPQD_UPDATE_DIFF_ROUNDS", 4);
-  uc.schedules = {"none", "reorder", "dup-storm", "chaos"};
+  uc.schedules = {"none", "reorder", "dup-storm", "chaos", "loss"};
   uc.base_seed = 61;
   run_update_differential(uc);
 }
@@ -336,7 +336,8 @@ TEST(UpdateDifferential, Tier2UpdateSweep) {
   UpdateHarnessConfig uc;
   uc.rounds = 12;
   uc.steps_per_round = 20;
-  uc.schedules = {"none", "reorder", "dup-storm", "credit-jitter", "chaos"};
+  uc.schedules = {"none",  "reorder",       "dup-storm",
+                  "credit-jitter", "chaos", "loss", "corrupt-storm"};
   uc.base_seed = 211;
   run_update_differential(uc);
   UpdateHarnessConfig two;
