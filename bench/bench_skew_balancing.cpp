@@ -1,0 +1,144 @@
+// Skew-aware load balancing A/B (DESIGN.md §14): the table2 Q9 reply
+// shape on a deep reply tree, run from an adversarial partition that
+// pins every vertex on machine 0, with and without the §14 remedies —
+// the profile-driven Repartitioner's proposed map plus hot-vertex
+// replication (delegated fan-out) and load-aware flushing. The second
+// scenario re-runs the same A/B on the default hash placement, where
+// the balancer has nothing to fix: arming it there is pure overhead and
+// must stay within the <= 1.05x budget.
+//
+// Methodology: the simulation multiplexes every machine onto one host,
+// so wall-clock is sensitive to background load. Samples interleave one
+// off-arm and one on-arm execution per round and the headline ratio is
+// the MEDIAN OF PER-ROUND RATIOS — paired samples over identical work,
+// so drift lands on both arms of each pair alike and cancels.
+//
+// run_bench_suite carries the 16-machine rows into BENCH_RPQD.json as
+// the "skew_balancing" array; this standalone binary adds the
+// machine-count axis and the per-arm counter breakdown.
+//
+// Environment knobs: RPQD_BENCH_REPEATS / RPQD_BENCH_SEED (bench_util.h).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/repartition.h"
+#include "ldbc/synthetic.h"
+
+namespace {
+
+using namespace rpqd;
+using namespace rpqd::bench;
+
+/// The Q9 reply shape (table2) anchored at the tree root — the
+/// hot-root traversal the skew corpus replays.
+const char* kQ9 = "SELECT COUNT(*) FROM MATCH (a:Root) <-/:replyOf*/- (b)";
+
+struct AbResult {
+  double off_median_ms = 0.0;
+  double on_median_ms = 0.0;
+  double paired_ratio = 0.0;  // median over rounds of off_i / on_i
+  QueryResult off_r, on_r;
+};
+
+/// Interleaved A/B: one off sample then one on sample per round. The
+/// per-round off/on ratio is the drift-cancelling estimator; the two
+/// medians are kept for absolute context.
+AbResult ab_run(Database& off, Database& on, const char* q, int rounds) {
+  AbResult out;
+  std::vector<double> off_s, on_s, ratios;
+  for (int r = 0; r < rounds; ++r) {
+    Stopwatch t_off;
+    out.off_r = off.query(q);
+    off_s.push_back(t_off.elapsed_ms());
+    Stopwatch t_on;
+    out.on_r = on.query(q);
+    on_s.push_back(t_on.elapsed_ms());
+    if (on_s.back() > 0.0) ratios.push_back(off_s.back() / on_s.back());
+  }
+  out.off_median_ms = median(off_s);
+  out.on_median_ms = median(on_s);
+  out.paired_ratio = median(ratios);
+  return out;
+}
+
+/// The §14 control loop, verbatim: profile one run on the current (bad)
+/// map, feed the measured per-machine load to the Repartitioner, adopt
+/// its proposed map, and mirror its proposed hot set.
+void balance(Database& db, unsigned machines,
+             const std::vector<MachineId>& current_map) {
+  const QueryResult profiled = db.query("PROFILE " + std::string(kQ9));
+  auto graph = db.materialize_snapshot(db.graph_epoch());
+  auto current = std::make_shared<const PartitionMap>(current_map, machines);
+  Repartitioner rep(graph, machines, current);
+  rep.observe(profiled.stats.machine_contexts);
+  db.repartition(rep.propose().assignment);
+  db.set_hot_vertices(rep.propose_hot_set(/*max_hot=*/64, /*min_degree=*/4));
+}
+
+}  // namespace
+
+int main() {
+  const int repeats = bench_repeats();
+  const Graph g = synthetic::make_tree(8, 6);
+  print_header("skew-aware balancing (Q9 reply shape, tree:8:6)");
+  std::printf("vertices=%zu repeats=%d\n",
+              static_cast<std::size_t>(g.num_vertices()), repeats);
+  std::printf("  %-22s %9s %9s %7s %8s %8s\n", "scenario", "off ms", "on ms",
+              "ratio", "imb off", "imb on");
+
+  EngineConfig base;
+  base.buffers_per_machine = 256;
+  EngineConfig armed = base;
+  armed.hot_mirror_fanout = true;
+  armed.load_aware_flush = true;
+
+  for (const unsigned machines : {8u, 16u}) {
+    // Adversarial: every vertex on machine 0. The off arm stays there;
+    // the on arm runs the §14 loop first. Ratio = improvement.
+    {
+      const std::vector<MachineId> all0(g.num_vertices(), 0);
+      Database off_db(g, machines, base);
+      off_db.repartition(all0);
+      Database on_db(g, machines, armed);
+      on_db.repartition(all0);
+      balance(on_db, machines, all0);
+
+      const AbResult r = ab_run(off_db, on_db, kQ9, repeats);
+      std::printf(
+          "  skewed/Q9 %2um         %9.2f %9.2f %6.2fx %8.2f %8.2f  "
+          "(fanouts %llu, expands %llu)%s\n",
+          machines, r.off_median_ms, r.on_median_ms, r.paired_ratio,
+          r.off_r.stats.load_imbalance, r.on_r.stats.load_imbalance,
+          static_cast<unsigned long long>(r.on_r.stats.mirror_fanouts),
+          static_cast<unsigned long long>(r.on_r.stats.mirror_expands),
+          r.off_r.count == r.on_r.count ? "" : "  COUNT MISMATCH");
+    }
+
+    // Uniform: the default hash placement, degree-ranked hot set.
+    // Ratio = arming overhead (budget 1.05x); extra rounds because the
+    // acceptance margin is a few percent, not a factor.
+    {
+      Database off_db(g, machines, base);
+      Database on_db(g, machines, armed);
+      auto graph = on_db.materialize_snapshot(on_db.graph_epoch());
+      Repartitioner rep(graph, machines);
+      on_db.set_hot_vertices(
+          rep.propose_hot_set(/*max_hot=*/64, /*min_degree=*/4));
+
+      const AbResult r =
+          ab_run(off_db, on_db, kQ9, std::max(repeats, 9));
+      std::printf(
+          "  uniform/Q9 %2um        %9.2f %9.2f %6.3fx %8.2f %8.2f  "
+          "(overhead, budget 1.05x)%s\n",
+          machines, r.off_median_ms, r.on_median_ms,
+          r.paired_ratio > 0.0 ? 1.0 / r.paired_ratio : 0.0,
+          r.off_r.stats.load_imbalance, r.on_r.stats.load_imbalance,
+          r.off_r.count == r.on_r.count ? "" : "  COUNT MISMATCH");
+    }
+  }
+  return 0;
+}

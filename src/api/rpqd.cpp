@@ -132,6 +132,29 @@ bool Database::merge_locked() {
   return true;
 }
 
+void Database::set_hot_vertices(std::vector<VertexId> hot) {
+  std::lock_guard ulock(update_mutex_);
+  store_->set_hot_set(std::move(hot));
+  // Mirrors are additive metadata on the same epoch: no local id moved,
+  // so the caches stay coherent — publish and done.
+  engine_->install_snapshot(store_->snapshot());
+}
+
+std::vector<VertexId> Database::hot_vertices() const {
+  return store_->hot_set();
+}
+
+void Database::repartition(std::vector<MachineId> assignment) {
+  std::lock_guard ulock(update_mutex_);
+  store_->repartition(std::move(assignment));
+  // Same contract as merge_locked(): the rebuild remaps local vertex
+  // ids, so machine-local reachability facts flush everywhere; the
+  // result cache survives (placement changes no visible data and the
+  // epoch is kept).
+  engine_->bump_reach_cache_epoch();
+  engine_->install_snapshot(store_->snapshot());
+}
+
 std::uint64_t Database::graph_epoch() const { return store_->epoch(); }
 
 GraphStoreStats Database::update_stats() const { return store_->stats(); }

@@ -189,6 +189,30 @@ class Database {
   /// reference oracle on the exact snapshot a query pinned.
   std::shared_ptr<const Graph> materialize_snapshot(std::uint64_t epoch) const;
 
+  // ---- skew-aware load balancing (DESIGN.md §14) ------------------------
+  // Hot-vertex replication and profile-driven repartitioning. Both act
+  // between queries at the store level; in-flight queries keep their
+  // pinned snapshot. Neither changes any query result — replication
+  // only changes which machine enumerates a hot adjacency (armed by
+  // config().hot_mirror_fanout), and a repartition only changes vertex
+  // placement. The offline proposal side lives in graph/repartition.h.
+
+  /// Installs (empty vector: drops) the hot-vertex mirror set: every
+  /// machine gets a read-only bucketed copy of the hot vertices'
+  /// adjacency, kept coherent through apply_update/merge/repartition.
+  /// Queries use it only when config().hot_mirror_fanout is on.
+  void set_hot_vertices(std::vector<VertexId> hot);
+
+  /// The currently mirrored hot set (empty = replication off).
+  std::vector<VertexId> hot_vertices() const;
+
+  /// Adopts an explicit vertex→machine map (e.g. a RepartitionPlan's
+  /// assignment): rebuilds the partitions under the map at the current
+  /// epoch — visible data unchanged, local vertex ids remapped, so the
+  /// reachability caches flush (the merge_deltas contract). Vertices
+  /// beyond the vector keep hash placement.
+  void repartition(std::vector<MachineId> assignment);
+
   // ---- cross-query caches (DESIGN.md §11) -------------------------------
   // Enabled by config().reach_cache_max_bytes (per-machine reachability
   // facts reused across queries) and config().result_cache_max_bytes

@@ -203,6 +203,24 @@ struct EngineConfig {
   /// piggyback on.
   unsigned ack_idle_ticks = 16;
 
+  // ---- skew-aware load balancing (DESIGN.md §14) -------------------------
+  // Both knobs default OFF: the traversal and flush hot paths stay
+  // byte-identical to §13 until a caller arms them. Results are invariant
+  // either way — the differential harness asserts it.
+
+  /// Delegated hot-vertex fan-out: when the pinned snapshot carries a
+  /// MirrorSet (Database::set_hot_vertices), a kNeighbor frame on a hot
+  /// vertex sends ONE mirror-expand message per peer machine with a
+  /// non-empty bucket instead of one context per remote neighbor; each
+  /// peer enumerates its pre-bucketed slice locally. Hops with edge
+  /// filters always enumerate normally (they need the owner's EvalCtx).
+  bool hot_mirror_fanout = false;
+
+  /// Load-aware flush ordering: idle-path buffer flushes ship toward the
+  /// machine with the shallowest inbox backlog first (LoadBoard signal).
+  /// Ordering only — never drops, reroutes, or re-owns a context.
+  bool load_aware_flush = false;
+
   /// Deterministic seed for any randomized tie-breaking.
   std::uint64_t seed = 42;
 

@@ -46,10 +46,13 @@ Adjacency slice_adjacency(const Adjacency& global,
 }  // namespace
 
 PartitionedGraph::PartitionedGraph(std::shared_ptr<const Graph> graph,
-                                   unsigned num_machines)
-    : graph_(std::move(graph)) {
+                                   unsigned num_machines,
+                                   std::shared_ptr<const PartitionMap> map)
+    : graph_(std::move(graph)), map_(std::move(map)) {
   engine_check(num_machines >= 1 && num_machines <= 256,
                "machine count must be in [1, 256]");
+  engine_check(map_ == nullptr || map_->num_machines() == num_machines,
+               "partition map built for a different machine count");
   partitions_.resize(num_machines);
   const auto& g = *graph_;
 
@@ -58,7 +61,7 @@ PartitionedGraph::PartitionedGraph(std::shared_ptr<const Graph> graph,
     // Tombstoned vertices (online-update merges, DESIGN.md §12) keep
     // their global id but get no local slot: they are unaddressable.
     if (!g.alive(v)) continue;
-    locals[Partition::owner(v, num_machines)].push_back(v);
+    locals[owner(v)].push_back(v);
   }
 
   const std::size_t num_props = g.catalog().num_properties();
@@ -66,6 +69,7 @@ PartitionedGraph::PartitionedGraph(std::shared_ptr<const Graph> graph,
     Partition& p = partitions_[m];
     p.machine_ = static_cast<MachineId>(m);
     p.num_machines_ = num_machines;
+    p.pmap_ = map_.get();
     p.catalog_ = &g.catalog();
     p.local_to_global_ = std::move(locals[m]);
     p.global_to_local_ = FlatVertexTable::build(p.local_to_global_);

@@ -20,19 +20,54 @@
 
 namespace rpqd {
 
+/// Explicit vertex→machine assignment, adopted when a profile-driven
+/// repartition replaces the default hash placement (DESIGN.md §14).
+/// Immutable once built and shared by every Partition of a cluster.
+/// Vertices beyond size() — ids minted by updates after the map was
+/// proposed — fall back to the hash owner, so the map stays total and
+/// every machine resolves the same owner from the id alone.
+class PartitionMap {
+ public:
+  PartitionMap(std::vector<MachineId> map, unsigned num_machines)
+      : map_(std::move(map)), num_machines_(num_machines) {
+    for (const MachineId m : map_) {
+      engine_check(m < num_machines_, "partition map assigns a machine out of range");
+    }
+  }
+
+  MachineId owner(VertexId v) const {
+    return v < map_.size()
+               ? map_[v]
+               : static_cast<MachineId>(mix64(v) % num_machines_);
+  }
+
+  std::size_t size() const { return map_.size(); }
+  unsigned num_machines() const { return num_machines_; }
+
+ private:
+  std::vector<MachineId> map_;
+  unsigned num_machines_ = 1;
+};
+
 class Partition {
  public:
   MachineId machine() const { return machine_; }
   unsigned num_machines() const { return num_machines_; }
 
-  /// Owner function: computable from the vertex id alone on any machine.
+  /// Default owner function: computable from the vertex id alone on any
+  /// machine. Callers that may run under an adopted PartitionMap must go
+  /// through owner_of() / PartitionedGraph::owner() instead.
   static MachineId owner(VertexId v, unsigned num_machines) {
     return static_cast<MachineId>(mix64(v) % num_machines);
   }
 
-  bool owns(VertexId v) const {
-    return owner(v, num_machines_) == machine_;
+  /// Map-aware owner: the adopted PartitionMap when one is installed,
+  /// the hash placement otherwise.
+  MachineId owner_of(VertexId v) const {
+    return pmap_ != nullptr ? pmap_->owner(v) : owner(v, num_machines_);
   }
+
+  bool owns(VertexId v) const { return owner_of(v) == machine_; }
 
   std::size_t num_local() const { return local_to_global_.size(); }
 
@@ -66,6 +101,9 @@ class Partition {
   friend class PartitionedGraph;
   MachineId machine_ = 0;
   unsigned num_machines_ = 1;
+  // Borrowed from the owning PartitionedGraph (which keeps it alive);
+  // null = hash placement.
+  const PartitionMap* pmap_ = nullptr;
   const Catalog* catalog_ = nullptr;
   std::vector<VertexId> local_to_global_;
   FlatVertexTable global_to_local_;
@@ -79,7 +117,12 @@ class Partition {
 /// (immutable) source graph for catalog lifetime.
 class PartitionedGraph {
  public:
-  PartitionedGraph(std::shared_ptr<const Graph> graph, unsigned num_machines);
+  PartitionedGraph(std::shared_ptr<const Graph> graph, unsigned num_machines)
+      : PartitionedGraph(std::move(graph), num_machines, nullptr) {}
+
+  /// Partitions under an explicit vertex→machine map (nullptr = hash).
+  PartitionedGraph(std::shared_ptr<const Graph> graph, unsigned num_machines,
+                   std::shared_ptr<const PartitionMap> map);
 
   unsigned num_machines() const {
     return static_cast<unsigned>(partitions_.size());
@@ -90,11 +133,16 @@ class PartitionedGraph {
   const Catalog& catalog() const { return graph_->catalog(); }
 
   MachineId owner(VertexId v) const {
-    return Partition::owner(v, num_machines());
+    return map_ != nullptr ? map_->owner(v)
+                           : Partition::owner(v, num_machines());
   }
+
+  /// The adopted map; nullptr while placement is the default hash.
+  std::shared_ptr<const PartitionMap> partition_map() const { return map_; }
 
  private:
   std::shared_ptr<const Graph> graph_;
+  std::shared_ptr<const PartitionMap> map_;
   std::vector<Partition> partitions_;
 };
 

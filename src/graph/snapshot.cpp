@@ -66,7 +66,7 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::apply(
   // Locates a vertex alive in `prev` (to_local is nullopt for dead ones).
   auto prev_local = [&](VertexId v) -> std::optional<LocalVertexId> {
     if (v >= prev->num_vertices_) return std::nullopt;
-    return prev->views_[Partition::owner(v, machines)].to_local(v);
+    return prev->views_[base.owner(v)].to_local(v);
   };
 
   UpdateResult receipt;
@@ -132,8 +132,7 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::apply(
     std::size_t matched = 0;
     // Existing layers: scan src's out label range in prev.
     if (const auto lv = prev_local(ed.src)) {
-      const PartitionView& view =
-          prev->views_[Partition::owner(ed.src, machines)];
+      const PartitionView& view = prev->views_[base.owner(ed.src)];
       const ViewAdjacency& adj = view.adjacency(Direction::kOut);
       const auto [b, e] = adj.label_range(*lv, ed.elabel);
       for (std::size_t idx = b; idx < e; ++idx) {
@@ -169,7 +168,7 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::apply(
     }
     const auto lv = prev_local(vd.v);
     if (!lv.has_value()) fail("update: vertex delete of a missing vertex");
-    const PartitionView& view = prev->views_[Partition::owner(vd.v, machines)];
+    const PartitionView& view = prev->views_[base.owner(vd.v)];
     dirty_vlabels.push_back(view.label(*lv));
     killed.insert(vd.v);
     // Cascade over every incident edge still alive: the out-CSR gives the
@@ -233,7 +232,7 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::apply(
   {
     std::vector<MachineId> parts;
     for (const VertexId v : dirty_verts) {
-      parts.push_back(Partition::owner(v, machines));
+      parts.push_back(base.owner(v));
     }
     std::sort(parts.begin(), parts.end());
     parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
@@ -263,7 +262,7 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::apply(
     nv.added_cols_ = pv.added_cols_;
     nv.added_index_ = pv.added_index_;
     for (const VertexId v : receipt.new_vertices) {
-      if (Partition::owner(v, machines) != m) continue;
+      if (base.owner(v) != m) continue;
       const LocalVertexId lv =
           static_cast<LocalVertexId>(base_locals + nv.added_globals_.size());
       nv.added_index_.emplace(v, lv);
@@ -282,7 +281,7 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::apply(
     nv.dead_ = pv.dead_;
     bool any_dead = !nv.dead_.empty();
     for (const VertexId v : killed) {
-      if (Partition::owner(v, machines) != m) continue;
+      if (base.owner(v) != m) continue;
       if (nv.dead_.empty()) nv.dead_.resize(num_local, 0);
       // prev_local was validated alive above, so the lookup must succeed.
       const LocalVertexId lv = *prev->views_[m].to_local(v);
@@ -297,7 +296,7 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::apply(
     {
       std::unordered_set<LocalVertexId> have(patched.begin(), patched.end());
       auto mark = [&](VertexId v) {
-        if (Partition::owner(v, machines) != m) return;
+        if (base.owner(v) != m) return;
         LocalVertexId lv;
         if (const auto bl = part.to_local(v)) {
           lv = *bl;
@@ -395,8 +394,122 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::apply(
     snap->delta_entries_ += nv.patch_entries();
   }
 
+  // Mirror coherence (DESIGN.md §14): a batch that dirtied a mirrored hot
+  // vertex rebuilds the MirrorSet against the NEW views before the
+  // snapshot publishes — a query pinning this epoch can never observe a
+  // stale mirror. Batches not touching any hot vertex share the set
+  // (every edge change dirties both endpoints, so "hot vertex adjacency
+  // changed" implies "hot vertex is in dirty_verts").
+  if (prev->mirrors_ != nullptr) {
+    bool dirty_hot = false;
+    for (const VertexId h : prev->mirrors_->hot()) {
+      if (dirty_verts.count(h) != 0) {
+        dirty_hot = true;
+        break;
+      }
+    }
+    snap->attach_mirrors(dirty_hot
+                             ? MirrorSet::build(*snap, prev->mirrors_->hot(),
+                                                prev->mirrors_->version() + 1)
+                             : prev->mirrors_);
+  }
+
   if (out != nullptr) *out = std::move(receipt);
   return snap;
+}
+
+std::shared_ptr<const GraphSnapshot> GraphSnapshot::with_mirrors(
+    const std::shared_ptr<const GraphSnapshot>& prev,
+    std::vector<VertexId> hot, std::uint64_t version) {
+  auto snap = std::shared_ptr<GraphSnapshot>(new GraphSnapshot());
+  snap->epoch_ = prev->epoch_;
+  snap->base_ = prev->base_;
+  snap->num_vertices_ = prev->num_vertices_;
+  snap->num_edges_ = prev->num_edges_;
+  snap->delta_entries_ = prev->delta_entries_;
+  snap->dead_vertices_ = prev->dead_vertices_;
+  snap->views_ = prev->views_;
+  const unsigned machines = snap->base_->num_machines();
+  for (unsigned m = 0; m < machines; ++m) {
+    // The copied views' ViewAdjacency pointers still reference prev's
+    // patch members; finalize re-wires them to this snapshot's copies.
+    snap->views_[m].finalize(&snap->base_->partition(m));
+  }
+  if (!hot.empty()) {
+    snap->attach_mirrors(MirrorSet::build(*snap, std::move(hot), version));
+  }
+  return snap;
+}
+
+void GraphSnapshot::attach_mirrors(std::shared_ptr<const MirrorSet> mirrors) {
+  mirrors_ = std::move(mirrors);
+  for (PartitionView& v : views_) v.mirrors_ = mirrors_.get();
+}
+
+std::shared_ptr<const MirrorSet> MirrorSet::build(const GraphSnapshot& snap,
+                                                  std::vector<VertexId> hot,
+                                                  std::uint64_t version) {
+  auto ms = std::make_shared<MirrorSet>();
+  std::sort(hot.begin(), hot.end());
+  hot.erase(std::unique(hot.begin(), hot.end()), hot.end());
+  ms->hot_ = std::move(hot);
+  ms->version_ = version;
+  ms->index_.reserve(ms->hot_.size());
+  for (std::size_t rank = 0; rank < ms->hot_.size(); ++rank) {
+    ms->index_.emplace(ms->hot_[rank], static_cast<std::uint32_t>(rank));
+    const std::uint64_t h = mix64(ms->hot_[rank]);
+    ms->filter_[(h >> 6) & 63] |= 1ull << (h & 63);
+  }
+  const PartitionedGraph& base = snap.base();
+  const unsigned machines = base.num_machines();
+  const std::size_t num_props = base.catalog().num_properties();
+  ms->out_.reserve(machines);
+  ms->in_.reserve(machines);
+  for (unsigned m = 0; m < machines; ++m) {
+    for (const Direction dir : {Direction::kOut, Direction::kIn}) {
+      std::vector<std::uint64_t> offsets;
+      offsets.reserve(ms->hot_.size() + 1);
+      offsets.push_back(0);
+      std::vector<AdjEntry> entries;
+      std::vector<std::vector<std::pair<std::size_t, Value>>> prop_vals(
+          num_props);
+      for (const VertexId h : ms->hot_) {
+        // Dead or unknown hot vertices keep an empty row (to_local is
+        // nullopt); the owner never runs a frame for them anyway.
+        if (h < snap.num_vertices()) {
+          const PartitionView& ov = snap.view(base.owner(h));
+          if (const auto lv = ov.to_local(h)) {
+            const ViewAdjacency& adj = ov.adjacency(dir);
+            const auto [b, e] = adj.range(*lv);
+            for (std::size_t idx = b; idx < e; ++idx) {
+              const AdjEntry& entry = adj.entry(idx);
+              if (base.owner(entry.other) != m) continue;
+              const std::size_t pos = entries.size();
+              entries.push_back(entry);
+              for (PropId p = 0; p < num_props; ++p) {
+                const Value val = adj.edge_property(idx, p);
+                if (!is_null(val)) prop_vals[p].emplace_back(pos, val);
+              }
+            }
+          }
+        }
+        offsets.push_back(entries.size());
+      }
+      std::vector<PropertyColumn> eprops;
+      for (PropId p = 0; p < num_props; ++p) {
+        if (prop_vals[p].empty()) continue;
+        PropertyColumn col(p);
+        for (const auto& [pos, val] : prop_vals[p]) col.set(pos, val);
+        eprops.push_back(std::move(col));
+      }
+      ms->entries_ += entries.size();
+      Adjacency bucket = Adjacency::make(std::move(offsets),
+                                         std::move(entries), std::move(eprops));
+      (dir == Direction::kOut ? ms->out_ : ms->in_).push_back(
+          std::move(bucket));
+    }
+  }
+  return ms;
 }
 
 }  // namespace rpqd

@@ -29,6 +29,7 @@
 // generations at that point.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -37,6 +38,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "common/types.h"
 #include "graph/partition.h"
 #include "graph/update.h"
@@ -44,6 +46,68 @@
 namespace rpqd {
 
 class PartitionView;
+class GraphSnapshot;
+
+/// Hot-vertex replication (DESIGN.md §14): the adjacency of a small set
+/// of hot vertices, mirrored to EVERY machine and pre-bucketed by the
+/// destination's owner. When a traversal expands through a hot vertex,
+/// its owner sends one mirror-expand message per peer machine instead of
+/// one context per remote neighbor; each peer enumerates its own bucket
+/// locally. Buckets are plain Adjacency CSRs — one per (machine,
+/// direction), rows indexed by hot rank — keeping (elabel, other) sort
+/// order and edge-property columns, so receiver-side enumeration is
+/// bit-compatible with the owner's.
+///
+/// A MirrorSet is immutable and rides the GraphSnapshot that built it:
+/// an update whose DirtyScope touches a mirrored vertex rebuilds the set
+/// before the next snapshot publishes (epoch coherence); untouched
+/// updates share the previous set.
+class MirrorSet {
+ public:
+  /// Builds buckets for `hot` (dead/unknown ids get empty rows) against
+  /// the given snapshot. `version` is a monotone rebuild counter.
+  static std::shared_ptr<const MirrorSet> build(const GraphSnapshot& snap,
+                                                std::vector<VertexId> hot,
+                                                std::uint64_t version);
+
+  /// Hot rank of `v`, or nullopt when not mirrored. Armed traversals ask
+  /// this once per frame, overwhelmingly answering "no": a 4096-bit
+  /// membership pre-filter turns almost every miss into one bit test
+  /// instead of an unordered_map probe.
+  std::optional<std::uint32_t> row_of(VertexId v) const {
+    const std::uint64_t h = mix64(v);
+    if ((filter_[(h >> 6) & 63] & (1ull << (h & 63))) == 0) {
+      return std::nullopt;
+    }
+    const auto it = index_.find(v);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Machine m's bucket for one direction; row = hot rank.
+  const Adjacency& bucket(MachineId m, Direction d) const {
+    return d == Direction::kIn ? in_[m] : out_[m];
+  }
+
+  std::size_t bucket_degree(MachineId m, std::uint32_t row,
+                            Direction d) const {
+    return bucket(m, d).degree(row);
+  }
+
+  const std::vector<VertexId>& hot() const { return hot_; }
+  std::uint64_t version() const { return version_; }
+  std::uint64_t entries() const { return entries_; }
+  unsigned num_machines() const { return static_cast<unsigned>(out_.size()); }
+
+ private:
+  std::vector<VertexId> hot_;  // sorted; rank = position
+  std::array<std::uint64_t, 64> filter_{};  // membership pre-filter
+  std::unordered_map<VertexId, std::uint32_t> index_;
+  std::vector<Adjacency> out_;  // [machine], one row per hot vertex
+  std::vector<Adjacency> in_;
+  std::uint64_t version_ = 0;
+  std::uint64_t entries_ = 0;  // mirrored adjacency entries, both dirs
+};
 
 /// Adjacency of one direction of one PartitionView: the base partition's
 /// flat CSR with the patch CSR layered over dirty vertices. Mirrors the
@@ -130,6 +194,12 @@ class PartitionView {
   MachineId machine() const { return base_->machine(); }
   unsigned num_machines() const { return base_->num_machines(); }
   bool owns(VertexId v) const { return base_->owns(v); }
+  /// Map-aware owner resolution (PartitionMap when adopted, else hash).
+  MachineId owner_of(VertexId v) const { return base_->owner_of(v); }
+
+  /// The snapshot's hot-vertex mirror set; nullptr unless replication is
+  /// configured (GraphStore::set_hot_set).
+  const MirrorSet* mirrors() const { return mirrors_; }
 
   /// Base locals plus appended locals; tombstoned locals stay counted
   /// (their slots persist with alive() == false until a merge).
@@ -210,6 +280,8 @@ class PartitionView {
   std::vector<PropertyColumn> added_cols_;  // PropId-indexed, added-local rows
   std::unordered_map<VertexId, LocalVertexId> added_index_;
   std::vector<std::uint8_t> dead_;  // sized num_local(); empty = none dead
+  // Owned by the enclosing GraphSnapshot (same lifetime as base_).
+  const MirrorSet* mirrors_ = nullptr;
   ViewAdjacency vout_;
   ViewAdjacency vin_;
 };
@@ -261,12 +333,27 @@ class GraphSnapshot {
       const std::shared_ptr<const GraphSnapshot>& prev,
       const UpdateBatch& batch, UpdateResult* out);
 
+  /// A clone of `prev` (same epoch, base, and deltas) carrying a freshly
+  /// built MirrorSet for `hot` (empty = drop mirroring). `version` seeds
+  /// the rebuild counter. apply() keeps mirrors coherent from then on:
+  /// batches dirtying a hot vertex rebuild, others share the set.
+  static std::shared_ptr<const GraphSnapshot> with_mirrors(
+      const std::shared_ptr<const GraphSnapshot>& prev,
+      std::vector<VertexId> hot, std::uint64_t version);
+
+  /// The hot-vertex mirror set (nullptr = replication not configured).
+  std::shared_ptr<const MirrorSet> mirror_set() const { return mirrors_; }
+
  private:
   GraphSnapshot() = default;
+
+  /// Installs `mirrors` and points every view at it.
+  void attach_mirrors(std::shared_ptr<const MirrorSet> mirrors);
 
   std::uint64_t epoch_ = 0;
   std::shared_ptr<const PartitionedGraph> base_;
   std::vector<PartitionView> views_;
+  std::shared_ptr<const MirrorSet> mirrors_;
   std::uint64_t num_vertices_ = 0;
   std::uint64_t num_edges_ = 0;
   std::uint64_t delta_entries_ = 0;

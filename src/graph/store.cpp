@@ -44,6 +44,14 @@ UpdateResult GraphStore::apply(const UpdateBatch& batch) {
   UpdateResult receipt;
   // Throws QueryError on validation failure, before any state changes.
   auto next = GraphSnapshot::apply(snap_, batch, &receipt);
+  // GraphSnapshot::apply rebuilt the MirrorSet iff the batch dirtied a
+  // hot vertex (coherence contract, DESIGN.md §14).
+  if (next->mirror_set() != nullptr &&
+      next->mirror_set() != snap_->mirror_set()) {
+    ++stats_.mirror_rebuilds;
+    stats_.mirror_entries = next->mirror_set()->entries();
+    mirror_version_ = next->mirror_set()->version();
+  }
   log_.push_back(batch);
   snap_ = std::move(next);
   ++stats_.batches_applied;
@@ -153,16 +161,60 @@ bool GraphStore::merge() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!snap_->has_deltas()) return false;
   Stopwatch sw;
-  auto merged = materialize_locked(snap_->epoch());
-  auto base = std::make_shared<const PartitionedGraph>(merged, num_machines_);
-  // Same epoch, same id spaces: a merge changes no visible data, only
-  // folds delta segments into a flat base. Old snapshot stays alive for
-  // queries that pinned it (RCU quiescence).
-  snap_ = GraphSnapshot::rebased(std::move(base), snap_->epoch(),
-                                 snap_->num_vertices(), snap_->num_edges());
+  rebase_locked();
   ++stats_.merges;
   stats_.last_merge_ms = sw.elapsed_ms();
   return true;
+}
+
+void GraphStore::rebase_locked() {
+  auto merged = materialize_locked(snap_->epoch());
+  auto base =
+      std::make_shared<const PartitionedGraph>(merged, num_machines_, map_);
+  // Same epoch, same id spaces: a rebase changes no visible data, only
+  // the flat representation (and, under repartition, the placement). Old
+  // snapshot stays alive for queries that pinned it (RCU quiescence).
+  snap_ = GraphSnapshot::rebased(std::move(base), snap_->epoch(),
+                                 snap_->num_vertices(), snap_->num_edges());
+  refresh_mirrors_locked();
+}
+
+void GraphStore::refresh_mirrors_locked() {
+  if (hot_.empty()) {
+    stats_.mirrored_vertices = 0;
+    stats_.mirror_entries = 0;
+    return;
+  }
+  snap_ = GraphSnapshot::with_mirrors(snap_, hot_, ++mirror_version_);
+  ++stats_.mirror_rebuilds;
+  const auto ms = snap_->mirror_set();
+  stats_.mirrored_vertices = ms != nullptr ? ms->hot().size() : 0;
+  stats_.mirror_entries = ms != nullptr ? ms->entries() : 0;
+}
+
+void GraphStore::set_hot_set(std::vector<VertexId> hot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hot_ = std::move(hot);
+  if (hot_.empty() && snap_->mirror_set() != nullptr) {
+    // Strip mirrors: clone without a set.
+    snap_ = GraphSnapshot::with_mirrors(snap_, {}, mirror_version_);
+  }
+  refresh_mirrors_locked();
+}
+
+std::vector<VertexId> GraphStore::hot_set() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hot_;
+}
+
+void GraphStore::repartition(std::vector<MachineId> assignment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stopwatch sw;
+  map_ = std::make_shared<const PartitionMap>(std::move(assignment),
+                                              num_machines_);
+  rebase_locked();
+  ++stats_.repartitions;
+  stats_.last_repartition_ms = sw.elapsed_ms();
 }
 
 GraphStoreStats GraphStore::stats() const {

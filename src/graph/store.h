@@ -36,6 +36,18 @@ struct GraphStoreStats {
   std::uint64_t edges_deleted = 0;
   std::uint64_t vertices_deleted = 0;
   double last_merge_ms = 0.0;
+  // ---- skew-aware balancing (DESIGN.md §14) ----
+  /// Hot vertices currently mirrored (0 = replication off).
+  std::uint64_t mirrored_vertices = 0;
+  /// Adjacency entries held by mirror buckets (both directions, all
+  /// machines).
+  std::uint64_t mirror_entries = 0;
+  /// MirrorSet rebuilds (set_hot_set, dirty updates, merges,
+  /// repartitions).
+  std::uint64_t mirror_rebuilds = 0;
+  /// Partition-map adoptions performed.
+  std::uint64_t repartitions = 0;
+  double last_repartition_ms = 0.0;
 };
 
 class GraphStore {
@@ -65,16 +77,43 @@ class GraphStore {
   /// bump every reach-cache generation afterwards.
   bool merge();
 
+  // ---- skew-aware balancing (DESIGN.md §14) ------------------------------
+
+  /// Installs (or, with an empty vector, drops) the hot-vertex mirror
+  /// set and publishes a snapshot carrying it at the SAME epoch. Every
+  /// later apply()/merge()/repartition() keeps the mirrors coherent.
+  void set_hot_set(std::vector<VertexId> hot);
+
+  /// The currently armed hot set (empty = replication off).
+  std::vector<VertexId> hot_set() const;
+
+  /// Adopts an explicit vertex→machine map: rebuilds the flat base under
+  /// the map at the SAME epoch (folding any deltas, like merge()) and
+  /// publishes it. Local vertex ids are remapped, so the caller must
+  /// bump every reach-cache generation afterwards — exactly the merge()
+  /// contract. `assignment[v]` is v's new owner; vertices beyond the
+  /// vector (later inserts) fall back to the hash placement.
+  void repartition(std::vector<MachineId> assignment);
+
   GraphStoreStats stats() const;
 
  private:
   std::shared_ptr<const Graph> materialize_locked(std::uint64_t epoch) const;
+  /// Rebuilds the flat base from the current log under map_ and
+  /// publishes it (same epoch); mirror rebuild included.
+  void rebase_locked();
+  /// Attaches a freshly built MirrorSet for hot_ to the current
+  /// snapshot (or strips mirrors when hot_ is empty).
+  void refresh_mirrors_locked();
 
   mutable std::mutex mu_;
   std::shared_ptr<const Graph> seed_graph_;
   unsigned num_machines_ = 1;
   std::vector<UpdateBatch> log_;  // log_[e - 1] built epoch e
   std::shared_ptr<const GraphSnapshot> snap_;
+  std::shared_ptr<const PartitionMap> map_;  // null = hash placement
+  std::vector<VertexId> hot_;                // empty = replication off
+  std::uint64_t mirror_version_ = 0;
   GraphStoreStats stats_;
 };
 

@@ -19,7 +19,13 @@ enum class MessageType : std::uint8_t {
   kTermination,  // termination-protocol status broadcast
   kAbort,        // cooperative-abort broadcast (common/abort.h)
   kAck,          // standalone reliable-delivery ack (DESIGN.md §13)
+  kMirrorRefresh,  // hot-vertex mirror arming broadcast (DESIGN.md §14)
 };
+
+/// MessageHeader::flags bit: the payload's contexts are mirror-expand
+/// delegations — each context's vertex is a HOT vertex whose bucket the
+/// receiver enumerates locally instead of entering the stage (§14).
+inline constexpr std::uint8_t kMessageFlagMirror = 1u << 0;
 
 /// Which flow-control credit a data message consumed; echoed back in the
 /// DONE message so the sender releases the right pool (§3.3).
@@ -39,6 +45,8 @@ struct MessageHeader {
   std::uint32_t count = 0;        // #contexts in the payload (kData)
   CreditClass credit = CreditClass::kFixed;
   Depth credit_depth = 0;  // depth the credit was charged at
+  /// Per-message flag bits (kMessageFlag*); 0 for ordinary traffic.
+  std::uint8_t flags = 0;
   /// Cluster-unique send sequence number, assigned by Network::send when
   /// a fault plan is active: the transport-dedup identity (a duplicated
   /// message keeps its original seq) and the fault-decision key.

@@ -154,6 +154,12 @@ void Inbox::heap_insert(Message msg) {
   const auto cmp = [this](const Entry& a, const Entry& b) {
     return before(a, b);
   };
+  // LoadBoard signal: contexts now visible in this machine's pickup
+  // heap. Limbo'd messages count only once released here — a delayed
+  // message is not pickable backlog yet.
+  if (board_ != nullptr) {
+    board_->add_queued(board_self_, msg.header.count);
+  }
   heap_.push_back(Entry{std::move(msg), next_seq_++});
   std::push_heap(heap_.begin(), heap_.end(), cmp);
 }
@@ -303,6 +309,15 @@ void Inbox::push(Message msg, NetStats& stats) {
     if (flow_ != nullptr) flow_->poke();
     return;
   }
+  if (msg.header.type == MessageType::kMirrorRefresh) {
+    // Control-channel arming broadcast (DESIGN.md §14): like kAbort it
+    // is never delayed, deduped, faulted, or counted against queued
+    // bytes — delivery just latches the mirror-ready flag workers
+    // consult before delegating hot-vertex fan-out. Latched for the run
+    // (one Network per query), so no epoch check is needed either.
+    mirror_ready_.store(true, std::memory_order_release);
+    return;
+  }
   if (epoch_ != 0 && msg.header.epoch != epoch_) {
     // A message from a different query epoch: in-flight residue of an
     // aborted run. Its sender's credits were reclaimed by that run's
@@ -372,8 +387,10 @@ void Inbox::push(Message msg, NetStats& stats) {
       return;
     }
     case MessageType::kAbort:
+    case MessageType::kMirrorRefresh:
     case MessageType::kAck:
-      return;  // kAbort handled above; kAck terminates in Network::transmit
+      return;  // kAbort/kMirrorRefresh handled above; kAck terminates in
+               // Network::transmit
   }
 }
 
@@ -388,6 +405,10 @@ std::optional<Message> Inbox::try_pop_data(NetStats& stats) {
   Message msg = std::move(heap_.back().msg);
   heap_.pop_back();
   lock.unlock();
+  if (board_ != nullptr) {
+    board_->add_queued(board_self_,
+                       -static_cast<std::int64_t>(msg.header.count));
+  }
   account_dequeued(msg.payload.size(), stats);
   return msg;
 }
@@ -443,6 +464,8 @@ unsigned fault_class_of(MessageType type) {
     case MessageType::kTermination: return kFaultClassTermination;
     case MessageType::kAbort: return kFaultClassAbort;
     case MessageType::kAck: return kFaultClassAck;
+    case MessageType::kMirrorRefresh:
+      return 0;  // control arming broadcast: never lost or corrupted
   }
   return 0;
 }
@@ -511,7 +534,9 @@ void Network::ack_apply(MachineId from, MachineId to, std::uint64_t cum,
 }
 
 void Network::transmit(MachineId dest, Message msg) {
-  if (reliable_on_ && msg.header.type != MessageType::kAbort) {
+  const bool control = msg.header.type == MessageType::kAbort ||
+                       msg.header.type == MessageType::kMirrorRefresh;
+  if (reliable_on_ && !control) {
     // Refresh the piggybacked ack: what the sending machine has
     // received from `dest` (the reverse link), as of this attempt.
     inboxes_[msg.header.src].fill_ack(dest, msg.header.ack_cum,
@@ -563,7 +588,7 @@ void Network::transmit(MachineId dest, Message msg) {
     }
     return;
   }
-  if (reliable_on_ && msg.header.type != MessageType::kAbort) {
+  if (reliable_on_ && !control) {
     // Piggybacked acks are applied even when the payload was corrupted:
     // the header is modeled as surviving (the CRC covers the payload).
     ack_apply(dest, msg.header.src, msg.header.ack_cum, msg.header.ack_bits);
@@ -715,6 +740,18 @@ void Network::broadcast_abort(AbortReason reason) {
   }
 }
 
+void Network::broadcast_mirror_refresh(std::uint64_t mirror_version) {
+  for (unsigned m = 0; m < inboxes_.size(); ++m) {
+    Message msg;
+    msg.header.type = MessageType::kMirrorRefresh;
+    msg.header.flags = kMessageFlagMirror;
+    msg.header.epoch = epoch_;
+    // Informational: which MirrorSet build the broadcast armed.
+    msg.header.seq = mirror_version;
+    transmit(static_cast<MachineId>(m), std::move(msg));
+  }
+}
+
 void Network::send(MachineId dest, Message msg) {
   engine_check(dest < inboxes_.size(), "send to unknown machine");
   msg.header.epoch = epoch_;
@@ -750,6 +787,7 @@ void Network::send(MachineId dest, Message msg) {
       }
       case MessageType::kTermination:
       case MessageType::kAbort:
+      case MessageType::kMirrorRefresh:
       case MessageType::kAck:
         return;  // nobody is listening
       case MessageType::kDone:
@@ -768,6 +806,7 @@ void Network::send(MachineId dest, Message msg) {
       case MessageType::kDone: dup_prob = plan_.dup_done_prob; break;
       case MessageType::kTermination: dup_prob = plan_.dup_term_prob; break;
       case MessageType::kAbort: break;  // control channel: never duplicated
+      case MessageType::kMirrorRefresh: break;  // control channel too
       case MessageType::kAck: break;    // transport-internal: never duplicated
     }
     if (fault_roll(fault_hash(plan_.seed, msg.header.seq, kFaultSaltDup),

@@ -105,6 +105,48 @@ struct NetStats {
   void note_dequeued(std::uint64_t delta_sub);
 };
 
+/// Cheap per-machine runtime load signals (DESIGN.md §14): the number of
+/// execution contexts sitting in each machine's pickup heap, cumulative
+/// credit-stall time, and how often the load-aware flush order advanced
+/// an underloaded destination. Per-RUN like NetStats — one LoadBoard per
+/// Network, never shared across queries (see the concurrency audit
+/// above). All counters are relaxed atomics: the board is an advisory
+/// signal for flush ordering, never a synchronization point.
+class LoadBoard {
+ public:
+  explicit LoadBoard(unsigned num_machines)
+      : queued_(num_machines), stall_us_(num_machines) {}
+
+  void add_queued(MachineId m, std::int64_t delta) {
+    queued_[m].fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Contexts currently buffered in machine m's pickup heap.
+  std::int64_t queued(MachineId m) const {
+    return queued_[m].load(std::memory_order_relaxed);
+  }
+  /// Cumulative time machine m's workers spent blocked on flow-control
+  /// credits (the runtime starvation signal, reported per machine).
+  void note_stall_us(MachineId m, std::uint64_t us) {
+    stall_us_[m].fetch_add(us, std::memory_order_relaxed);
+  }
+  std::uint64_t stall_us(MachineId m) const {
+    return stall_us_[m].load(std::memory_order_relaxed);
+  }
+  /// A flush advanced an underloaded destination ahead of buffer order.
+  void note_redirect() { redirects_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t redirects() const {
+    return redirects_.load(std::memory_order_relaxed);
+  }
+  unsigned num_machines() const {
+    return static_cast<unsigned>(queued_.size());
+  }
+
+ private:
+  std::vector<std::atomic<std::int64_t>> queued_;
+  std::vector<std::atomic<std::uint64_t>> stall_us_;
+  std::atomic<std::uint64_t> redirects_{0};
+};
+
 class Inbox {
  public:
   /// DONE messages release credits on this flow control at delivery time.
@@ -154,6 +196,22 @@ class Inbox {
   /// blackholes data sent to it (with synthesized DONE completions).
   bool crashed() const {
     return crashed_.load(std::memory_order_acquire);
+  }
+
+  /// Wires this inbox's queued-context accounting to the per-run
+  /// LoadBoard (the Network constructor calls this; `self` is the
+  /// machine this inbox belongs to). Heap pushes add the message's
+  /// context count, pops subtract it.
+  void attach_load_board(LoadBoard* board, MachineId self) {
+    board_ = board;
+    board_self_ = self;
+  }
+
+  /// True once the kMirrorRefresh arming broadcast reached this inbox:
+  /// its machine holds the current MirrorSet and will honour delegated
+  /// mirror-expand messages (DESIGN.md §14). Latched for the run.
+  bool mirror_ready() const {
+    return mirror_ready_.load(std::memory_order_acquire);
   }
 
   void push(Message msg, NetStats& stats);
@@ -276,6 +334,10 @@ class Inbox {
   // Abort / crash state. One relaxed load per worker poll.
   std::atomic<std::uint8_t> abort_reason_{0};
   std::atomic<bool> crashed_{false};
+  // Mirror arming (DESIGN.md §14) and load-signal plumbing.
+  std::atomic<bool> mirror_ready_{false};
+  LoadBoard* board_ = nullptr;
+  MachineId board_self_ = 0;
   bool crash_armed_ = false;
   std::uint64_t crash_tick_ = 0;
   std::uint32_t epoch_ = 0;
@@ -310,7 +372,12 @@ struct ReliableConfig {
 /// The interconnect: owns one inbox per machine plus global statistics.
 class Network {
  public:
-  explicit Network(unsigned num_machines) : inboxes_(num_machines) {}
+  explicit Network(unsigned num_machines)
+      : inboxes_(num_machines), board_(num_machines) {
+    for (unsigned m = 0; m < num_machines; ++m) {
+      inboxes_[m].attach_load_board(&board_, static_cast<MachineId>(m));
+    }
+  }
 
   unsigned num_machines() const {
     return static_cast<unsigned>(inboxes_.size());
@@ -399,6 +466,29 @@ class Network {
   /// priority: never delayed, deduped, or duplicated by fault injection.
   void broadcast_abort(AbortReason reason);
 
+  /// Pushes a kMirrorRefresh arming broadcast to every inbox
+  /// (DESIGN.md §14). Control-channel priority like kAbort: never lost,
+  /// corrupted, delayed, deduped, or duplicated — the receipt just
+  /// latches each inbox's mirror-ready flag. The engine broadcasts
+  /// before worker threads start, so readiness is deterministic.
+  void broadcast_mirror_refresh(std::uint64_t mirror_version);
+
+  /// True once every inbox observed the arming broadcast; workers gate
+  /// delegated fan-out on this (a peer that is not ready would silently
+  /// drop the delegation's results).
+  bool mirror_ready_all() const {
+    for (const auto& inbox : inboxes_) {
+      if (!inbox.mirror_ready()) return false;
+    }
+    return true;
+  }
+
+  /// Per-run load signals; machines consult it for load-aware flush
+  /// ordering (EngineConfig::load_aware_flush) and the engine reports
+  /// its counters through RuntimeStats.
+  LoadBoard& load_board() { return board_; }
+  const LoadBoard& load_board() const { return board_; }
+
   void send(MachineId dest, Message msg);
 
   Inbox& inbox(MachineId m) { return inboxes_[m]; }
@@ -462,6 +552,7 @@ class Network {
                               unsigned attempts) const;
 
   std::vector<Inbox> inboxes_;
+  LoadBoard board_;
   NetStats stats_;
   FaultPlan plan_;
   bool faults_on_ = false;

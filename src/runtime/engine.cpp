@@ -215,6 +215,14 @@ QueryResult DistributedEngine::run_plan_cfg(
         &net, &abort, cache_on ? &cache_ctx[m] : nullptr));
   }
 
+  // Hot-vertex mirror arming (DESIGN.md §14): broadcast after the
+  // machines exist but BEFORE any worker thread starts, so readiness is
+  // deterministic — a delegating sender requires every peer armed, and
+  // the synchronous pushes here guarantee it for the whole run.
+  if (cfg.hot_mirror_fanout && snap->mirror_set() != nullptr) {
+    net.broadcast_mirror_refresh(snap->mirror_set()->version());
+  }
+
   {
     std::lock_guard lock(active_mutex_);
     active_runs_.push_back(ActiveRun{&abort, &net});
@@ -402,6 +410,24 @@ QueryResult DistributedEngine::run_plan_cfg(
     stats.flow_outstanding += machine->flow().outstanding();
     stats.flow_overflow_outstanding += machine->flow().overflow_outstanding();
     stats.adfs_shared_tasks += machine->shared_task_count();
+  }
+  // Skew-aware balancing (DESIGN.md §14): delegation counters, the
+  // flush-reorder count, and the per-machine load distribution with its
+  // imbalance ratio (max/mean of frames entered per machine).
+  stats.contexts_redirected = net.load_board().redirects();
+  stats.machine_contexts.resize(num_machines, 0);
+  std::uint64_t total_visits = 0;
+  for (unsigned m = 0; m < num_machines; ++m) {
+    stats.mirror_fanouts += machines[m]->mirror_fanout_count();
+    stats.mirror_expands += machines[m]->mirror_expand_count();
+    stats.machine_contexts[m] = machines[m]->total_stage_visits();
+    total_visits += stats.machine_contexts[m];
+  }
+  if (total_visits > 0) {
+    const std::uint64_t max_visits = *std::max_element(
+        stats.machine_contexts.begin(), stats.machine_contexts.end());
+    stats.load_imbalance = static_cast<double>(max_visits) * num_machines /
+                           static_cast<double>(total_visits);
   }
   stats.rpq.resize(plan.num_rpq_indexes);
   for (unsigned g = 0; g < plan.num_rpq_indexes; ++g) {

@@ -22,6 +22,12 @@ Direction effective_dir(Direction hop_dir, std::uint8_t phase) {
   return hop_dir;
 }
 
+/// Mirror-expand buffers live beside ordinary (dest, stage, depth)
+/// buffers under their own key bit (bit 39: above any Depth, below the
+/// stage field) — a delegation must never ride in a buffer whose
+/// receiver would run_context its contexts, and vice versa.
+constexpr std::uint64_t kMirrorKeyBit = 1ull << 39;
+
 std::uint64_t buffer_key(MachineId dest, StageId stage, Depth depth) {
   return (static_cast<std::uint64_t>(dest) << 56) |
          (static_cast<std::uint64_t>(stage) << 40) |
@@ -59,6 +65,11 @@ MachineRuntime::MachineRuntime(MachineId id, const PartitionView* partition,
           static_cast<int>(plan->stages[sp.rpq_group].rpq.index_id);
     }
   }
+  // Static half of the §14 delegation gate; the kMirrorRefresh readiness
+  // of the peers is polled per hot frame (broadcast by the engine before
+  // worker threads start, so it never flips mid-run).
+  mirror_armed_ = config->hot_mirror_fanout && part_->mirrors() != nullptr &&
+                  network->num_machines() > 1;
   flow_ = std::make_unique<FlowControl>(*config, network->num_machines(),
                                         std::move(is_rpq));
   net_->inbox(id_).attach_flow_control(flow_.get());
@@ -160,6 +171,72 @@ void MachineRuntime::run_context(Worker& w, StageId stage, VertexId vertex,
       break;
     }
     step(w, rs);
+  }
+}
+
+void MachineRuntime::run_mirror_expand(Worker& w, StageId stage,
+                                       VertexId hot_vertex, Depth depth,
+                                       std::uint64_t rpid,
+                                       std::vector<Value> slots) {
+  ++w.mirror_expands;
+  const StagePlan& sp = plan_->stages[stage];
+  const MirrorSet* mirrors = part_->mirrors();
+  engine_check(mirrors != nullptr, "mirror-expand delegation without mirrors");
+  const auto row = mirrors->row_of(hot_vertex);
+  engine_check(row.has_value(), "mirror-expand for a non-hot vertex");
+  RunState rs;
+  rs.stack.reserve(plan_->stages.size() +
+                   config_->context_preallocated_depth + 16);
+  rs.slots = std::move(slots);
+  rs.saved.reserve(32);
+  // Enumerate this machine's bucket of the hot vertex's adjacency —
+  // exactly the entries whose destination this machine owns, so each one
+  // reproduces the enter_stage(hop.to, dst) call the delegator's own
+  // enumeration skipped. The hot visit at `stage` itself already
+  // happened at the delegator; re-entering it here would double-count.
+  // Edge filters are impossible (the delegation gate enumerates normally
+  // when the hop carries any); eprop stores read this bucket's columns —
+  // copies of the owner view's, so the slot values are identical.
+  const auto expand = [&](Direction dir) -> bool {  // false = halted
+    const Adjacency& bucket = mirrors->bucket(id_, dir);
+    const std::size_t nlabels =
+        std::max<std::size_t>(1, sp.hop.elabels.size());
+    for (std::size_t li = 0; li < nlabels; ++li) {
+      const auto [begin, end] =
+          sp.hop.elabels.empty()
+              ? bucket.range(*row)
+              : bucket.label_range(*row, sp.hop.elabels[li]);
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        if (halted()) return false;
+        for (const auto& store : sp.hop.eprop_stores) {
+          rs.slots[store.slot] =
+              store.prop == kInvalidProp
+                  ? null_value()
+                  : bucket.edge_property(idx, store.prop);
+        }
+        // Bucket entries are never the hot vertex itself (it lives on
+        // the delegator), so the kBoth reverse-leg self-loop skip does
+        // not apply — the owner's own enumeration handles self-loops.
+        const VertexId dst = bucket.entry(idx).other;
+        if (enter_stage(w, rs, sp.hop.to, part_->require_local(dst), depth,
+                        rpid, false)) {
+          while (!rs.stack.empty()) {
+            if (halted()) {
+              unwind(rs);
+              ++w.discarded;
+              return false;
+            }
+            step(w, rs);
+          }
+        }
+      }
+    }
+    return true;
+  };
+  if (sp.hop.dir == Direction::kBoth) {
+    if (expand(Direction::kOut)) expand(Direction::kIn);
+  } else {
+    expand(sp.hop.dir);
   }
 }
 
@@ -471,6 +548,13 @@ void MachineRuntime::step(Worker& w, RunState& rs) {
 
   switch (sp.hop.kind) {
     case HopKind::kNeighbor: {
+      if (f.step == 0) {
+        // §14 delegation gate, checked once per frame before the cursor
+        // moves (kNeighbor leaves f.step free): 1 = normal enumeration,
+        // 2 = delegated — peers expand their mirror buckets, this
+        // machine enumerates but skips every non-owned destination.
+        f.step = mirror_delegate(w, f, sp, slots) ? 2 : 1;
+      }
       std::size_t idx = 0;
       const ViewAdjacency* adj = nullptr;
       if (!next_neighbor(f, sp, idx, &adj)) {
@@ -498,9 +582,11 @@ void MachineRuntime::step(Worker& w, RunState& rs) {
           enter_stage(w, rs, sp.hop.to, part_->require_local(dst),
                       depth, rpid, false);
         }
-      } else {
+      } else if (f.step != 2) {
         send_remote(w, sp.hop.to, dst, depth, rpid, slots);
       }
+      // f.step == 2: the owner's mirror delegation already covers every
+      // non-owned destination — sending it too would double-visit.
       return;
     }
     case HopKind::kEdge: {
@@ -568,8 +654,52 @@ void MachineRuntime::step(Worker& w, RunState& rs) {
 void MachineRuntime::send_remote(Worker& w, StageId stage, VertexId vertex,
                                  Depth depth, std::uint64_t rpid,
                                  const std::vector<Value>& slots) {
-  const MachineId dest = Partition::owner(vertex, part_->num_machines());
-  const std::uint64_t key = buffer_key(dest, stage, depth);
+  send_to(w, part_->owner_of(vertex), stage, vertex, depth, rpid, slots,
+          /*mirror=*/false);
+}
+
+bool MachineRuntime::mirror_delegate(Worker& w, Frame& f, const StagePlan& sp,
+                                     const std::vector<Value>& slots) {
+  if (!mirror_armed_) return false;
+  // Edge filters need the owner's EvalCtx (arbitrary slot/property
+  // expressions); a frame carrying them always enumerates normally.
+  // eprop_stores ARE delegable: the buckets carry the edge-property
+  // columns, and the receiver writes the slots from its own slice.
+  if (!sp.hop.edge_filters.empty()) return false;
+  const MirrorSet* mirrors = part_->mirrors();
+  const VertexId gid = part_->to_global(f.current);
+  const auto row = mirrors->row_of(gid);
+  if (!row.has_value()) return false;
+  // Dynamic half of the gate: a peer that never saw the kMirrorRefresh
+  // broadcast would treat the delegation as ordinary contexts (a global
+  // hot id it does not own) — delegate only when the whole cluster is
+  // armed. The broadcast precedes worker start, so this never flips.
+  if (!net_->mirror_ready_all()) return false;
+  const unsigned n = net_->num_machines();
+  for (unsigned m = 0; m < n; ++m) {
+    if (m == id_) continue;
+    bool nonempty = false;
+    if (sp.hop.dir != Direction::kIn) {
+      nonempty = mirrors->bucket_degree(static_cast<MachineId>(m), *row,
+                                        Direction::kOut) > 0;
+    }
+    if (!nonempty && sp.hop.dir != Direction::kOut) {
+      nonempty = mirrors->bucket_degree(static_cast<MachineId>(m), *row,
+                                        Direction::kIn) > 0;
+    }
+    if (!nonempty) continue;  // no neighbors of gid live on m
+    send_to(w, static_cast<MachineId>(m), f.stage, gid, f.depth, f.rpid,
+            slots, /*mirror=*/true);
+  }
+  ++w.mirror_fanouts;
+  return true;
+}
+
+void MachineRuntime::send_to(Worker& w, MachineId dest, StageId stage,
+                             VertexId vertex, Depth depth, std::uint64_t rpid,
+                             const std::vector<Value>& slots, bool mirror) {
+  const std::uint64_t key =
+      buffer_key(dest, stage, depth) | (mirror ? kMirrorKeyBit : 0);
   auto it = w.out.find(key);
   if (it == w.out.end()) {
     const auto credit = acquire_credit_blocking(w, dest, stage, depth);
@@ -592,6 +722,7 @@ void MachineRuntime::send_remote(Worker& w, StageId stage, VertexId vertex,
       buf.stage = stage;
       buf.depth = depth;
       buf.credit = *credit;
+      buf.mirror = mirror;
       buf.payload.reserve(config_->buffer_bytes);
       it = w.out.emplace(key, std::move(buf)).first;
     }
@@ -657,6 +788,7 @@ void MachineRuntime::flush_buffer(Worker& w, OutBuffer&& buf) {
   msg.header.count = buf.count;
   msg.header.credit = buf.credit;
   msg.header.credit_depth = buf.depth;
+  msg.header.flags = buf.mirror ? kMessageFlagMirror : 0;
   msg.payload = std::move(buf.payload);
   net_->send(buf.dest, std::move(msg));
 }
@@ -670,16 +802,41 @@ void MachineRuntime::flush_all(Worker& w) {
     pending.push_back(std::move(buf));
   }
   w.out.clear();
+  if (config_->load_aware_flush && pending.size() > 1) {
+    // §14 balance signal: ship work toward underloaded machines first.
+    // Ordering only — every buffer still flushes in this call, so the
+    // result set and all accounting identities are untouched.
+    const LoadBoard& board = net_->load_board();
+    std::vector<std::int64_t> load(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      load[i] = board.queued(pending[i].dest);
+    }
+    std::vector<std::size_t> order(pending.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return load[a] < load[b];
+                     });
+    std::vector<OutBuffer> sorted;
+    sorted.reserve(pending.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      // Advanced ahead of its buffer-map position = one redirect.
+      if (order[i] > i) net_->load_board().note_redirect();
+      sorted.push_back(std::move(pending[order[i]]));
+    }
+    pending = std::move(sorted);
+  }
   for (auto& buf : pending) flush_buffer(w, std::move(buf));
 }
 
 std::optional<CreditClass> MachineRuntime::acquire_credit_blocking(
     Worker& w, MachineId dest, StageId stage, Depth depth) {
   std::optional<Stopwatch> starved;
-  // Profiling: time from the first failed try_acquire to the eventual
-  // grant (nested pickup work included — that is the paper's "worker
-  // diverted by flow control" interval), attributed to the credit class
-  // that resolved the stall. Never constructed with profiling off.
+  // Time from the first failed try_acquire to the eventual grant (nested
+  // pickup work included — the paper's "worker diverted by flow control"
+  // interval). Feeds the profile's per-credit-class stall attribution
+  // and the LoadBoard's per-machine starvation signal (§14); constructed
+  // only on the already-slow blocked path.
   std::optional<Stopwatch> stall;
   unsigned backoff = 0;
   while (true) {
@@ -694,10 +851,16 @@ std::optional<CreditClass> MachineRuntime::acquire_credit_blocking(
     // waiter wakes promptly.
     if (halted()) return std::nullopt;
     if (const auto credit = flow_->try_acquire(dest, stage, depth)) {
-      if (w.prof && stall) w.prof->note_stall(*credit, stall->elapsed_ms());
+      if (stall) {
+        const double ms = stall->elapsed_ms();
+        if (w.prof) w.prof->note_stall(*credit, ms);
+        // §14 balance signal: cumulative per-machine starvation time.
+        net_->load_board().note_stall_us(
+            id_, static_cast<std::uint64_t>(ms * 1000.0));
+      }
       return credit;
     }
-    if (w.prof && !stall) stall.emplace();
+    if (!stall) stall.emplace();
     // Pickup rule (iii): when flow control prevents sending, process
     // incoming messages (bounded nesting).
     if (w.nesting < config_->max_pickup_nesting) {
@@ -744,8 +907,11 @@ std::optional<CreditClass> MachineRuntime::acquire_credit_blocking(
     } else if (starved->elapsed_seconds() > 5.0) {
       RPQD_WARN << "machine " << static_cast<int>(id_)
                 << ": emergency flow-control credit for stage " << stage;
-      if (w.prof && stall) {
-        w.prof->note_stall(CreditClass::kEmergency, stall->elapsed_ms());
+      if (stall) {
+        const double ms = stall->elapsed_ms();
+        if (w.prof) w.prof->note_stall(CreditClass::kEmergency, ms);
+        net_->load_board().note_stall_us(
+            id_, static_cast<std::uint64_t>(ms * 1000.0));
       }
       return flow_->acquire_emergency();
     }
@@ -793,6 +959,7 @@ void MachineRuntime::process_message(Worker& w, Message msg) {
   msg.payload.clear();
   msg.payload.shrink_to_fit();  // the "buffer" really is free now
 
+  const bool mirror = (msg.header.flags & kMessageFlagMirror) != 0;
   for (std::size_t i = 0; i < contexts.size(); ++i) {
     if (halted()) {
       // Mid-batch halt: the DONE above already returned the buffer
@@ -805,8 +972,17 @@ void MachineRuntime::process_message(Worker& w, Message msg) {
       break;
     }
     auto& c = contexts[i];
-    run_context(w, stage, c.vertex, msg.header.depth, c.rpid,
-                std::move(c.slots));
+    if (mirror) {
+      // §14 delegation: c.vertex is a hot GLOBAL id — expand this
+      // machine's mirror bucket of its adjacency. Never run_context:
+      // that would re-enter `stage`, double-counting the hot visit the
+      // delegator already performed.
+      run_mirror_expand(w, stage, c.vertex, msg.header.depth, c.rpid,
+                        std::move(c.slots));
+    } else {
+      run_context(w, stage, c.vertex, msg.header.depth, c.rpid,
+                  std::move(c.slots));
+    }
     note_frame_popped(stage, group, msg.header.depth);
   }
   detector_.note_processed(stage, group, msg.header.depth, msg.header.count);
@@ -1063,6 +1239,10 @@ void MachineRuntime::merge_profile(QueryProfile& out) const {
   sum.term_rounds += detector_.broadcast_rounds();
   sum.peak_live_contexts = peak_live_contexts();
   sum.discarded_contexts += discarded_contexts();
+  sum.adfs_shared_tasks += shared_task_count();
+  sum.mirror_fanouts += mirror_fanout_count();
+  sum.mirror_expands += mirror_expand_count();
+  sum.total_contexts += total_stage_visits();
 }
 
 RpqStageStats MachineRuntime::rpq_stats(unsigned group) const {

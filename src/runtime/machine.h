@@ -134,6 +134,11 @@ class MachineRuntime {
     Depth depth = 0;
     CreditClass credit = CreditClass::kFixed;
     std::uint32_t count = 0;
+    // Mirror-expand delegations (DESIGN.md §14): the contexts' vertices
+    // are hot GLOBAL ids whose bucket the receiver enumerates instead of
+    // entering `stage`. Flushed with kMessageFlagMirror set; buffered
+    // separately from ordinary traffic (buffer_key folds the bit in).
+    bool mirror = false;
     std::vector<std::byte> payload;
     // Delta-codec state; a buffer is always flushed as one message, so
     // the receiver's fresh decoder state matches.
@@ -154,6 +159,9 @@ class MachineRuntime {
     std::vector<std::vector<std::uint64_t>> duplicated;  // [group][depth]
     std::uint64_t rows = 0;
     std::uint64_t discarded = 0;  // contexts dropped by the abort drain
+    // Hot-vertex delegated fan-out (DESIGN.md §14).
+    std::uint64_t mirror_fanouts = 0;  // hot frames delegated (send side)
+    std::uint64_t mirror_expands = 0;  // delegations expanded (recv side)
     std::vector<std::vector<std::string>> result_rows;
     std::vector<std::uint64_t> stage_visits;  // frames entered per stage
     AggMap agg_rows;  // partial GROUP BY aggregates
@@ -180,6 +188,13 @@ class MachineRuntime {
   // ---- messaging ----
   void send_remote(Worker& w, StageId stage, VertexId vertex, Depth depth,
                    std::uint64_t rpid, const std::vector<Value>& slots);
+  /// Shared body of send_remote and mirror delegation: appends one
+  /// context to the (dest, stage, depth, mirror) output buffer, acquiring
+  /// its credit when the buffer opens. `mirror` buffers carry hot GLOBAL
+  /// vertex ids and flush with kMessageFlagMirror.
+  void send_to(Worker& w, MachineId dest, StageId stage, VertexId vertex,
+               Depth depth, std::uint64_t rpid,
+               const std::vector<Value>& slots, bool mirror);
   void flush_buffer(Worker& w, OutBuffer&& buf);
   void flush_all(Worker& w);
   /// Blocks for a credit, processing inbound work meanwhile (pickup rule
@@ -246,10 +261,35 @@ class MachineRuntime {
   bool try_share_local(Worker& w, StageId stage, VertexId vertex, Depth depth,
                        std::uint64_t rpid, const std::vector<Value>& slots);
 
+  // ---- hot-vertex delegated fan-out (DESIGN.md §14) ----
+  /// Delegation gate for a kNeighbor frame whose current vertex is hot:
+  /// sends ONE mirror-expand context per peer machine with a non-empty
+  /// bucket for this hop's direction(s), so each peer enumerates its
+  /// pre-bucketed slice of the hot adjacency locally instead of
+  /// receiving one message per remote neighbor. Returns true when the
+  /// frame is delegated (the caller then skips non-owned destinations in
+  /// its own enumeration); false leaves the frame on the normal path.
+  /// Exactness: the cluster-wide multiset of enter_stage(hop.to, dst)
+  /// calls is identical to the undelegated run — only the message count
+  /// changes — so results, dedup, and the differential harness all hold.
+  bool mirror_delegate(Worker& w, Frame& f, const StagePlan& sp,
+                       const std::vector<Value>& slots);
+  /// Receive side: enumerates this machine's bucket of `hot_vertex`'s
+  /// adjacency for `stage`'s hop and runs each owned destination to
+  /// completion (frameless analogue of run_context — it must NOT
+  /// re-enter `stage`, whose visit already happened at the delegator).
+  void run_mirror_expand(Worker& w, StageId stage, VertexId hot_vertex,
+                         Depth depth, std::uint64_t rpid,
+                         std::vector<Value> slots);
+
   MachineId id_;
   const PartitionView* part_;
   const ExecPlan* plan_;
   const EngineConfig* config_;
+  // Static half of the delegation gate (knob on + snapshot has mirrors);
+  // the dynamic half (peers armed via kMirrorRefresh) is polled per hot
+  // frame. False keeps the traversal hot path byte-identical to §13.
+  bool mirror_armed_ = false;
   Network* net_;
   AbortController* abort_;
   // Cross-query cache participation (null = cache off for this run).
@@ -273,6 +313,27 @@ class MachineRuntime {
   /// Number of traversals offloaded via aDFS work sharing (stats).
   std::uint64_t shared_task_count() const {
     return shared_total_.load(std::memory_order_relaxed);
+  }
+  /// Hot-vertex frames whose remote fan-out was delegated to peers'
+  /// mirrors, and delegations this machine expanded (DESIGN.md §14).
+  std::uint64_t mirror_fanout_count() const {
+    std::uint64_t total = 0;
+    for (const auto& w : workers_) total += w->mirror_fanouts;
+    return total;
+  }
+  std::uint64_t mirror_expand_count() const {
+    std::uint64_t total = 0;
+    for (const auto& w : workers_) total += w->mirror_expands;
+    return total;
+  }
+  /// Frames entered across ALL stages on this machine — the per-machine
+  /// load quantity the §14 imbalance ratio is computed over.
+  std::uint64_t total_stage_visits() const {
+    std::uint64_t total = 0;
+    for (const auto& w : workers_) {
+      for (const std::uint64_t v : w->stage_visits) total += v;
+    }
+    return total;
   }
 };
 

@@ -177,6 +177,13 @@ std::string QueryProfile::text() const {
         static_cast<ull>(sum.peak_live_contexts),
         static_cast<ull>(sum.discarded_contexts));
     out << buf;
+    if (sum.adfs_shared_tasks > 0) {
+      out << " adfs=" << sum.adfs_shared_tasks;
+    }
+    if (sum.mirror_fanouts + sum.mirror_expands > 0) {
+      out << " mirror_fanouts=" << sum.mirror_fanouts
+          << " mirror_expands=" << sum.mirror_expands;
+    }
     if (sum.stall_events > 0) {
       // Stall breakdown by the credit class that resolved the stall.
       static const char* kClassNames[kNumCreditClasses] = {
@@ -195,6 +202,32 @@ std::string QueryProfile::text() const {
       out << ')';
     }
     out << '\n';
+  }
+  // Cluster-level §14 skew summary: how evenly the frame work (and the
+  // induced credit stalling) landed across machines. max/mean == 1.0 is a
+  // perfectly balanced run; == machines.size() is everything on one box.
+  if (!machines.empty()) {
+    u64 max_ctx = 0, total_ctx = 0;
+    double max_stall = 0.0, total_stall = 0.0;
+    for (const auto& sum : machines) {
+      max_ctx = std::max(max_ctx, sum.total_contexts);
+      total_ctx += sum.total_contexts;
+      max_stall = std::max(max_stall, sum.stall_ms_total());
+      total_stall += sum.stall_ms_total();
+    }
+    if (total_ctx > 0) {
+      const double mean_ctx =
+          static_cast<double>(total_ctx) / static_cast<double>(machines.size());
+      const double mean_stall = total_stall / static_cast<double>(machines.size());
+      char bbuf[200];
+      std::snprintf(bbuf, sizeof bbuf,
+                    "balance: contexts max=%llu mean=%.1f imbalance=%.3f "
+                    "stall_ms max=%.3f mean=%.3f",
+                    static_cast<ull>(max_ctx), mean_ctx,
+                    static_cast<double>(max_ctx) / mean_ctx, max_stall,
+                    mean_stall);
+      out << bbuf << '\n';
+    }
   }
   if (transport.any()) {
     char tbuf[256];
@@ -216,7 +249,7 @@ std::string QueryProfile::to_json() const {
   std::string out = "{";
   out += "\"enabled\": ";
   out += enabled ? "true" : "false";
-  char buf[320];
+  char buf[512];
   std::snprintf(buf, sizeof buf,
                 ", \"machines\": %zu, \"term_rounds\": %llu, \"totals\": {",
                 machines.size(), static_cast<ull>(total_term_rounds()));
@@ -270,7 +303,9 @@ std::string QueryProfile::to_json() const {
         "%s{\"m\": %zu, \"fast_path\": %llu, \"shared\": %llu, "
         "\"overflow\": %llu, \"emergency\": %llu, \"blocked\": %llu, "
         "\"stall_events\": %llu, \"stall_ms\": %.3f, \"term_rounds\": %llu, "
-        "\"peak_live\": %llu, \"discarded\": %llu}",
+        "\"peak_live\": %llu, \"discarded\": %llu, \"adfs_shared\": %llu, "
+        "\"mirror_fanouts\": %llu, \"mirror_expands\": %llu, "
+        "\"contexts\": %llu}",
         m == 0 ? "" : ", ", m, static_cast<ull>(sum.credit_fast_path),
         static_cast<ull>(sum.credit_shared),
         static_cast<ull>(sum.credit_overflow),
@@ -279,7 +314,11 @@ std::string QueryProfile::to_json() const {
         static_cast<ull>(sum.stall_events), sum.stall_ms_total(),
         static_cast<ull>(sum.term_rounds),
         static_cast<ull>(sum.peak_live_contexts),
-        static_cast<ull>(sum.discarded_contexts));
+        static_cast<ull>(sum.discarded_contexts),
+        static_cast<ull>(sum.adfs_shared_tasks),
+        static_cast<ull>(sum.mirror_fanouts),
+        static_cast<ull>(sum.mirror_expands),
+        static_cast<ull>(sum.total_contexts));
     out += buf;
   }
   out += "], \"transport\": {";

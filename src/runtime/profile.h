@@ -93,6 +93,15 @@ struct ProfileMachineSummary {
   // max_live_contexts budget's tracked quantity) and abort-path drops.
   std::uint64_t peak_live_contexts = 0;
   std::uint64_t discarded_contexts = 0;
+  /// Traversals offloaded to idle peer workers via aDFS work sharing
+  /// (machine.h shared_task_count); 0 with adfs_work_sharing off.
+  std::uint64_t adfs_shared_tasks = 0;
+  // Skew-aware balancing (DESIGN.md §14); 0 with the knobs off.
+  std::uint64_t mirror_fanouts = 0;  // hot frames delegated (send side)
+  std::uint64_t mirror_expands = 0;  // delegations expanded (recv side)
+  /// Frames entered across all stages on this machine — the per-machine
+  /// load quantity the §14 imbalance line reports over.
+  std::uint64_t total_contexts = 0;
 
   double stall_ms_total() const {
     double sum = 0.0;

@@ -82,6 +82,12 @@ std::string RuntimeStats::summary() const {
         << " discarded=" << contexts_discarded
         << " peak_live=" << peak_live_contexts << " retries=" << retries;
   }
+  if (mirror_fanouts + mirror_expands + contexts_redirected > 0) {
+    out << "\n  balance: mirror_fanouts=" << mirror_fanouts
+        << " mirror_expands=" << mirror_expands
+        << " redirected=" << contexts_redirected
+        << " imbalance=" << load_imbalance;
+  }
   for (std::size_t g = 0; g < rpq.size(); ++g) {
     const auto& r = rpq[g];
     out << "\n  rpq[" << g << "]: matches=" << r.total_matches()

@@ -96,6 +96,17 @@ struct RuntimeStats {
   std::uint64_t dedup_drops = 0;       // link-seq duplicate deliveries dropped
   // aDFS work sharing (when enabled).
   std::uint64_t adfs_shared_tasks = 0;
+  // Skew-aware balancing (DESIGN.md §14); all 0 with the knobs off.
+  std::uint64_t mirror_fanouts = 0;   // hot frames delegated to peers
+  std::uint64_t mirror_expands = 0;   // delegations expanded locally
+  std::uint64_t contexts_redirected = 0;  // flushes advanced by load order
+  /// Frames entered per machine (all stages) — the load distribution the
+  /// §14 balancing acts on. Empty only for cached/coalesced results.
+  std::vector<std::uint64_t> machine_contexts;
+  /// max(machine_contexts) / mean(machine_contexts); 1.0 = perfectly
+  /// balanced, num_machines = everything on one machine. 0 when no
+  /// frames ran.
+  double load_imbalance = 0.0;
   // Query lifecycle (common/abort.h); all 0 on a normally-finishing run.
   std::uint64_t abort_messages = 0;      // kAbort deliveries
   std::uint64_t blackholed_messages = 0;  // data sent to a crashed machine

@@ -150,6 +150,18 @@ TEST(CorpusReplay, AllEntriesAgreeWithOracleAndHoldInvariants) {
       EXPECT_EQ(result.profile.stage_ctx_sent(s),
                 result.stats.stages[s].remote_out);
     }
+    // §14 load accounting: the profile's per-machine context summaries
+    // must reconcile with the engine's machine_contexts vector, and
+    // their sum with the tree's leaves.
+    ASSERT_EQ(result.profile.machines.size(),
+              result.stats.machine_contexts.size());
+    std::uint64_t machine_total = 0;
+    for (std::size_t m = 0; m < result.profile.machines.size(); ++m) {
+      EXPECT_EQ(result.profile.machines[m].total_contexts,
+                result.stats.machine_contexts[m]);
+      machine_total += result.profile.machines[m].total_contexts;
+    }
+    EXPECT_EQ(machine_total, result.profile.total_contexts());
     for (const auto& r : result.stats.rpq) {
       EXPECT_EQ(r.index_duplicate_entries, 0u);
       if (r.consensus_max_depth) {
